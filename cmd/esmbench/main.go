@@ -1,0 +1,212 @@
+// Command esmbench regenerates the paper's evaluation: Fig. 6 (logical
+// I/O pattern mixes) and Figs 8–19 (power, response time / derived
+// application performance, migrated data and interval analysis for the
+// File Server, TPC-C and TPC-H workloads under the proposed method, PDC
+// and DDR).
+//
+// Usage:
+//
+//	esmbench [-scale f] [-workload fileserver|oltp|dss|all] [-fig N] [-list]
+//
+// -scale 1.0 reproduces the paper's full durations (hours of simulated
+// time; minutes of CPU). The default scale keeps runs under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"esm/internal/core"
+	"esm/internal/experiments"
+	"esm/internal/powermodel"
+	"esm/internal/storage"
+	"esm/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0, "time-scale factor (1.0 = paper-scale durations; 0 = per-workload default)")
+	kind := flag.String("workload", "all", "fileserver, oltp, dss or all")
+	fig := flag.Int("fig", 0, "regenerate a single figure (6, 8..19); 0 = all")
+	list := flag.Bool("list", false, "print Table I / Table II parameters and exit")
+	sweep := flag.Bool("sweep", false, "run the sensitivity sweeps instead of the figures")
+	extended := flag.Bool("extended", false, "also evaluate the extended baselines (timeout, MAID, write off-loading)")
+	flag.Parse()
+
+	if *list {
+		printParameters()
+		return
+	}
+	if *sweep {
+		if err := runSweeps(*scale, *kind); err != nil {
+			fmt.Fprintln(os.Stderr, "esmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*scale, *kind, *fig, *extended); err != nil {
+		fmt.Fprintln(os.Stderr, "esmbench:", err)
+		os.Exit(1)
+	}
+}
+
+// figsOf maps each application to its figure numbers in the paper.
+var figsOf = map[experiments.Kind][]int{
+	experiments.FileServer: {8, 9, 10, 17},
+	experiments.OLTP:       {11, 12, 13, 18},
+	experiments.DSS:        {14, 15, 16, 19},
+}
+
+func runSweeps(scale float64, kindFlag string) error {
+	kinds := experiments.Kinds()
+	if kindFlag != "all" {
+		kinds = []experiments.Kind{experiments.Kind(kindFlag)}
+	}
+	for _, k := range kinds {
+		ks := scale
+		if ks == 0 {
+			ks = experiments.DefaultScale(k)
+		}
+		w, err := experiments.Build(k, ks)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n-- %s sweeps: %d records, %v --\n", w.Name, len(w.Records), w.Duration)
+		tables, err := experiments.DefaultSweeps(w)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+	}
+	return nil
+}
+
+func run(scale float64, kindFlag string, fig int, extended bool) error {
+	kinds := experiments.Kinds()
+	if kindFlag != "all" {
+		kinds = []experiments.Kind{experiments.Kind(kindFlag)}
+	}
+
+	// Fig. 6 uses only the classifier, not the storage simulator.
+	if fig == 0 || fig == 6 {
+		mixes := map[experiments.Kind]core.PatternMix{}
+		for _, k := range kinds {
+			ks := scale
+			if ks == 0 {
+				ks = 1.0 // classification alone is cheap at paper scale
+			}
+			w, err := experiments.Build(k, ks)
+			if err != nil {
+				return err
+			}
+			mixes[k] = experiments.PatternMix(w, core.DefaultParams().BreakEven)
+		}
+		experiments.Fig6Table(mixes).Fprint(os.Stdout)
+		if fig == 6 {
+			return nil
+		}
+	}
+
+	for _, k := range kinds {
+		want := false
+		for _, f := range figsOf[k] {
+			if fig == 0 || fig == f {
+				want = true
+			}
+		}
+		if !want {
+			continue
+		}
+		ks := scale
+		if ks == 0 {
+			ks = experiments.DefaultScale(k)
+		}
+		w, err := experiments.Build(k, ks)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n-- %s: %d records, %d items, %d enclosures, %v --\n",
+			w.Name, len(w.Records), w.Catalog.Len(), w.Enclosures, w.Duration)
+		start := time.Now()
+		pols := experiments.PoliciesFor(ks)
+		if extended {
+			pols = experiments.ExtendedPolicies(ks)
+		}
+		ev, err := experiments.Evaluate(w, pols)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   (replayed 4 policies in %v)\n", time.Since(start).Round(time.Millisecond))
+
+		switch k {
+		case experiments.FileServer:
+			maybe(fig, 8, func() {
+				experiments.PowerTable("Fig. 8 — File Server power consumption", ev).Fprint(os.Stdout)
+				experiments.PowerSeriesChart("File Server power over time", ev).Fprint(os.Stdout)
+				experiments.StateMixTable("File Server enclosure state residency", ev).Fprint(os.Stdout)
+			})
+			maybe(fig, 9, func() {
+				experiments.ResponseTable("Fig. 9 — File Server avg I/O response time", ev).Fprint(os.Stdout)
+			})
+			maybe(fig, 10, func() { experiments.MigrationTable("Fig. 10 — File Server migrated data size", ev).Fprint(os.Stdout) })
+			maybe(fig, 17, func() {
+				experiments.IntervalTable("Fig. 17 — File Server I/O intervals", ev, experiments.DefaultIntervalThresholds()).Fprint(os.Stdout)
+			})
+		case experiments.OLTP:
+			maybe(fig, 11, func() {
+				experiments.PowerTable("Fig. 11 — TPC-C power consumption", ev).Fprint(os.Stdout)
+				experiments.PowerSeriesChart("TPC-C power over time", ev).Fprint(os.Stdout)
+				experiments.StateMixTable("TPC-C enclosure state residency", ev).Fprint(os.Stdout)
+			})
+			maybe(fig, 12, func() { experiments.ThroughputTable(ev).Fprint(os.Stdout) })
+			maybe(fig, 13, func() { experiments.MigrationTable("Fig. 13 — TPC-C migrated data size", ev).Fprint(os.Stdout) })
+			maybe(fig, 18, func() {
+				experiments.IntervalTable("Fig. 18 — TPC-C I/O intervals", ev, experiments.DefaultIntervalThresholds()).Fprint(os.Stdout)
+			})
+		case experiments.DSS:
+			maybe(fig, 14, func() {
+				experiments.PowerTable("Fig. 14 — TPC-H power consumption", ev).Fprint(os.Stdout)
+				experiments.PowerSeriesChart("TPC-H power over time", ev).Fprint(os.Stdout)
+				experiments.StateMixTable("TPC-H enclosure state residency", ev).Fprint(os.Stdout)
+			})
+			maybe(fig, 15, func() { experiments.QueryResponseTable(ev, []string{"Q2", "Q7", "Q21"}).Fprint(os.Stdout) })
+			maybe(fig, 16, func() { experiments.MigrationTable("Fig. 16 — TPC-H migrated data size", ev).Fprint(os.Stdout) })
+			maybe(fig, 19, func() {
+				experiments.IntervalTable("Fig. 19 — TPC-H I/O intervals", ev, experiments.DefaultIntervalThresholds()).Fprint(os.Stdout)
+			})
+		}
+	}
+	return nil
+}
+
+func maybe(fig, want int, f func()) {
+	if fig == 0 || fig == want {
+		f()
+	}
+}
+
+func printParameters() {
+	p := core.DefaultParams()
+	pw := powermodel.DefaultParams()
+	sc := storage.DefaultConfig(10)
+	fmt.Println("== Table II — parameter values ==")
+	fmt.Printf("  break-even time              %v (derived: %v)\n", p.BreakEven, pw.BreakEven().Round(time.Millisecond))
+	fmt.Printf("  spin-down time-out           %v\n", sc.SpinDownTimeout)
+	fmt.Printf("  max IOPS of disk enclosure   %.0f random / %.0f sequential\n", sc.RandomIOPS, sc.SeqIOPS)
+	fmt.Printf("  size of volumes              %.2f TB\n", float64(sc.EnclosureCapacity)/1e12)
+	fmt.Printf("  storage cache size           %d MB\n", sc.CacheBytes>>20)
+	fmt.Printf("  cache for write delay        %d MB (dirty block rate %.0f%%)\n", sc.WriteDelayCacheBytes>>20, sc.DirtyBlockRate*100)
+	fmt.Printf("  cache for preload            %d MB\n", sc.PreloadCacheBytes>>20)
+	fmt.Printf("  monitoring coefficient alpha %.1f\n", p.Alpha)
+	fmt.Printf("  initial monitoring period    %v\n", p.InitialPeriod)
+	fmt.Println("== Table I — application configurations ==")
+	fs := workload.DefaultFileServerConfig()
+	ol := workload.DefaultOLTPConfig()
+	ds := workload.DefaultDSSConfig()
+	fmt.Printf("  fileserver: %d volumes on %d enclosures, %v\n", fs.Volumes, fs.Enclosures, fs.Duration)
+	fmt.Printf("  oltp:       %d warehouses, DB on %d enclosures + log, %v\n", ol.Warehouses, ol.DBEnclosures, ol.Duration)
+	fmt.Printf("  dss:        SF=%.0f, Q1..Q22, DB on %d enclosures + log/work, %v\n", ds.ScaleFactor, ds.DBEnclosures, ds.Duration)
+}

@@ -1,0 +1,226 @@
+// Command esmd is the energy-efficient storage management daemon: it
+// consumes a logical I/O stream (CSV records on stdin, as produced by
+// tracegen -format csv), feeds the monitoring system, runs the power
+// management function at each monitoring-period end, and drives the
+// simulated storage unit — printing a status line for every placement
+// determination and a final energy report.
+//
+// It is the long-running-process form of the same machinery esmbench
+// drives in batch: point a trace stream at it and watch the hot/cold
+// split, cache assignments and monitoring period evolve.
+//
+// Usage:
+//
+//	tracegen -workload fileserver -scale 0.2 -format csv \
+//	         -out /dev/stdout -catalog fs.items -placement fs.layout |
+//	  esmd -catalog fs.items -placement fs.layout
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"esm/internal/config"
+	"esm/internal/core"
+	"esm/internal/policy"
+	"esm/internal/simclock"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+func main() {
+	catalogPath := flag.String("catalog", "", "catalog path (required)")
+	placementPath := flag.String("placement", "", "initial-placement path (required)")
+	enclosures := flag.Int("enclosures", 0, "enclosure count (0 = infer from placement)")
+	quiet := flag.Bool("quiet", false, "suppress per-determination status lines")
+	configPath := flag.String("config", "", "optional JSON config for storage and ESM parameters")
+	flag.Parse()
+
+	if *catalogPath == "" || *placementPath == "" {
+		fmt.Fprintln(os.Stderr, "esmd: -catalog and -placement are required")
+		os.Exit(2)
+	}
+	if err := run(*catalogPath, *placementPath, *configPath, *enclosures, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "esmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(catalogPath, placementPath, configPath string, enclosures int, quiet bool) error {
+	cf, err := os.Open(catalogPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	cat, err := trace.ReadCatalog(cf)
+	if err != nil {
+		return err
+	}
+	pf, err := os.Open(placementPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	placement, err := trace.ReadPlacement(pf)
+	if err != nil {
+		return err
+	}
+	if len(placement) != cat.Len() {
+		return fmt.Errorf("placement covers %d of %d items", len(placement), cat.Len())
+	}
+	if enclosures == 0 {
+		for _, e := range placement {
+			if e+1 > enclosures {
+				enclosures = e + 1
+			}
+		}
+	}
+
+	cfgFile, err := config.Load(configPath)
+	if err != nil {
+		return err
+	}
+	if cfgFile.Policy != nil && cfgFile.Policy.Name != "" && cfgFile.Policy.Name != "esm" {
+		return fmt.Errorf("esmd always runs the proposed method; policy %q is not supported here", cfgFile.Policy.Name)
+	}
+	storageCfg, err := cfgFile.BuildStorage(enclosures)
+	if err != nil {
+		return err
+	}
+
+	clk := &simclock.Clock{}
+	evq := &simclock.EventQueue{}
+	arr, err := storage.New(storageCfg, clk, evq, cat)
+	if err != nil {
+		return err
+	}
+	for item, enc := range placement {
+		if err := arr.Place(trace.ItemID(item), enc); err != nil {
+			return err
+		}
+	}
+	pol, err := cfgFile.BuildPolicy()
+	if err != nil {
+		return err
+	}
+	esm, ok := pol.(*core.ESM)
+	if !ok {
+		return fmt.Errorf("esmd requires the esm policy")
+	}
+	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) { esm.OnPhysical(rec) })
+	arr.SetPowerObserver(func(e int, at time.Duration, on bool) { esm.OnPower(e, at, on) })
+	// The stream length is unknown; give the policy a generous horizon.
+	esm.Init(&policy.Context{Array: arr, Catalog: cat, Clock: clk, Queue: evq, End: 1000 * time.Hour})
+
+	var lastDet int64
+	status := func(now time.Duration) {
+		if quiet {
+			return
+		}
+		if det := esm.Determinations(); det != lastDet {
+			lastDet = det
+			hot := 0
+			for _, h := range esm.Hot() {
+				hot++
+				if !h {
+					hot--
+				}
+			}
+			plan := esm.LastPlan()
+			var mix core.PatternMix
+			if plan != nil {
+				for _, p := range plan.Patterns {
+					mix.Counts[p]++
+					mix.Total++
+				}
+			}
+			fmt.Printf("[%v] determination #%d: %d/%d hot enclosures, period %v, %s, avg %.1f W\n",
+				now.Round(time.Second), det, hot, enclosures,
+				esm.Period().Round(time.Second), mix.String(),
+				arr.Meter().AverageEnclosureW(now))
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var count int64
+	var now time.Duration
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "time_ns") {
+			continue
+		}
+		rec, err := parseRecord(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if rec.Time < now {
+			return fmt.Errorf("line %d: records out of order", line)
+		}
+		now = rec.Time
+		evq.RunUntil(clk, now)
+		esm.OnLogical(rec)
+		arr.Submit(rec)
+		count++
+		status(now)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	esm.Finish(now)
+	arr.Finish()
+	fmt.Printf("\nprocessed %d records over %v\n", count, now.Round(time.Second))
+	fmt.Printf("determinations     %d\n", esm.Determinations())
+	fmt.Printf("avg enclosure      %.1f W\n", arr.Meter().AverageEnclosureW(now))
+	fmt.Printf("avg total          %.1f W\n", arr.Meter().AverageTotalW(now))
+	fmt.Printf("spin-ups           %d\n", arr.Meter().SpinUps())
+	st := arr.Stats()
+	fmt.Printf("migrated           %.2f GB\n", float64(st.MigratedBytes)/(1<<30))
+	fmt.Printf("cache hits         %d\n", st.CacheHits)
+	fmt.Printf("delayed writes     %d\n", st.DelayedWrites)
+	return nil
+}
+
+func parseRecord(text string) (trace.LogicalRecord, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 5 {
+		return trace.LogicalRecord{}, fmt.Errorf("want 5 fields, got %d", len(fields))
+	}
+	t, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return trace.LogicalRecord{}, err
+	}
+	item, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return trace.LogicalRecord{}, err
+	}
+	off, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return trace.LogicalRecord{}, err
+	}
+	size, err := strconv.ParseInt(fields[3], 10, 32)
+	if err != nil {
+		return trace.LogicalRecord{}, err
+	}
+	var op trace.Op
+	switch fields[4] {
+	case "R":
+		op = trace.OpRead
+	case "W":
+		op = trace.OpWrite
+	default:
+		return trace.LogicalRecord{}, fmt.Errorf("invalid op %q", fields[4])
+	}
+	return trace.LogicalRecord{
+		Time: time.Duration(t), Item: trace.ItemID(item),
+		Offset: off, Size: int32(size), Op: op,
+	}, nil
+}

@@ -1,0 +1,95 @@
+// Command esmstat inspects a logical trace: it prints the whole-trace
+// summary, the logical I/O pattern distribution (the Fig. 6 analysis for
+// an arbitrary trace), and the per-pattern top data items.
+//
+// Usage:
+//
+//	esmstat -trace fs.trace -catalog fs.items [-break-even 52s] [-top 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"esm/internal/core"
+	"esm/internal/monitor"
+	"esm/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "binary trace path (required)")
+	catalogPath := flag.String("catalog", "", "catalog path (required)")
+	breakEven := flag.Duration("break-even", 52*time.Second, "break-even time for Long Intervals")
+	top := flag.Int("top", 5, "items to list per pattern")
+	flag.Parse()
+
+	if *tracePath == "" || *catalogPath == "" {
+		fmt.Fprintln(os.Stderr, "esmstat: -trace and -catalog are required")
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *catalogPath, *breakEven, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "esmstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, catalogPath string, breakEven time.Duration, top int) error {
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	recs, err := trace.ReadBinary(tf)
+	if err != nil {
+		return err
+	}
+	cf, err := os.Open(catalogPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	cat, err := trace.ReadCatalog(cf)
+	if err != nil {
+		return err
+	}
+
+	sum := trace.Summarize(recs)
+	fmt.Println("trace:", sum)
+
+	mon := monitor.NewAppMonitor(cat.Len(), breakEven)
+	for _, rec := range recs {
+		mon.Record(rec)
+	}
+	end := sum.End
+	stats := mon.EndPeriod(end)
+	mix := core.MixOf(stats)
+	fmt.Printf("patterns (break-even %v): %s\n", breakEven, mix)
+
+	byPattern := map[core.Pattern][]monitor.ItemPeriodStats{}
+	for _, s := range stats {
+		byPattern[core.Classify(s)] = append(byPattern[core.Classify(s)], s)
+	}
+	for p := core.P0; p <= core.P3; p++ {
+		items := byPattern[p]
+		sort.Slice(items, func(a, b int) bool { return items[a].Count > items[b].Count })
+		fmt.Printf("\n%s (%d items):\n", p, len(items))
+		for i, s := range items {
+			if i >= top {
+				break
+			}
+			fmt.Printf("  %-32s %8d I/Os  %5.1f%% reads  %3d long intervals  %6.2f avg IOPS\n",
+				cat.Name(s.Item), s.Count, pct(s.Reads, s.Count), s.LongIntervals, s.AvgIOPS)
+		}
+	}
+	return nil
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,141 @@
+// Command tracegen generates the synthetic application traces used by
+// the evaluation (file server, OLTP, DSS, or a generic synthetic mix)
+// and writes them to disk together with their item catalog, in either
+// the compact binary format or CSV.
+//
+// Usage:
+//
+//	tracegen -workload fileserver -scale 0.5 -out fs.trace -catalog fs.items
+//	tracegen -workload oltp -format csv -out oltp.csv -catalog oltp.items
+//
+// The generated pair can be replayed with esmreplay and inspected with
+// esmstat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"esm/internal/experiments"
+	"esm/internal/trace"
+	"esm/internal/workload"
+)
+
+func main() {
+	kind := flag.String("workload", "fileserver", "fileserver, oltp, dss, sensor or synthetic")
+	scale := flag.Float64("scale", 1.0, "time-scale factor (1.0 = paper-scale durations)")
+	seed := flag.Int64("seed", 0, "override the workload's default seed (0 = keep)")
+	format := flag.String("format", "binary", "binary or csv")
+	out := flag.String("out", "", "trace output path (required)")
+	catalogPath := flag.String("catalog", "", "catalog output path (required)")
+	placementPath := flag.String("placement", "", "initial-placement output path (required)")
+	flag.Parse()
+
+	if *out == "" || *catalogPath == "" || *placementPath == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -out, -catalog and -placement are required")
+		os.Exit(2)
+	}
+	if err := run(*kind, *scale, *seed, *format, *out, *catalogPath, *placementPath); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, scale float64, seed int64, format, out, catalogPath, placementPath string) error {
+	var w *workload.Workload
+	var err error
+	switch kind {
+	case "synthetic":
+		cfg := workload.DefaultSyntheticConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		w, err = workload.GenerateSynthetic(cfg)
+	case "sensor":
+		cfg := workload.DefaultSensorConfig().Scaled(scale)
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		w, err = workload.GenerateSensorArchive(cfg)
+	default:
+		w, err = buildWithSeed(experiments.Kind(kind), scale, seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	tf, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	switch format {
+	case "binary":
+		err = trace.WriteBinary(tf, w.Records)
+	case "csv":
+		err = trace.WriteCSV(tf, w.Records)
+	default:
+		err = fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+
+	cf, err := os.Create(catalogPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	if err := trace.WriteCatalog(cf, w.Catalog); err != nil {
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+
+	pf, err := os.Create(placementPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := trace.WritePlacement(pf, w.Placement); err != nil {
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+
+	sum := trace.Summarize(w.Records)
+	fmt.Printf("%s: %s\n", w.Name, sum)
+	fmt.Printf("wrote %s (%s), %s (%d items), %s (%d enclosures)\n", out, format, catalogPath, w.Catalog.Len(), placementPath, w.Enclosures)
+	return nil
+}
+
+func buildWithSeed(kind experiments.Kind, scale float64, seed int64) (*workload.Workload, error) {
+	switch kind {
+	case experiments.FileServer:
+		cfg := workload.DefaultFileServerConfig().Scaled(scale)
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return workload.GenerateFileServer(cfg)
+	case experiments.OLTP:
+		cfg := workload.DefaultOLTPConfig().Scaled(scale)
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return workload.GenerateOLTP(cfg)
+	case experiments.DSS:
+		cfg := workload.DefaultDSSConfig().Scaled(scale)
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return workload.GenerateDSS(cfg)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+}

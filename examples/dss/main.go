@@ -1,0 +1,40 @@
+// DSS scenario: the paper's TPC-H workload. Replays Q1–Q22 under every
+// policy and prints power (Fig. 14), the derived per-query response
+// times for Q2/Q7/Q21 (Fig. 15) and migration volume (Fig. 16). The
+// long idle stretches between scans make every method save substantial
+// power here; the differences show up in query response time, where the
+// physical-only DDR pays repeated spin-up penalties at scan starts.
+//
+// Run with:
+//
+//	go run ./examples/dss [-scale 0.35]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"esm/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.35, "time-scale factor (1.0 = the paper's 6 hours at SF 100)")
+	flag.Parse()
+
+	w, err := experiments.Build(experiments.DSS, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dss: %d records, %d items on %d enclosures, %v, %d queries\n",
+		len(w.Records), w.Catalog.Len(), w.Enclosures, w.Duration, len(w.Windows))
+
+	ev, err := experiments.Evaluate(w, experiments.PoliciesFor(*scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PowerTable("TPC-H power consumption (Fig. 14)", ev).Fprint(os.Stdout)
+	experiments.QueryResponseTable(ev, []string{"Q2", "Q7", "Q21"}).Fprint(os.Stdout)
+	experiments.MigrationTable("TPC-H migrated data (Fig. 16)", ev).Fprint(os.Stdout)
+}

@@ -1,0 +1,42 @@
+// File-server scenario: the paper's first evaluation workload. Replays
+// the MSR-like file-server trace under every policy in the comparison
+// set and prints the Fig. 8/9/10 tables plus the Fig. 17 interval
+// analysis.
+//
+// Run with:
+//
+//	go run ./examples/fileserver [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"esm/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "time-scale factor (1.0 = the paper's 6 hours)")
+	flag.Parse()
+
+	w, err := experiments.Build(experiments.FileServer, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("file server: %d records, %d items (files) on %d enclosures, %v\n",
+		len(w.Records), w.Catalog.Len(), w.Enclosures, w.Duration)
+
+	mix := experiments.PatternMix(w, 52e9)
+	fmt.Printf("logical I/O patterns: %s\n\n", mix)
+
+	ev, err := experiments.Evaluate(w, experiments.PoliciesFor(*scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PowerTable("File Server power consumption (Fig. 8)", ev).Fprint(os.Stdout)
+	experiments.ResponseTable("File Server I/O response time (Fig. 9)", ev).Fprint(os.Stdout)
+	experiments.MigrationTable("File Server migrated data (Fig. 10)", ev).Fprint(os.Stdout)
+	experiments.IntervalTable("File Server I/O intervals (Fig. 17)", ev, experiments.DefaultIntervalThresholds()).Fprint(os.Stdout)
+}

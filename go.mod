@@ -1,0 +1,3 @@
+module esm
+
+go 1.22

@@ -1,0 +1,233 @@
+// Package config loads and validates the JSON configuration shared by
+// the esmreplay and esmd tools: the simulated storage unit, the power
+// model, and the power-saving policy with its parameters. Every field is
+// optional; omitted values keep the paper's Table II defaults, so a
+// config file only states deviations.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"esm/internal/core"
+	"esm/internal/ddr"
+	"esm/internal/maid"
+	"esm/internal/offload"
+	"esm/internal/pdc"
+	"esm/internal/policy"
+	"esm/internal/powermodel"
+	"esm/internal/storage"
+)
+
+// Duration wraps time.Duration with JSON encoding as a Go duration
+// string ("52s", "30m").
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("config: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// File is the top-level configuration document.
+type File struct {
+	Storage *StorageConfig `json:"storage,omitempty"`
+	Policy  *PolicyConfig  `json:"policy,omitempty"`
+}
+
+// StorageConfig overrides the simulated array's parameters.
+type StorageConfig struct {
+	Enclosures           *int      `json:"enclosures,omitempty"`
+	EnclosureCapacity    *int64    `json:"enclosure_capacity_bytes,omitempty"`
+	RandomIOPS           *float64  `json:"random_iops,omitempty"`
+	SeqIOPS              *float64  `json:"seq_iops,omitempty"`
+	CacheBytes           *int64    `json:"cache_bytes,omitempty"`
+	PreloadCacheBytes    *int64    `json:"preload_cache_bytes,omitempty"`
+	WriteDelayCacheBytes *int64    `json:"write_delay_cache_bytes,omitempty"`
+	DirtyBlockRate       *float64  `json:"dirty_block_rate,omitempty"`
+	SpinDownTimeout      *Duration `json:"spin_down_timeout,omitempty"`
+	MigrationBps         *float64  `json:"migration_bps,omitempty"`
+	Media                string    `json:"media,omitempty"` // "hdd" (default) or "ssd"
+}
+
+// PolicyConfig selects and parameterises the power-saving policy.
+type PolicyConfig struct {
+	// Name is one of none, timeout, esm, pdc, ddr, maid, offload.
+	Name string `json:"name"`
+
+	// ESM parameters.
+	BreakEven         *Duration `json:"break_even,omitempty"`
+	Alpha             *float64  `json:"alpha,omitempty"`
+	InitialPeriod     *Duration `json:"initial_period,omitempty"`
+	DisablePreload    bool      `json:"disable_preload,omitempty"`
+	DisableWriteDelay bool      `json:"disable_write_delay,omitempty"`
+	DisableMigration  bool      `json:"disable_migration,omitempty"`
+
+	// PDC parameters.
+	Period  *Duration `json:"period,omitempty"`
+	MaxIOPS *float64  `json:"max_iops,omitempty"`
+
+	// DDR parameters.
+	TargetTH *float64 `json:"target_th,omitempty"`
+	LowTH    *float64 `json:"low_th,omitempty"`
+
+	// MAID parameters.
+	CacheEnclosures *int `json:"cache_enclosures,omitempty"`
+}
+
+// Load reads a configuration file from path. A missing path ("")
+// returns an empty document (all defaults).
+func Load(path string) (*File, error) {
+	if path == "" {
+		return &File{}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Parse decodes a configuration document, rejecting unknown fields so
+// typos fail loudly.
+func Parse(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var file File
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return &file, nil
+}
+
+// BuildStorage returns the storage configuration with overrides applied
+// on top of the paper's defaults for n enclosures.
+func (f *File) BuildStorage(n int) (storage.Config, error) {
+	s := f.Storage
+	if s != nil && s.Enclosures != nil {
+		n = *s.Enclosures
+	}
+	cfg := storage.DefaultConfig(n)
+	if s == nil {
+		return cfg, cfg.Validate()
+	}
+	if s.Media == "ssd" {
+		cfg.Power = powermodel.SSDParams()
+		cfg.SpinDownTimeout = cfg.Power.BreakEven()
+	} else if s.Media != "" && s.Media != "hdd" {
+		return cfg, fmt.Errorf("config: unknown media %q", s.Media)
+	}
+	if s.EnclosureCapacity != nil {
+		cfg.EnclosureCapacity = *s.EnclosureCapacity
+	}
+	if s.RandomIOPS != nil {
+		cfg.RandomIOPS = *s.RandomIOPS
+	}
+	if s.SeqIOPS != nil {
+		cfg.SeqIOPS = *s.SeqIOPS
+	}
+	if s.CacheBytes != nil {
+		cfg.CacheBytes = *s.CacheBytes
+	}
+	if s.PreloadCacheBytes != nil {
+		cfg.PreloadCacheBytes = *s.PreloadCacheBytes
+	}
+	if s.WriteDelayCacheBytes != nil {
+		cfg.WriteDelayCacheBytes = *s.WriteDelayCacheBytes
+	}
+	if s.DirtyBlockRate != nil {
+		cfg.DirtyBlockRate = *s.DirtyBlockRate
+	}
+	if s.SpinDownTimeout != nil {
+		cfg.SpinDownTimeout = time.Duration(*s.SpinDownTimeout)
+	}
+	if s.MigrationBps != nil {
+		cfg.MigrationBps = *s.MigrationBps
+	}
+	return cfg, cfg.Validate()
+}
+
+// BuildPolicy constructs the configured policy. The default is the
+// proposed method with Table II parameters.
+func (f *File) BuildPolicy() (policy.Policy, error) {
+	p := f.Policy
+	name := "esm"
+	if p != nil && p.Name != "" {
+		name = p.Name
+	}
+	switch name {
+	case "none":
+		return policy.NoPowerSaving{}, nil
+	case "timeout":
+		return policy.FixedTimeout{}, nil
+	case "esm":
+		params := core.DefaultParams()
+		if p != nil {
+			if p.BreakEven != nil {
+				params.BreakEven = time.Duration(*p.BreakEven)
+			}
+			if p.Alpha != nil {
+				params.Alpha = *p.Alpha
+			}
+			if p.InitialPeriod != nil {
+				params.InitialPeriod = time.Duration(*p.InitialPeriod)
+				if params.MinPeriod > params.InitialPeriod {
+					params.MinPeriod = params.InitialPeriod
+				}
+			}
+			params.DisablePreload = p.DisablePreload
+			params.DisableWriteDelay = p.DisableWriteDelay
+			params.DisableMigration = p.DisableMigration
+		}
+		return core.NewESM(params)
+	case "pdc":
+		cfg := pdc.DefaultConfig()
+		if p != nil {
+			if p.Period != nil {
+				cfg.Period = time.Duration(*p.Period)
+			}
+			if p.MaxIOPS != nil {
+				cfg.MaxIOPS = *p.MaxIOPS
+			}
+		}
+		return pdc.New(cfg), nil
+	case "ddr":
+		cfg := ddr.DefaultConfig()
+		if p != nil {
+			if p.TargetTH != nil {
+				cfg.TargetTH = *p.TargetTH
+			}
+			if p.LowTH != nil {
+				cfg.LowTH = *p.LowTH
+			}
+		}
+		return ddr.New(cfg), nil
+	case "maid":
+		cfg := maid.DefaultConfig()
+		if p != nil && p.CacheEnclosures != nil {
+			cfg.CacheEnclosures = *p.CacheEnclosures
+		}
+		return maid.New(cfg), nil
+	case "offload":
+		return offload.New(offload.DefaultConfig()), nil
+	default:
+		return nil, fmt.Errorf("config: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,175 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"esm/internal/core"
+)
+
+func TestEmptyConfigYieldsDefaults(t *testing.T) {
+	f, err := Load("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.BuildStorage(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Enclosures != 10 || cfg.SpinDownTimeout != 52*time.Second {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	pol, err := f.BuildPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != "esm" {
+		t.Fatalf("default policy %q", pol.Name())
+	}
+}
+
+func TestParseOverrides(t *testing.T) {
+	doc := `{
+	  "storage": {
+	    "enclosures": 4,
+	    "cache_bytes": 4294967296,
+	    "preload_cache_bytes": 1073741824,
+	    "spin_down_timeout": "26s",
+	    "migration_bps": 52428800
+	  },
+	  "policy": {
+	    "name": "esm",
+	    "alpha": 1.5,
+	    "initial_period": "4m",
+	    "disable_preload": true
+	  }
+	}`
+	f, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.BuildStorage(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Enclosures != 4 {
+		t.Fatalf("enclosures %d", cfg.Enclosures)
+	}
+	if cfg.CacheBytes != 4<<30 || cfg.PreloadCacheBytes != 1<<30 {
+		t.Fatalf("cache %d/%d", cfg.CacheBytes, cfg.PreloadCacheBytes)
+	}
+	if cfg.SpinDownTimeout != 26*time.Second {
+		t.Fatalf("timeout %v", cfg.SpinDownTimeout)
+	}
+	pol, err := f.BuildPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	esm, ok := pol.(*core.ESM)
+	if !ok {
+		t.Fatalf("policy %T", pol)
+	}
+	if esm.Params().Alpha != 1.5 || !esm.Params().DisablePreload {
+		t.Fatalf("params %+v", esm.Params())
+	}
+	if esm.Params().InitialPeriod != 4*time.Minute {
+		t.Fatalf("initial period %v", esm.Params().InitialPeriod)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"storge": {}}`)); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+}
+
+func TestParseRejectsBadDuration(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"storage": {"spin_down_timeout": "52 parsecs"}}`)); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+func TestSSDMedia(t *testing.T) {
+	f, err := Parse(strings.NewReader(`{"storage": {"media": "ssd"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.BuildStorage(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Power.IdleW > 50 {
+		t.Fatalf("SSD media kept HDD power profile: %+v", cfg.Power)
+	}
+	if cfg.SpinDownTimeout > 2*time.Second {
+		t.Fatalf("SSD timeout %v not rederived", cfg.SpinDownTimeout)
+	}
+	if _, err := Parse(strings.NewReader(`{"storage": {"media": "tape"}}`)); err == nil {
+		t.Log("parse alone accepts unknown media; BuildStorage must reject")
+	}
+	bad, _ := Parse(strings.NewReader(`{"storage": {"media": "tape"}}`))
+	if _, err := bad.BuildStorage(8); err == nil {
+		t.Fatal("unknown media accepted")
+	}
+}
+
+func TestEveryPolicyBuildable(t *testing.T) {
+	for _, name := range []string{"none", "timeout", "esm", "pdc", "ddr", "maid", "offload"} {
+		f := &File{Policy: &PolicyConfig{Name: name}}
+		pol, err := f.BuildPolicy()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pol.Name() != name {
+			t.Fatalf("built %q for %q", pol.Name(), name)
+		}
+	}
+	f := &File{Policy: &PolicyConfig{Name: "quantum"}}
+	if _, err := f.BuildPolicy(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPolicyParameterOverrides(t *testing.T) {
+	period := Duration(10 * time.Minute)
+	iops := 300.0
+	f := &File{Policy: &PolicyConfig{Name: "pdc", Period: &period, MaxIOPS: &iops}}
+	if _, err := f.BuildPolicy(); err != nil {
+		t.Fatal(err)
+	}
+	target := 600.0
+	f = &File{Policy: &PolicyConfig{Name: "ddr", TargetTH: &target}}
+	if _, err := f.BuildPolicy(); err != nil {
+		t.Fatal(err)
+	}
+	cacheN := 2
+	f = &File{Policy: &PolicyConfig{Name: "maid", CacheEnclosures: &cacheN}}
+	if _, err := f.BuildPolicy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/config.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	d := Duration(90 * time.Second)
+	b, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Duration
+	if err := got.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("round trip %v != %v", got, d)
+	}
+	if err := got.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Fatal("non-string duration accepted")
+	}
+}

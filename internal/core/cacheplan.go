@@ -1,0 +1,103 @@
+// Write-delay and preload candidate selection (§IV-E, §IV-F).
+
+package core
+
+import (
+	"sort"
+
+	"esm/internal/monitor"
+	"esm/internal/trace"
+)
+
+// SelectWriteDelay picks the items the write-delay function applies to:
+// every P2 data item on a cold enclosure, then — while the write-delay
+// cache partition has estimated head-room left — the cold P1 items with
+// the most write I/Os (§IV-E). loc gives the planned enclosure per item
+// (same indexing as stats), hot the planned hot flags.
+func SelectWriteDelay(p Params, stats []monitor.ItemPeriodStats, patterns []Pattern, loc func(trace.ItemID) int, hot []bool, itemSize func(trace.ItemID) int64) []trace.ItemID {
+	var out []trace.ItemID
+	budget := p.WriteDelayCacheBytes
+
+	// occupancy estimates the cache space an item's delayed writes will
+	// occupy over a period: its write volume, capped by its size.
+	occupancy := func(s monitor.ItemPeriodStats) int64 {
+		wb := s.Bytes - s.ReadBytes
+		if size := itemSize(s.Item); wb > size {
+			wb = size
+		}
+		return wb
+	}
+
+	var p2s, p1s []int
+	for i, s := range stats {
+		if hot[loc(s.Item)] {
+			continue
+		}
+		switch patterns[i] {
+		case P2:
+			p2s = append(p2s, i)
+		case P1:
+			// Rank P1 items by write count; a zero-write period does not
+			// disqualify an item (its occupancy estimate is simply zero),
+			// otherwise membership would flap period to period and each
+			// flap would cost a spin-up on the item's next write.
+			p1s = append(p1s, i)
+		}
+	}
+	// All cold P2 items are selected unconditionally; the dirty-block rate
+	// bounds actual cache usage at run time.
+	sort.SliceStable(p2s, func(a, b int) bool { return stats[p2s[a]].Writes > stats[p2s[b]].Writes })
+	for _, i := range p2s {
+		out = append(out, stats[i].Item)
+		budget -= occupancy(stats[i])
+	}
+	// Remaining space goes to the most write-heavy cold P1 items.
+	sort.SliceStable(p1s, func(a, b int) bool { return stats[p1s[a]].Writes > stats[p1s[b]].Writes })
+	for _, i := range p1s {
+		occ := occupancy(stats[i])
+		if occ > budget {
+			continue
+		}
+		out = append(out, stats[i].Item)
+		budget -= occ
+	}
+	return out
+}
+
+// SelectPreload picks the items the preload function applies to: P1 data
+// items on cold enclosures, sorted by read I/Os per byte of data
+// descending, taken until the preload cache partition is full (§IV-F).
+func SelectPreload(p Params, stats []monitor.ItemPeriodStats, patterns []Pattern, loc func(trace.ItemID) int, hot []bool, itemSize func(trace.ItemID) int64) []trace.ItemID {
+	var cand []int
+	for i, s := range stats {
+		if patterns[i] != P1 || hot[loc(s.Item)] {
+			continue
+		}
+		cand = append(cand, i)
+	}
+	readDensity := func(i int) float64 {
+		size := itemSize(stats[i].Item)
+		if size <= 0 {
+			return float64(stats[i].Reads)
+		}
+		return float64(stats[i].Reads) / float64(size)
+	}
+	sort.SliceStable(cand, func(a, b int) bool { return readDensity(cand[a]) > readDensity(cand[b]) })
+
+	// "...selects P1 data items until the size of selected P1 data items
+	// reaches the cache space assigned for the preload function." The cut
+	// is a hard stop, not a skip: letting a later, larger item slip into
+	// the leftover budget would permanently starve the denser items ahead
+	// of it once the keep rule (§V-C) pins it.
+	var out []trace.ItemID
+	var used int64
+	for _, i := range cand {
+		size := itemSize(stats[i].Item)
+		if used+size > p.PreloadCacheBytes {
+			break
+		}
+		out = append(out, stats[i].Item)
+		used += size
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"esm/internal/monitor"
+	"esm/internal/trace"
+)
+
+// selectionFixture builds stats/patterns for cache-selection tests.
+// Items: 0 = P2 cold, 1 = P2 hot, 2 = P1 cold with writes, 3 = P1 cold
+// read-only, 4 = P1 cold huge, 5 = P3 cold.
+func selectionFixture() (p Params, stats []monitor.ItemPeriodStats, patterns []Pattern, loc func(trace.ItemID) int, hot []bool, size func(trace.ItemID) int64) {
+	p = DefaultParams()
+	stats = []monitor.ItemPeriodStats{
+		{Item: 0, Count: 100, Reads: 10, Writes: 90, Bytes: 9 << 20, ReadBytes: 1 << 20, LongIntervals: 1, Sequences: 2},
+		{Item: 1, Count: 100, Reads: 10, Writes: 90, Bytes: 9 << 20, ReadBytes: 1 << 20, LongIntervals: 1, Sequences: 2},
+		{Item: 2, Count: 100, Reads: 70, Writes: 30, Bytes: 10 << 20, ReadBytes: 7 << 20, LongIntervals: 1, Sequences: 2},
+		{Item: 3, Count: 1000, Reads: 1000, Bytes: 8 << 20, ReadBytes: 8 << 20, LongIntervals: 1, Sequences: 2},
+		{Item: 4, Count: 10, Reads: 10, Bytes: 1 << 20, ReadBytes: 1 << 20, LongIntervals: 1, Sequences: 2},
+		{Item: 5, Count: 5000, Reads: 2500, Writes: 2500, Sequences: 1},
+	}
+	patterns = make([]Pattern, len(stats))
+	for i, s := range stats {
+		patterns[i] = Classify(s)
+	}
+	sizes := []int64{64 << 20, 64 << 20, 32 << 20, 16 << 20, 100 << 30, 64 << 20}
+	locs := []int{1, 0, 1, 1, 1, 0}
+	hot = []bool{true, false}
+	loc = func(it trace.ItemID) int { return locs[it] }
+	size = func(it trace.ItemID) int64 { return sizes[it] }
+	return
+}
+
+func TestSelectWriteDelayPicksColdP2First(t *testing.T) {
+	p, stats, patterns, loc, hot, size := selectionFixture()
+	got := SelectWriteDelay(p, stats, patterns, loc, hot, size)
+	if len(got) == 0 || got[0] != 0 {
+		t.Fatalf("selection %v: cold P2 item 0 must come first", got)
+	}
+	for _, it := range got {
+		if it == 1 {
+			t.Fatal("hot-enclosure P2 item selected for write delay")
+		}
+		if it == 5 {
+			t.Fatal("P3 item selected for write delay")
+		}
+	}
+	// The cold P1 item with writes qualifies after P2.
+	found := false
+	for _, it := range got {
+		if it == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("selection %v: write-heavy cold P1 item not selected", got)
+	}
+}
+
+func TestSelectWriteDelayBudget(t *testing.T) {
+	p, stats, patterns, loc, hot, size := selectionFixture()
+	p.WriteDelayCacheBytes = 9 << 20 // only the P2 item's occupancy fits
+	got := SelectWriteDelay(p, stats, patterns, loc, hot, size)
+	for _, it := range got {
+		if it == 2 {
+			t.Fatalf("selection %v: P1 item selected beyond budget", got)
+		}
+	}
+}
+
+func TestSelectPreloadDensityOrderAndBudget(t *testing.T) {
+	p, stats, patterns, loc, hot, size := selectionFixture()
+	got := SelectPreload(p, stats, patterns, loc, hot, size)
+	// Expect item 3 (highest reads/size) then item 2; the 100 GB item 4
+	// exceeds the 500 MB partition and, per the paper's "until the size
+	// reaches the cache space", terminates selection.
+	if len(got) < 2 || got[0] != 3 || got[1] != 2 {
+		t.Fatalf("selection %v", got)
+	}
+	for _, it := range got {
+		if it == 4 {
+			t.Fatal("oversized item selected for preload")
+		}
+		if it == 5 || it == 0 {
+			t.Fatalf("non-P1 item %d selected for preload", it)
+		}
+	}
+}
+
+func TestSelectPreloadStopsAtBudgetBoundary(t *testing.T) {
+	p, stats, patterns, loc, hot, size := selectionFixture()
+	p.PreloadCacheBytes = 16 << 20 // fits item 3 only
+	got := SelectPreload(p, stats, patterns, loc, hot, size)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("selection %v, want just item 3", got)
+	}
+}
+
+func TestSelectPreloadSkipsHotEnclosures(t *testing.T) {
+	p, stats, patterns, _, _, size := selectionFixture()
+	allHot := []bool{true, true}
+	locAll := func(trace.ItemID) int { return 0 }
+	if got := SelectPreload(p, stats, patterns, locAll, allHot, size); len(got) != 0 {
+		t.Fatalf("selection %v with every enclosure hot", got)
+	}
+	if got := SelectWriteDelay(p, stats, patterns, locAll, allHot, size); len(got) != 0 {
+		t.Fatalf("wd selection %v with every enclosure hot", got)
+	}
+}
+
+// TestESMEndToEnd drives the full policy against a small simulated array
+// and checks the headline behaviours: cold enclosures are spun down, the
+// hot enclosure is not, P3 items consolidate, and energy drops versus an
+// always-on run.
+func TestESMEndToEnd(t *testing.T) {
+	res := runPolicyOnSynthetic(t, func() policyIface {
+		d, err := NewESM(DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	})
+	if res.determinations < 1 {
+		t.Fatal("ESM never ran its management function")
+	}
+	if res.esmSavedVsIdle <= 0 {
+		t.Fatalf("ESM saved nothing: %v", res.esmSavedVsIdle)
+	}
+	if res.hotCount != 1 {
+		t.Fatalf("hot enclosures %d, want 1", res.hotCount)
+	}
+	if res.p3Moved == 0 {
+		t.Fatal("no P3 consolidation happened")
+	}
+}

@@ -1,0 +1,246 @@
+// The energy-efficient storage management policy: the paper's Algorithm 1
+// main loop plus the §V run-time power-saving method.
+
+package core
+
+import (
+	"time"
+
+	"esm/internal/monitor"
+	"esm/internal/policy"
+	"esm/internal/simclock"
+	"esm/internal/trace"
+)
+
+// ESM is the proposed application-collaborative power-saving policy.
+//
+// Its life cycle follows Algorithm 1: both monitors run continuously;
+// at the end of each monitoring period the power management function
+// classifies every data item into a logical I/O pattern, splits the
+// enclosures into hot and cold, computes the data placement, selects
+// write-delay and preload candidates, configures power-off for the cold
+// enclosures, and derives the next monitoring period. Between period
+// ends, the §V-D pattern-change triggers can force an immediate re-run.
+type ESM struct {
+	params Params
+	ctx    *policy.Context
+	appMon *monitor.AppMonitor
+
+	period         time.Duration
+	periodStart    time.Duration
+	lastRun        time.Duration
+	ranOnce        bool
+	inManagement   bool
+	determinations int64
+
+	hot         []bool
+	lastPlan    *Plan
+	lastPhys    []time.Duration
+	hasPhys     []bool
+	coldSpinUps int
+
+	wake *simclock.Event
+}
+
+// NewESM returns the proposed policy with the given parameters.
+func NewESM(params Params) (*ESM, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &ESM{params: params}, nil
+}
+
+// Name implements policy.Policy.
+func (d *ESM) Name() string { return "esm" }
+
+// Params returns the policy parameters.
+func (d *ESM) Params() Params { return d.params }
+
+// Init implements policy.Policy: it starts the application monitor and
+// schedules the first monitoring-period end.
+func (d *ESM) Init(ctx *policy.Context) {
+	d.ctx = ctx
+	d.appMon = monitor.NewAppMonitor(ctx.Catalog.Len(), d.params.BreakEven)
+	d.period = d.params.InitialPeriod
+	d.lastPhys = make([]time.Duration, ctx.Array.Enclosures())
+	d.hasPhys = make([]bool, ctx.Array.Enclosures())
+	// No power saving is configured until the first period has been
+	// observed; the array keeps everything spun up, exactly like the
+	// paper's system warming up its repositories.
+	for e := 0; e < ctx.Array.Enclosures(); e++ {
+		ctx.Array.SetSpinDownEnabled(e, false)
+	}
+	d.scheduleWake(d.period)
+}
+
+func (d *ESM) scheduleWake(after time.Duration) {
+	if d.wake != nil {
+		d.ctx.Queue.Cancel(d.wake)
+		d.wake = nil
+	}
+	at := d.ctx.Clock.Now() + after
+	if at > d.ctx.End {
+		return
+	}
+	d.wake = d.ctx.Queue.Schedule(at, func(now time.Duration) {
+		d.wake = nil
+		d.runManagement(now)
+	})
+}
+
+// OnLogical implements policy.Policy: every application I/O feeds the
+// application monitor.
+func (d *ESM) OnLogical(rec trace.LogicalRecord) {
+	d.appMon.Record(rec)
+}
+
+// OnPhysical implements policy.Policy. It also implements pattern-change
+// trigger i): when a *hot* enclosure is observed to have had an I/O
+// interval longer than the break-even time, the current classification is
+// stale and the power management function runs immediately.
+func (d *ESM) OnPhysical(rec trace.PhysicalRecord) {
+	e := int(rec.Enclosure)
+	if d.hasPhys[e] && d.hot != nil && d.hot[e] {
+		if rec.Time-d.lastPhys[e] > d.params.BreakEven {
+			d.maybeReplan(rec.Time)
+		}
+	}
+	d.lastPhys[e] = rec.Time
+	d.hasPhys[e] = true
+}
+
+// OnPower implements policy.Policy. It implements pattern-change trigger
+// ii): when the cold enclosures have been powered on more than
+// m = 2·(t_c − t_e)/l_b times since the end of the previous monitoring
+// period, spin-downs are misfiring and the function runs immediately.
+func (d *ESM) OnPower(enc int, at time.Duration, on bool) {
+	if !on || d.hot == nil || d.hot[enc] {
+		return
+	}
+	d.coldSpinUps++
+	m := 2 * float64(at-d.periodStart) / float64(d.params.BreakEven)
+	if float64(d.coldSpinUps) > m {
+		d.maybeReplan(at)
+	}
+}
+
+// maybeReplan runs the management function now unless one ran within the
+// cooldown window (the paper leaves the anti-thrash guard implicit).
+func (d *ESM) maybeReplan(now time.Duration) {
+	if d.inManagement {
+		return
+	}
+	if d.ranOnce && now-d.lastRun < d.params.ReplanCooldown {
+		return
+	}
+	d.runManagement(now)
+}
+
+// runManagement is the body of Algorithm 1's loop.
+func (d *ESM) runManagement(now time.Duration) {
+	if d.inManagement {
+		return
+	}
+	d.inManagement = true
+	defer func() { d.inManagement = false }()
+
+	stats := d.appMon.EndPeriod(now)
+	arr := d.ctx.Array
+
+	// Determine logical I/O patterns, hot and cold enclosures, and data
+	// placement (Algorithms 2 and 3).
+	plan := ComputePlacement(d.params, arr, stats)
+	if d.params.DisableMigration {
+		// Ablation: keep data where it is; the cache and power-control
+		// decisions then work against the unconsolidated layout.
+		plan.Moves = nil
+		for i := range plan.Loc {
+			plan.Loc[i] = arr.ItemEnclosure(trace.ItemID(i))
+		}
+	}
+
+	locOf := func(it trace.ItemID) int { return plan.Loc[it] }
+
+	// Determine write delay, then preload: the write-delay function is
+	// applied first because the storage controls write timing itself,
+	// whereas read timing depends on the run-time state of the
+	// application (§IV-A).
+	var wd, pre []trace.ItemID
+	if !d.params.DisableWriteDelay {
+		wd = SelectWriteDelay(d.params, stats, plan.Patterns, locOf, plan.Hot, arr.ItemSize)
+	}
+	if !d.params.DisablePreload {
+		pre = SelectPreload(d.params, stats, plan.Patterns, locOf, plan.Hot, arr.ItemSize)
+	}
+	// §V-B/§V-C: the run-time method keeps already-applied cache
+	// assignments unless the item genuinely changed character. An item
+	// that saw no I/O this period (P0) is not a fresh candidate, but
+	// dropping it would only force a spin-up when its next burst arrives;
+	// keep it selected while it still lives on a cold enclosure.
+	keepP0 := func(list []trace.ItemID, applied func(trace.ItemID) bool) []trace.ItemID {
+		in := make(map[trace.ItemID]bool, len(list))
+		for _, it := range list {
+			in[it] = true
+		}
+		for it := trace.ItemID(0); int(it) < len(plan.Patterns); it++ {
+			if !in[it] && applied(it) && plan.Patterns[it] == P0 && !plan.Hot[plan.Loc[it]] {
+				list = append(list, it)
+			}
+		}
+		return list
+	}
+	wd = keepP0(wd, arr.WriteDelayed)
+	pre = keepP0(pre, arr.Preloaded)
+	arr.SetWriteDelay(wd)
+	arr.SetPreload(pre)
+
+	// Determine the power control method: power-off only for the cold
+	// disk enclosures (§IV-G).
+	for e := 0; e < arr.Enclosures(); e++ {
+		arr.SetSpinDownEnabled(e, !plan.Hot[e])
+	}
+
+	// Movement of data items (§V-A): spills first, then P3 consolidation;
+	// the array executes them one by one at the throttled rate.
+	if !d.params.DisableMigration {
+		for _, mv := range plan.Moves {
+			if err := arr.MigrateItem(mv.Item, mv.Dst, nil); err != nil {
+				// Validation failures indicate a planner bug; surface
+				// loudly in development, tolerate in long runs.
+				panic(err)
+			}
+		}
+	}
+
+	// Determine the length of the next monitoring period (§IV-H).
+	d.period = NextPeriod(d.params, stats, d.period)
+	d.lastPlan = &plan
+	d.hot = plan.Hot
+	d.coldSpinUps = 0
+	d.periodStart = now
+	d.lastRun = now
+	d.ranOnce = true
+	d.determinations++
+	d.scheduleWake(d.period)
+}
+
+// Finish implements policy.Policy: a final management run would be
+// pointless, but delayed writes must be destaged so the energy accounting
+// is honest.
+func (d *ESM) Finish(now time.Duration) {
+	d.ctx.Array.FlushAll()
+}
+
+// Determinations implements policy.Policy.
+func (d *ESM) Determinations() int64 { return d.determinations }
+
+// Period returns the current monitoring-period length (exported for
+// tests and the esmd daemon's status output).
+func (d *ESM) Period() time.Duration { return d.period }
+
+// Hot returns the current hot-enclosure flags (nil before the first run).
+func (d *ESM) Hot() []bool { return d.hot }
+
+// LastPlan returns the most recent placement plan (nil before the first
+// run). The esmd daemon uses it for status reporting.
+func (d *ESM) LastPlan() *Plan { return d.lastPlan }

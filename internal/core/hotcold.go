@@ -1,0 +1,100 @@
+// Hot/cold disk enclosure determination (§IV-C).
+
+package core
+
+import (
+	"math"
+	"sort"
+
+	"esm/internal/monitor"
+	"esm/internal/trace"
+)
+
+// View is the placement-relevant view of the storage unit. *storage.Array
+// satisfies it; tests use lightweight fakes.
+type View interface {
+	// Enclosures returns the number of disk enclosures.
+	Enclosures() int
+	// Capacity returns the per-enclosure volume size S in bytes.
+	Capacity() int64
+	// Used returns the bytes currently allocated on enclosure e.
+	Used(e int) int64
+	// ItemEnclosure returns the enclosure an item currently lives on.
+	ItemEnclosure(item trace.ItemID) int
+	// ItemSize returns an item's size in bytes.
+	ItemSize(item trace.ItemID) int64
+}
+
+// p3PeakHeadroom scales the summed average IOPS of P3 items into the
+// I_max estimate. The monitor keeps per-item aggregates rather than a
+// full aligned time series, so max_t Σ I_it cannot be computed exactly;
+// P3 items are by definition continuously accessed (no gap exceeds the
+// break-even time), which keeps their momentary rate close to their
+// average, and a 25% head-room absorbs the remaining burstiness. Summing
+// per-item one-second peaks instead would overshoot wildly for many
+// small items whose peaks never align.
+const p3PeakHeadroom = 1.25
+
+// maxP3IOPS approximates I_max = max_t Σ I_it over P3 data items.
+func maxP3IOPS(stats []monitor.ItemPeriodStats, patterns []Pattern) float64 {
+	var sum float64
+	for i, s := range stats {
+		if patterns[i] == P3 {
+			sum += s.AvgIOPS
+		}
+	}
+	return sum * p3PeakHeadroom
+}
+
+// totalP3Size returns Σ s_i over P3 items.
+func totalP3Size(view View, stats []monitor.ItemPeriodStats, patterns []Pattern) int64 {
+	var sum int64
+	for i := range stats {
+		if patterns[i] == P3 {
+			sum += view.ItemSize(stats[i].Item)
+		}
+	}
+	return sum
+}
+
+// hotCount computes N_hot = max(⌈I_max/O⌉, ⌈Σs_i/S⌉), clamped to the
+// enclosure count (§IV-C step 2). With no P3 items N_hot is zero and
+// every enclosure is cold.
+func hotCount(p Params, view View, stats []monitor.ItemPeriodStats, patterns []Pattern) int {
+	imax := maxP3IOPS(stats, patterns)
+	size := totalP3Size(view, stats, patterns)
+	byIOPS := int(math.Ceil(imax / p.MaxRandomIOPS))
+	bySize := int(math.Ceil(float64(size) / float64(view.Capacity())))
+	n := byIOPS
+	if bySize > n {
+		n = bySize
+	}
+	if n > view.Enclosures() {
+		n = view.Enclosures()
+	}
+	return n
+}
+
+// chooseHot selects the nHot hot enclosures: the enclosures holding the
+// largest total size of P3 data items, so the bytes that must migrate off
+// cold enclosures are minimised (§IV-C step 3). It returns a per-enclosure
+// hot flag slice.
+func chooseHot(view View, stats []monitor.ItemPeriodStats, patterns []Pattern, nHot int) []bool {
+	e := view.Enclosures()
+	p3Size := make([]int64, e)
+	for i := range stats {
+		if patterns[i] == P3 {
+			p3Size[view.ItemEnclosure(stats[i].Item)] += view.ItemSize(stats[i].Item)
+		}
+	}
+	order := make([]int, e)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return p3Size[order[a]] > p3Size[order[b]] })
+	hot := make([]bool, e)
+	for i := 0; i < nHot && i < e; i++ {
+		hot[order[i]] = true
+	}
+	return hot
+}

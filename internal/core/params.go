@@ -1,0 +1,96 @@
+// Package core implements the paper's primary contribution: the
+// application-collaborative, energy-efficient storage power management
+// function. It classifies data items into the four logical I/O patterns
+// (P0–P3), separates disk enclosures into hot and cold ones, computes
+// data placement (Algorithms 2 and 3), selects write-delay and preload
+// candidates, configures power control for cold enclosures, adapts the
+// monitoring-period length, and reacts to run-time I/O pattern changes.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params holds the tunables of the power management function. Defaults
+// reproduce Table II of the paper.
+type Params struct {
+	// BreakEven is the break-even time l_b (Table II: 52 s). Intervals
+	// longer than this are Long Intervals.
+	BreakEven time.Duration
+	// MaxRandomIOPS is O, the IOPS a disk enclosure can serve for random
+	// I/O (Table II: 900); used by hot/cold determination and placement.
+	MaxRandomIOPS float64
+	// Alpha is the monitoring-period coefficient α > 1 (Table II: 1.2).
+	Alpha float64
+	// InitialPeriod is the first monitoring period (Table II: 520 s, ten
+	// times the break-even time).
+	InitialPeriod time.Duration
+	// MinPeriod and MaxPeriod clamp the adaptive monitoring period.
+	MinPeriod time.Duration
+	MaxPeriod time.Duration
+	// PreloadCacheBytes is the cache space assigned to the preload
+	// function (Table II: 500 MB).
+	PreloadCacheBytes int64
+	// WriteDelayCacheBytes is the cache space assigned to the write-delay
+	// function (Table II: 500 MB).
+	WriteDelayCacheBytes int64
+	// DirtyBlockRate is the enlarged dirty-block rate (Table II: 50%).
+	DirtyBlockRate float64
+	// ReplanCooldown is the minimum spacing between consecutive runs of
+	// the power management function when the §V-D pattern-change triggers
+	// fire. The paper leaves this implicit; one break-even time prevents
+	// replanning storms without delaying a genuine pattern change.
+	ReplanCooldown time.Duration
+
+	// Ablation switches: each disables one of the method's three levers
+	// (§II-E), for the design-choice studies in bench_test.go. All false
+	// reproduces the full proposed method.
+	DisablePreload    bool
+	DisableWriteDelay bool
+	DisableMigration  bool
+}
+
+// DefaultParams returns the Table II parameter values.
+func DefaultParams() Params {
+	be := 52 * time.Second
+	return Params{
+		BreakEven:     be,
+		MaxRandomIOPS: 900,
+		Alpha:         1.2,
+		InitialPeriod: 520 * time.Second,
+		// Periods shorter than the initial one misclassify burst items
+		// whose burst spans the whole window as P3 (they then look like a
+		// single I/O Sequence), so the adaptive period never shrinks below
+		// the initial period.
+		MinPeriod:            520 * time.Second,
+		MaxPeriod:            2 * time.Hour,
+		PreloadCacheBytes:    500 << 20,
+		WriteDelayCacheBytes: 500 << 20,
+		DirtyBlockRate:       0.5,
+		ReplanCooldown:       5 * be,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.BreakEven <= 0:
+		return fmt.Errorf("core: BreakEven %v <= 0", p.BreakEven)
+	case p.MaxRandomIOPS <= 0:
+		return fmt.Errorf("core: MaxRandomIOPS %v <= 0", p.MaxRandomIOPS)
+	case p.Alpha <= 1:
+		return fmt.Errorf("core: Alpha %v must exceed 1", p.Alpha)
+	case p.InitialPeriod <= 0:
+		return fmt.Errorf("core: InitialPeriod %v <= 0", p.InitialPeriod)
+	case p.MinPeriod <= 0 || p.MaxPeriod < p.MinPeriod:
+		return fmt.Errorf("core: period clamp [%v,%v] invalid", p.MinPeriod, p.MaxPeriod)
+	case p.PreloadCacheBytes < 0 || p.WriteDelayCacheBytes < 0:
+		return fmt.Errorf("core: cache partitions must be non-negative")
+	case p.DirtyBlockRate <= 0 || p.DirtyBlockRate > 1:
+		return fmt.Errorf("core: DirtyBlockRate %v out of (0,1]", p.DirtyBlockRate)
+	case p.ReplanCooldown < 0:
+		return fmt.Errorf("core: ReplanCooldown %v < 0", p.ReplanCooldown)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Logical I/O pattern determination (§II-C, §IV-B).
+
+package core
+
+import (
+	"fmt"
+
+	"esm/internal/monitor"
+)
+
+// Pattern is a logical I/O pattern: a classified, patterned application
+// I/O behaviour used to choose a power-saving function.
+type Pattern uint8
+
+const (
+	// P0: no I/Os were issued to the data item during the monitoring
+	// period. The item has a single Long Interval and no I/O Sequence;
+	// its enclosure can be powered off trivially.
+	P0 Pattern = iota
+	// P1: at least one Long Interval and at least one I/O Sequence, with
+	// reads making up more than 50% of the I/Os. P1 items are candidates
+	// for preloading into the storage cache.
+	P1
+	// P2: at least one Long Interval and at least one I/O Sequence, with
+	// reads making up no more than 50% of the I/Os. P2 items are
+	// candidates for enlarging write intervals via write delay.
+	P2
+	// P3: a single I/O Sequence and no Long Interval — every gap is
+	// shorter than the break-even time. P3 items cannot benefit from the
+	// power-off function and anchor the hot enclosures.
+	P3
+)
+
+// String returns "P0".."P3".
+func (p Pattern) String() string {
+	if p > P3 {
+		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+	return [...]string{"P0", "P1", "P2", "P3"}[p]
+}
+
+// Classify determines the logical I/O pattern of one data item from its
+// monitoring-period statistics, following §IV-B step 3:
+//
+//   - no I/O at all → P0,
+//   - no Long Interval → P3,
+//   - otherwise P1 when more than half the I/Os are reads, else P2.
+func Classify(s monitor.ItemPeriodStats) Pattern {
+	switch {
+	case s.Count == 0:
+		return P0
+	case s.LongIntervals == 0:
+		return P3
+	case 2*s.Reads > s.Count:
+		return P1
+	default:
+		return P2
+	}
+}
+
+// PatternMix is the distribution of patterns over data items, as reported
+// in Fig. 6 of the paper.
+type PatternMix struct {
+	Counts [4]int
+	Total  int
+}
+
+// MixOf classifies every item and tallies the distribution.
+func MixOf(stats []monitor.ItemPeriodStats) PatternMix {
+	var m PatternMix
+	for _, s := range stats {
+		m.Counts[Classify(s)]++
+		m.Total++
+	}
+	return m
+}
+
+// Frac returns the fraction of items with pattern p, or 0 when empty.
+func (m PatternMix) Frac(p Pattern) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Counts[p]) / float64(m.Total)
+}
+
+// String formats the mix as percentages.
+func (m PatternMix) String() string {
+	return fmt.Sprintf("P0 %.1f%% / P1 %.1f%% / P2 %.1f%% / P3 %.1f%% (n=%d)",
+		m.Frac(P0)*100, m.Frac(P1)*100, m.Frac(P2)*100, m.Frac(P3)*100, m.Total)
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"esm/internal/monitor"
+	"esm/internal/trace"
+)
+
+func TestClassifyP0(t *testing.T) {
+	s := monitor.ItemPeriodStats{Count: 0, LongIntervals: 1}
+	if got := Classify(s); got != P0 {
+		t.Fatalf("no-I/O item classified %v", got)
+	}
+}
+
+func TestClassifyP3(t *testing.T) {
+	s := monitor.ItemPeriodStats{Count: 100, Reads: 80, LongIntervals: 0, Sequences: 1}
+	if got := Classify(s); got != P3 {
+		t.Fatalf("no-long-interval item classified %v", got)
+	}
+}
+
+func TestClassifyP1VsP2Boundary(t *testing.T) {
+	// P1 requires reads to exceed 50% of the I/Os, strictly.
+	cases := []struct {
+		reads, count int64
+		want         Pattern
+	}{
+		{51, 100, P1},
+		{50, 100, P2}, // exactly half is P2 per §II-C
+		{49, 100, P2},
+		{1, 1, P1},
+		{0, 1, P2},
+	}
+	for _, c := range cases {
+		s := monitor.ItemPeriodStats{Count: c.count, Reads: c.reads, LongIntervals: 1, Sequences: 1}
+		if got := Classify(s); got != c.want {
+			t.Fatalf("reads=%d/%d classified %v, want %v", c.reads, c.count, got, c.want)
+		}
+	}
+}
+
+// TestClassifyTotal: every possible stats value classifies into exactly
+// one of the four patterns — the paper's claim that four patterns cover
+// all data items.
+func TestClassifyTotal(t *testing.T) {
+	f := func(count, reads uint16, longIntervals uint8) bool {
+		c := int64(count)
+		r := int64(reads) % (c + 1)
+		s := monitor.ItemPeriodStats{
+			Count:         c,
+			Reads:         r,
+			Writes:        c - r,
+			LongIntervals: int(longIntervals % 4),
+			Sequences:     1,
+		}
+		p := Classify(s)
+		switch {
+		case c == 0:
+			return p == P0
+		case s.LongIntervals == 0:
+			return p == P3
+		case 2*r > c:
+			return p == P1
+		default:
+			return p == P2
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{P0: "P0", P1: "P1", P2: "P2", P3: "P3"} {
+		if p.String() != want {
+			t.Fatalf("%d -> %q", p, p.String())
+		}
+	}
+	if !strings.Contains(Pattern(7).String(), "7") {
+		t.Fatal("unknown pattern string")
+	}
+}
+
+func TestMixOf(t *testing.T) {
+	stats := []monitor.ItemPeriodStats{
+		{Item: 0},
+		{Item: 1, Count: 10, Reads: 9, LongIntervals: 1, Sequences: 1},
+		{Item: 2, Count: 10, Reads: 1, LongIntervals: 1, Sequences: 1},
+		{Item: 3, Count: 10, Reads: 5, Sequences: 1},
+	}
+	m := MixOf(stats)
+	if m.Total != 4 {
+		t.Fatalf("total %d", m.Total)
+	}
+	for p := P0; p <= P3; p++ {
+		if m.Counts[p] != 1 {
+			t.Fatalf("pattern %v count %d", p, m.Counts[p])
+		}
+		if m.Frac(p) != 0.25 {
+			t.Fatalf("pattern %v frac %v", p, m.Frac(p))
+		}
+	}
+	if !strings.Contains(m.String(), "25.0%") {
+		t.Fatalf("mix string %q", m)
+	}
+	var empty PatternMix
+	if empty.Frac(P0) != 0 {
+		t.Fatal("empty mix frac")
+	}
+}
+
+func TestNextPeriod(t *testing.T) {
+	p := DefaultParams()
+	stats := []monitor.ItemPeriodStats{
+		{LongIntervals: 2, LongIntervalSum: 40 * time.Minute},
+		{LongIntervals: 2, LongIntervalSum: 40 * time.Minute},
+	}
+	// avg long interval = 20 min; next = 24 min.
+	got := NextPeriod(p, stats, 10*time.Minute)
+	if got != 24*time.Minute {
+		t.Fatalf("next period %v, want 24m", got)
+	}
+}
+
+func TestNextPeriodKeepsCurrentWithoutIntervals(t *testing.T) {
+	p := DefaultParams()
+	got := NextPeriod(p, nil, 11*time.Minute)
+	if got != 11*time.Minute {
+		t.Fatalf("next period %v, want unchanged 11m", got)
+	}
+}
+
+func TestNextPeriodClamps(t *testing.T) {
+	p := DefaultParams()
+	small := []monitor.ItemPeriodStats{{LongIntervals: 1, LongIntervalSum: time.Second}}
+	if got := NextPeriod(p, small, time.Minute); got != p.MinPeriod {
+		t.Fatalf("min clamp: %v", got)
+	}
+	huge := []monitor.ItemPeriodStats{{LongIntervals: 1, LongIntervalSum: 100 * time.Hour}}
+	if got := NextPeriod(p, huge, time.Minute); got != p.MaxPeriod {
+		t.Fatalf("max clamp: %v", got)
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.BreakEven != 52*time.Second {
+		t.Fatalf("break-even %v, Table II says 52s", p.BreakEven)
+	}
+	if p.MaxRandomIOPS != 900 {
+		t.Fatalf("O = %v, Table II says 900", p.MaxRandomIOPS)
+	}
+	if p.Alpha != 1.2 {
+		t.Fatalf("alpha %v, Table II says 1.2", p.Alpha)
+	}
+	if p.InitialPeriod != 520*time.Second {
+		t.Fatalf("initial period %v, Table II says 520s", p.InitialPeriod)
+	}
+	if p.PreloadCacheBytes != 500<<20 || p.WriteDelayCacheBytes != 500<<20 {
+		t.Fatal("cache partitions not 500 MB")
+	}
+	if p.DirtyBlockRate != 0.5 {
+		t.Fatalf("dirty block rate %v, Table II says 50%%", p.DirtyBlockRate)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidateRejects(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.BreakEven = 0 },
+		func(p *Params) { p.MaxRandomIOPS = 0 },
+		func(p *Params) { p.Alpha = 1.0 },
+		func(p *Params) { p.InitialPeriod = 0 },
+		func(p *Params) { p.MaxPeriod = p.MinPeriod - 1 },
+		func(p *Params) { p.PreloadCacheBytes = -1 },
+		func(p *Params) { p.DirtyBlockRate = 0 },
+		func(p *Params) { p.ReplanCooldown = -1 },
+	}
+	for i, mutate := range mutations {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+	_ = trace.ItemID(0)
+}

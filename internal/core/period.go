@@ -1,0 +1,37 @@
+// Monitoring-period adaptation (§IV-H).
+
+package core
+
+import (
+	"time"
+
+	"esm/internal/monitor"
+)
+
+// NextPeriod computes the length of the next monitoring period:
+// I_new = average(I_cur) × α, where I_cur are all the Long Intervals
+// measured in the period just ended. The α > 1 coefficient grows the
+// period when actual I/O intervals exceed it, so the power management
+// function stops burning CPU cycles on periods that observe nothing new.
+// When the period measured no Long Interval at all, the current period
+// length is kept. The result is clamped to [MinPeriod, MaxPeriod].
+func NextPeriod(p Params, stats []monitor.ItemPeriodStats, current time.Duration) time.Duration {
+	var sum time.Duration
+	var n int
+	for _, s := range stats {
+		sum += s.LongIntervalSum
+		n += s.LongIntervals
+	}
+	next := current
+	if n > 0 {
+		avg := time.Duration(int64(sum) / int64(n))
+		next = time.Duration(float64(avg) * p.Alpha)
+	}
+	if next < p.MinPeriod {
+		next = p.MinPeriod
+	}
+	if next > p.MaxPeriod {
+		next = p.MaxPeriod
+	}
+	return next
+}

@@ -1,0 +1,273 @@
+// Data placement determination (§IV-D): Algorithm 2 places P3 data items
+// onto hot enclosures; Algorithm 3 spills P0/P1/P2 items off hot
+// enclosures to make room.
+
+package core
+
+import (
+	"sort"
+	"time"
+
+	"esm/internal/monitor"
+	"esm/internal/trace"
+)
+
+// Move is one planned data-item migration.
+type Move struct {
+	Item trace.ItemID
+	Dst  int
+}
+
+// Plan is the complete output of one run of the power management
+// function: the hot/cold split, the ordered migration list, the cache
+// function assignments, and the next monitoring period.
+type Plan struct {
+	// Patterns holds the logical I/O pattern of every item, indexed by
+	// ItemID.
+	Patterns []Pattern
+	// Hot flags the hot enclosures.
+	Hot []bool
+	// NHot is the number of hot enclosures.
+	NHot int
+	// Moves is the migration list in execution order: P0/P1/P2 spills
+	// from hot enclosures first (they create the space P3 items need),
+	// then P3 consolidation onto hot enclosures (§V-A).
+	Moves []Move
+	// Loc is the planned enclosure of every item once Moves complete,
+	// indexed by ItemID.
+	Loc []int
+	// WriteDelay lists the items the write-delay function applies to.
+	WriteDelay []trace.ItemID
+	// Preload lists the items the preload function applies to.
+	Preload []trace.ItemID
+	// NextPeriod is the length of the next monitoring period.
+	NextPeriod time.Duration
+}
+
+// planner carries the intermediate placement state of one planning run.
+type planner struct {
+	p        Params
+	view     View
+	stats    []monitor.ItemPeriodStats
+	patterns []Pattern
+
+	hot  []bool
+	loc  []int     // planned enclosure per item
+	used []int64   // planned bytes per enclosure
+	iops []float64 // planned average IOPS per enclosure
+
+	spills  []Move
+	p3Moves []Move
+}
+
+func newPlanner(p Params, view View, stats []monitor.ItemPeriodStats, patterns []Pattern, hot []bool) *planner {
+	pl := &planner{
+		p:        p,
+		view:     view,
+		stats:    stats,
+		patterns: patterns,
+		hot:      hot,
+		loc:      make([]int, len(stats)),
+		used:     make([]int64, view.Enclosures()),
+		iops:     make([]float64, view.Enclosures()),
+	}
+	for e := 0; e < view.Enclosures(); e++ {
+		pl.used[e] = view.Used(e)
+	}
+	for i := range stats {
+		e := view.ItemEnclosure(stats[i].Item)
+		pl.loc[i] = e
+		pl.iops[e] += stats[i].AvgIOPS
+	}
+	return pl
+}
+
+// move relocates item i to enclosure dst in the planning state and
+// records it in the given move list.
+func (pl *planner) move(i int, dst int, list *[]Move) {
+	src := pl.loc[i]
+	size := pl.view.ItemSize(pl.stats[i].Item)
+	pl.used[src] -= size
+	pl.used[dst] += size
+	pl.iops[src] -= pl.stats[i].AvgIOPS
+	pl.iops[dst] += pl.stats[i].AvgIOPS
+	pl.loc[i] = dst
+	*list = append(*list, Move{Item: pl.stats[i].Item, Dst: dst})
+}
+
+// placeP3 runs Algorithm 2. It returns false when some P3 item cannot be
+// hosted within the IOPS budget of the current hot set, which tells the
+// caller to increase N_hot and retry.
+func (pl *planner) placeP3() bool {
+	// M ← P3 data items in cold disk enclosures, by IOPS/size descending.
+	var m []int
+	for i := range pl.stats {
+		if pl.patterns[i] == P3 && !pl.hot[pl.loc[i]] {
+			m = append(m, i)
+		}
+	}
+	sort.SliceStable(m, func(a, b int) bool {
+		da, db := pl.density(m[a]), pl.density(m[b])
+		return da > db
+	})
+
+	var hotEncs []int
+	for e, h := range pl.hot {
+		if h {
+			hotEncs = append(hotEncs, e)
+		}
+	}
+	if len(hotEncs) == 0 {
+		return len(m) == 0
+	}
+
+	for _, i := range m {
+		if !pl.placeOneP3(i, hotEncs) {
+			return false
+		}
+	}
+	return true
+}
+
+// density returns IOPS per byte for the sort key of Algorithm 2.
+func (pl *planner) density(i int) float64 {
+	size := pl.view.ItemSize(pl.stats[i].Item)
+	if size <= 0 {
+		return pl.stats[i].AvgIOPS
+	}
+	return pl.stats[i].AvgIOPS / float64(size)
+}
+
+// placeOneP3 places one cold-resident P3 item onto a hot enclosure,
+// trying hot enclosures from least-loaded upward and spilling P0/P1/P2
+// items (Algorithm 3) when space is short. It returns false when the IOPS
+// budget of every hot enclosure is exhausted.
+func (pl *planner) placeOneP3(i int, hotEncs []int) bool {
+	size := pl.view.ItemSize(pl.stats[i].Item)
+	iops := pl.stats[i].AvgIOPS
+
+	order := append([]int(nil), hotEncs...)
+	sort.SliceStable(order, func(a, b int) bool { return pl.iops[order[a]] < pl.iops[order[b]] })
+
+	// Condition i)/ii): the least-loaded hot enclosure must have IOPS
+	// head-room; if even it does not, N_hot must grow.
+	if pl.iops[order[0]]+iops >= pl.p.MaxRandomIOPS {
+		return false
+	}
+	for _, s := range order {
+		if pl.iops[s]+iops >= pl.p.MaxRandomIOPS {
+			break // sorted ascending: no later candidate can pass either
+		}
+		if pl.used[s]+size <= pl.view.Capacity() {
+			pl.move(i, s, &pl.p3Moves)
+			return true
+		}
+	}
+	// Every IOPS-feasible hot enclosure lacks space: free some with
+	// Algorithm 3, then place.
+	for _, s := range order {
+		if pl.iops[s]+iops >= pl.p.MaxRandomIOPS {
+			break
+		}
+		if pl.spillFromHot(s, pl.used[s]+size-pl.view.Capacity()) &&
+			pl.used[s]+size <= pl.view.Capacity() {
+			pl.move(i, s, &pl.p3Moves)
+			return true
+		}
+	}
+	return false
+}
+
+// spillFromHot runs Algorithm 3 for one hot enclosure: migrate P0/P1/P2
+// items off it to cold enclosures until at least need bytes are free.
+// Cold targets are tried from the highest-IOPS cold enclosure downward,
+// subject to space and IOPS-capacity conditions, which concentrates
+// spilled items on the already-busiest cold enclosures and keeps the rest
+// cold. It reports whether enough space was freed.
+func (pl *planner) spillFromHot(hotEnc int, need int64) bool {
+	if need <= 0 {
+		return true
+	}
+	var m []int
+	for i := range pl.stats {
+		if pl.loc[i] == hotEnc && pl.patterns[i] != P3 {
+			m = append(m, i)
+		}
+	}
+	// Largest first frees the space in the fewest migrations.
+	sort.SliceStable(m, func(a, b int) bool {
+		return pl.view.ItemSize(pl.stats[m[a]].Item) > pl.view.ItemSize(pl.stats[m[b]].Item)
+	})
+
+	var freed int64
+	for _, i := range m {
+		if freed >= need {
+			break
+		}
+		size := pl.view.ItemSize(pl.stats[i].Item)
+		iops := pl.stats[i].AvgIOPS
+		dst := -1
+		bestIOPS := -1.0
+		for e, h := range pl.hot {
+			if h || e == hotEnc {
+				continue
+			}
+			if pl.used[e]+size > pl.view.Capacity() {
+				continue
+			}
+			if pl.iops[e]+iops >= pl.p.MaxRandomIOPS {
+				continue
+			}
+			if pl.iops[e] > bestIOPS {
+				bestIOPS = pl.iops[e]
+				dst = e
+			}
+		}
+		if dst < 0 {
+			continue
+		}
+		pl.move(i, dst, &pl.spills)
+		freed += size
+	}
+	return freed >= need
+}
+
+// ComputePlacement classifies items, determines the hot/cold split and
+// computes the migration list, growing N_hot and retrying whenever
+// Algorithm 2 finds the hot set IOPS-infeasible (§IV-D).
+func ComputePlacement(p Params, view View, stats []monitor.ItemPeriodStats) Plan {
+	patterns := make([]Pattern, len(stats))
+	for i, s := range stats {
+		patterns[i] = Classify(s)
+	}
+	nHot := hotCount(p, view, stats, patterns)
+	for {
+		hot := chooseHot(view, stats, patterns, nHot)
+		pl := newPlanner(p, view, stats, patterns, hot)
+		if pl.placeP3() {
+			moves := append(append([]Move(nil), pl.spills...), pl.p3Moves...)
+			return Plan{
+				Patterns: patterns,
+				Hot:      hot,
+				NHot:     nHot,
+				Moves:    moves,
+				Loc:      pl.loc,
+			}
+		}
+		if nHot >= view.Enclosures() {
+			// Everything hot: keep data where it is; no power saving via
+			// placement is possible this period.
+			loc := make([]int, len(stats))
+			for i := range stats {
+				loc[i] = view.ItemEnclosure(stats[i].Item)
+			}
+			return Plan{
+				Patterns: patterns,
+				Hot:      chooseHot(view, stats, patterns, view.Enclosures()),
+				NHot:     view.Enclosures(),
+				Loc:      loc,
+			}
+		}
+		nHot++
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"esm/internal/monitor"
+	"esm/internal/trace"
+)
+
+// fakeView is an in-memory View for planner tests.
+type fakeView struct {
+	encls int
+	cap   int64
+	sizes []int64
+	locs  []int
+}
+
+func (v *fakeView) Enclosures() int { return v.encls }
+func (v *fakeView) Capacity() int64 { return v.cap }
+func (v *fakeView) Used(e int) int64 {
+	var u int64
+	for i, l := range v.locs {
+		if l == e {
+			u += v.sizes[i]
+		}
+	}
+	return u
+}
+func (v *fakeView) ItemEnclosure(it trace.ItemID) int { return v.locs[it] }
+func (v *fakeView) ItemSize(it trace.ItemID) int64    { return v.sizes[it] }
+
+// buildStats creates stats where items flagged p3 look continuously
+// accessed at the given IOPS and others look like P1 burst items.
+func buildStats(n int, p3 map[int]float64) []monitor.ItemPeriodStats {
+	stats := make([]monitor.ItemPeriodStats, n)
+	for i := range stats {
+		stats[i].Item = trace.ItemID(i)
+		if iops, ok := p3[i]; ok {
+			stats[i].Count = int64(iops * 600)
+			stats[i].Reads = stats[i].Count / 2
+			stats[i].AvgIOPS = iops
+			stats[i].PeakIOPS = iops * 1.5
+			stats[i].Sequences = 1
+		} else {
+			stats[i].Count = 100
+			stats[i].Reads = 90
+			stats[i].LongIntervals = 2
+			stats[i].LongIntervalSum = 10 * time.Minute
+			stats[i].Sequences = 3
+			stats[i].AvgIOPS = 0.2
+		}
+	}
+	return stats
+}
+
+func TestHotCountZeroWithoutP3(t *testing.T) {
+	v := &fakeView{encls: 4, cap: 1 << 40, sizes: []int64{1 << 30, 1 << 30}, locs: []int{0, 1}}
+	stats := buildStats(2, nil)
+	plan := ComputePlacement(DefaultParams(), v, stats)
+	if plan.NHot != 0 {
+		t.Fatalf("NHot %d without P3 items", plan.NHot)
+	}
+	for e, h := range plan.Hot {
+		if h {
+			t.Fatalf("enclosure %d hot without P3 items", e)
+		}
+	}
+	if len(plan.Moves) != 0 {
+		t.Fatal("moves planned without P3 items")
+	}
+}
+
+func TestHotCountByIOPS(t *testing.T) {
+	// Σ avg IOPS of P3 = 2000, headroom 1.25 → 2500; O = 900 → N_hot = 3.
+	v := &fakeView{encls: 10, cap: 1 << 42, sizes: make([]int64, 10), locs: make([]int, 10)}
+	p3 := map[int]float64{}
+	for i := 0; i < 10; i++ {
+		v.sizes[i] = 1 << 30
+		v.locs[i] = i
+		p3[i] = 200
+	}
+	stats := buildStats(10, p3)
+	patterns := make([]Pattern, len(stats))
+	for i, s := range stats {
+		patterns[i] = Classify(s)
+	}
+	if got := hotCount(DefaultParams(), v, stats, patterns); got != 3 {
+		t.Fatalf("hotCount = %d, want 3", got)
+	}
+}
+
+func TestHotCountBySize(t *testing.T) {
+	// P3 bytes require more enclosures than IOPS does.
+	v := &fakeView{encls: 8, cap: 1 << 30, sizes: []int64{3 << 30}, locs: []int{0}}
+	stats := buildStats(1, map[int]float64{0: 1})
+	patterns := []Pattern{P3}
+	if got := hotCount(DefaultParams(), v, stats, patterns); got != 3 {
+		t.Fatalf("hotCount = %d, want 3 (size-bound)", got)
+	}
+}
+
+func TestChooseHotPrefersP3HeavyEnclosures(t *testing.T) {
+	v := &fakeView{
+		encls: 3, cap: 1 << 40,
+		sizes: []int64{10 << 30, 1 << 30, 5 << 30},
+		locs:  []int{2, 0, 1},
+	}
+	stats := buildStats(3, map[int]float64{0: 10, 1: 10, 2: 10})
+	patterns := []Pattern{P3, P3, P3}
+	hot := chooseHot(v, stats, patterns, 1)
+	if !hot[2] || hot[0] || hot[1] {
+		t.Fatalf("hot flags %v, want enclosure 2 (largest P3 bytes)", hot)
+	}
+}
+
+func TestPlacementConsolidatesP3(t *testing.T) {
+	// Two enclosures with a P3 item each plus P1 items; one hot enclosure
+	// should absorb the cold P3 item.
+	v := &fakeView{
+		encls: 2, cap: 1 << 40,
+		sizes: []int64{1 << 30, 1 << 30, 1 << 30, 1 << 30},
+		locs:  []int{0, 1, 0, 1},
+	}
+	stats := buildStats(4, map[int]float64{0: 100, 1: 50})
+	plan := ComputePlacement(DefaultParams(), v, stats)
+	if plan.NHot != 1 {
+		t.Fatalf("NHot %d", plan.NHot)
+	}
+	if !plan.Hot[0] {
+		t.Fatalf("hot flags %v: enclosure 0 holds the bigger P3 load", plan.Hot)
+	}
+	// Item 1 (P3 on cold enclosure 1) must move to enclosure 0.
+	found := false
+	for _, mv := range plan.Moves {
+		if mv.Item == 1 && mv.Dst == 0 {
+			found = true
+		}
+		if mv.Item == 0 {
+			t.Fatal("P3 item already on a hot enclosure was moved")
+		}
+	}
+	if !found {
+		t.Fatalf("cold P3 item not consolidated; moves %v", plan.Moves)
+	}
+	if plan.Loc[1] != 0 {
+		t.Fatalf("planned loc of item 1 = %d", plan.Loc[1])
+	}
+}
+
+func TestPlacementGrowsNHotWhenIOPSBound(t *testing.T) {
+	// One hot enclosure cannot serve two 500-IOPS P3 items; the planner
+	// must grow N_hot rather than overload it.
+	v := &fakeView{
+		encls: 3, cap: 1 << 40,
+		sizes: []int64{1 << 30, 1 << 30, 1 << 30},
+		locs:  []int{0, 1, 2},
+	}
+	stats := buildStats(3, map[int]float64{0: 500, 1: 500, 2: 500})
+	plan := ComputePlacement(DefaultParams(), v, stats)
+	if plan.NHot < 3 {
+		t.Fatalf("NHot %d: three 500-IOPS items cannot share fewer than 3 enclosures at O=900", plan.NHot)
+	}
+}
+
+func TestPlacementSpillsForSpace(t *testing.T) {
+	// The hot enclosure is nearly full of P1 data; placing the cold P3
+	// item requires an Algorithm 3 spill.
+	cap := int64(10 << 30)
+	v := &fakeView{
+		encls: 2, cap: cap,
+		sizes: []int64{6 << 30 /* P3 on hot */, 3 << 30 /* P1 on hot */, 2 << 30 /* P3 on cold */},
+		locs:  []int{0, 0, 1},
+	}
+	stats := buildStats(3, map[int]float64{0: 100, 2: 50})
+	plan := ComputePlacement(DefaultParams(), v, stats)
+	if plan.NHot != 1 || !plan.Hot[0] {
+		t.Fatalf("hot %v nhot %d", plan.Hot, plan.NHot)
+	}
+	// Expect: spill item 1 hot→cold first, then move item 2 cold→hot.
+	if len(plan.Moves) != 2 {
+		t.Fatalf("moves %v", plan.Moves)
+	}
+	if plan.Moves[0].Item != 1 || plan.Moves[0].Dst != 1 {
+		t.Fatalf("first move %v, want spill of item 1", plan.Moves[0])
+	}
+	if plan.Moves[1].Item != 2 || plan.Moves[1].Dst != 0 {
+		t.Fatalf("second move %v, want consolidation of item 2", plan.Moves[1])
+	}
+}
+
+func TestPlacementAllHotKeepsDataInPlace(t *testing.T) {
+	// So much P3 load that every enclosure must stay hot.
+	v := &fakeView{
+		encls: 2, cap: 1 << 40,
+		sizes: []int64{1 << 30, 1 << 30, 1 << 30},
+		locs:  []int{0, 1, 1},
+	}
+	stats := buildStats(3, map[int]float64{0: 800, 1: 800, 2: 800})
+	plan := ComputePlacement(DefaultParams(), v, stats)
+	if plan.NHot != 2 {
+		t.Fatalf("NHot %d", plan.NHot)
+	}
+	if len(plan.Moves) != 0 {
+		t.Fatalf("moves %v despite saturation", plan.Moves)
+	}
+	for i := range plan.Loc {
+		if plan.Loc[i] != v.locs[i] {
+			t.Fatal("items moved in all-hot fallback")
+		}
+	}
+}
+
+// TestPlacementInvariants: for random inputs the plan never overfills an
+// enclosure, never plans P3 items onto cold enclosures when any hot
+// enclosure exists, and Loc is consistent with Moves.
+func TestPlacementInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		encls := 2 + rng.Intn(6)
+		n := 5 + rng.Intn(30)
+		// Large enough that any random initial placement is feasible (the
+		// planner maintains feasibility, it does not repair invalid input).
+		cap := int64(1 << 40)
+		v := &fakeView{encls: encls, cap: cap, sizes: make([]int64, n), locs: make([]int, n)}
+		p3 := map[int]float64{}
+		for i := 0; i < n; i++ {
+			v.sizes[i] = int64(rng.Intn(8)+1) << 30
+			v.locs[i] = rng.Intn(encls)
+			if rng.Float64() < 0.4 {
+				p3[i] = float64(rng.Intn(300) + 1)
+			}
+		}
+		stats := buildStats(n, p3)
+		plan := ComputePlacement(DefaultParams(), v, stats)
+
+		// Loc must equal initial placement with moves applied in order.
+		loc := make([]int, n)
+		for i := range loc {
+			loc[i] = v.locs[i]
+		}
+		for _, mv := range plan.Moves {
+			loc[mv.Item] = mv.Dst
+		}
+		used := make([]int64, encls)
+		for i := range loc {
+			if loc[i] < 0 || loc[i] >= encls {
+				return false
+			}
+			used[loc[i]] += v.sizes[i]
+		}
+		for e := range used {
+			if used[e] > cap {
+				return false
+			}
+		}
+		for i := range loc {
+			if plan.Loc[i] != loc[i] {
+				return false
+			}
+		}
+		// When the plan is not saturated (NHot < enclosures), every P3
+		// item must end on a hot enclosure.
+		if plan.NHot < encls && plan.NHot > 0 {
+			for i := range stats {
+				if plan.Patterns[i] == P3 && !plan.Hot[loc[i]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package ddr
+
+import (
+	"testing"
+	"time"
+
+	"esm/internal/policy"
+	"esm/internal/simclock"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+func buildRun(t *testing.T, cfg Config, n int, sizes []int64, locs []int) (*DDR, *storage.Array, *policy.Context, []trace.ItemID) {
+	t.Helper()
+	cat := trace.NewCatalog()
+	ids := make([]trace.ItemID, len(sizes))
+	for i, s := range sizes {
+		ids[i] = cat.Add("it"+string(rune('A'+i)), s)
+	}
+	clk := &simclock.Clock{}
+	evq := &simclock.EventQueue{}
+	arr, err := storage.New(storage.DefaultConfig(n), clk, evq, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if err := arr.Place(id, locs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := New(cfg)
+	ctx := &policy.Context{Array: arr, Catalog: cat, Clock: clk, Queue: evq, End: 2 * time.Hour}
+	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) { d.OnPhysical(rec) })
+	d.Init(ctx)
+	return d, arr, ctx, ids
+}
+
+func TestDDRDefaults(t *testing.T) {
+	d := New(Config{})
+	if d.cfg.TargetTH != 450 || d.cfg.LowTH != 225 {
+		t.Fatalf("Table II defaults not applied: %+v", d.cfg)
+	}
+	if d.Name() != "ddr" {
+		t.Fatalf("name %q", d.Name())
+	}
+	d2 := New(Config{TargetTH: 100})
+	if d2.cfg.LowTH != 50 {
+		t.Fatalf("LowTH should default to TargetTH/2, got %v", d2.cfg.LowTH)
+	}
+}
+
+// feedIOPS submits physical traffic at the given rate via the array.
+func feedIOPS(arr *storage.Array, ctx *policy.Context, item trace.ItemID, rate float64, from, to time.Duration) {
+	gap := time.Duration(float64(time.Second) / rate)
+	for tm := from; tm < to; tm += gap {
+		ctx.Queue.RunUntil(ctx.Clock, tm)
+		arr.Submit(trace.LogicalRecord{Time: tm, Item: item, Offset: int64(tm) % (1 << 25), Size: 8 << 10, Op: trace.OpWrite})
+	}
+}
+
+func TestDDRBusyEnclosureStaysHot(t *testing.T) {
+	d, arr, ctx, ids := buildRun(t, DefaultConfig(), 2, []int64{1 << 30}, []int{0})
+	feedIOPS(arr, ctx, ids[0], 400, 0, 30*time.Second)
+	if arr.SpinDownEnabled(0) {
+		t.Fatal("enclosure at 400 IOPS (> LowTH) marked cold")
+	}
+	if d.Determinations() == 0 {
+		t.Fatal("no classification ticks ran")
+	}
+}
+
+func TestDDRIdleEnclosureGoesColdAfterWindow(t *testing.T) {
+	_, arr, ctx, ids := buildRun(t, DefaultConfig(), 2, []int64{1 << 30}, []int{0})
+	feedIOPS(arr, ctx, ids[0], 400, 0, 10*time.Second)
+	// Silence; after the sliding window drains the enclosure is cold.
+	ctx.Queue.RunUntil(ctx.Clock, time.Minute)
+	if !arr.SpinDownEnabled(0) {
+		t.Fatal("idle enclosure not marked cold")
+	}
+	if !arr.SpinDownEnabled(1) {
+		t.Fatal("never-touched enclosure not marked cold")
+	}
+}
+
+func TestDDRNoClassificationDuringWarmup(t *testing.T) {
+	_, arr, ctx, _ := buildRun(t, DefaultConfig(), 2, []int64{1 << 30}, []int{0})
+	ctx.Queue.RunUntil(ctx.Clock, 2*time.Second) // < Window
+	if arr.SpinDownEnabled(0) || arr.SpinDownEnabled(1) {
+		t.Fatal("enclosures classified cold during window warm-up")
+	}
+}
+
+func TestDDRPromotesAccessedColdExtent(t *testing.T) {
+	cfg := DefaultConfig()
+	d, arr, ctx, ids := buildRun(t, cfg, 2,
+		[]int64{1 << 30, 256 << 20},
+		[]int{0, 1})
+	// Enclosure 0 busy (hot), enclosure 1 idle (cold).
+	feedIOPS(arr, ctx, ids[0], 400, 0, 20*time.Second)
+	ctx.Queue.RunUntil(ctx.Clock, 21*time.Second)
+	// An access to the cold enclosure's item triggers promotion.
+	before := arr.Stats().MigratedBytes
+	arr.Submit(trace.LogicalRecord{Time: 21 * time.Second, Item: ids[1], Offset: 0, Size: 8 << 10, Op: trace.OpRead})
+	if arr.Stats().MigratedBytes <= before {
+		t.Fatal("no extent promoted on cold access")
+	}
+	// The extent now serves from the hot enclosure.
+	r := arr.Submit(trace.LogicalRecord{Time: 22 * time.Second, Item: ids[1], Offset: 4 << 10, Size: 8 << 10, Op: trace.OpWrite})
+	if r.Enclosure != 0 {
+		t.Fatalf("promoted extent served by enclosure %d", r.Enclosure)
+	}
+	_ = d
+}
+
+func TestDDRNoPromotionWithoutHotTarget(t *testing.T) {
+	_, arr, ctx, ids := buildRun(t, DefaultConfig(), 2,
+		[]int64{1 << 30, 256 << 20}, []int{0, 1})
+	// Everything idle: all cold, nowhere to promote to.
+	ctx.Queue.RunUntil(ctx.Clock, time.Minute)
+	arr.Submit(trace.LogicalRecord{Time: time.Minute, Item: ids[1], Size: 8 << 10, Op: trace.OpRead})
+	if arr.Stats().MigratedBytes != 0 {
+		t.Fatal("promotion happened with every enclosure cold")
+	}
+}
+
+func TestDDRPromotesExtentOnlyOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	d, arr, ctx, ids := buildRun(t, cfg, 2,
+		[]int64{1 << 30, 256 << 20}, []int{0, 1})
+	feedIOPS(arr, ctx, ids[0], 400, 0, 20*time.Second)
+	ctx.Queue.RunUntil(ctx.Clock, 21*time.Second)
+	arr.Submit(trace.LogicalRecord{Time: 21 * time.Second, Item: ids[1], Offset: 0, Size: 8 << 10, Op: trace.OpRead})
+	after := arr.Stats().MigratedBytes
+	// Keep the source cold-classified but access the same extent again:
+	// it is already remapped, so no further copy.
+	arr.Submit(trace.LogicalRecord{Time: 22 * time.Second, Item: ids[1], Offset: 8 << 10, Size: 8 << 10, Op: trace.OpRead})
+	if arr.Stats().MigratedBytes != after {
+		t.Fatal("extent promoted twice")
+	}
+	_ = d
+}

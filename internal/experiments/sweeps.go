@@ -1,0 +1,296 @@
+// Sensitivity sweeps: how the proposed method's saving and performance
+// respond to the main tunables. The paper fixes these at the Table II
+// values and defers configuration studies to future work (§IX); these
+// harnesses provide them.
+
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"esm/internal/core"
+	"esm/internal/policy"
+	"esm/internal/powermodel"
+	"esm/internal/replay"
+	"esm/internal/storage"
+	"esm/internal/workload"
+)
+
+// SweepPoint is one sweep row.
+type SweepPoint struct {
+	Label         string
+	AvgEnclosureW float64
+	SavingPct     float64
+	RespMean      time.Duration
+	MigratedBytes int64
+	SpinUps       int
+}
+
+// sweepRun replays w once under ESM with the given storage config and
+// parameters, returning the headline numbers relative to baseW.
+func sweepRun(w *workload.Workload, cfg storage.Config, params core.Params, baseW float64, label string) (SweepPoint, error) {
+	esm, err := core.NewESM(params)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	res, err := replay.Execute(replay.Run{
+		Catalog:    w.Catalog,
+		Records:    w.Records,
+		Placement:  w.Placement,
+		Storage:    cfg,
+		Policy:     esm,
+		Duration:   w.Duration,
+		ClosedLoop: w.ClosedLoop,
+	})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	p := SweepPoint{
+		Label:         label,
+		AvgEnclosureW: res.AvgEnclosureW,
+		RespMean:      res.Resp.Mean(),
+		MigratedBytes: res.Storage.MigratedBytes,
+		SpinUps:       res.SpinUps,
+	}
+	if baseW > 0 {
+		p.SavingPct = (1 - res.AvgEnclosureW/baseW) * 100
+	}
+	return p, nil
+}
+
+// baseline replays w with no power saving and returns its average
+// enclosure power.
+func baseline(w *workload.Workload, cfg storage.Config) (float64, error) {
+	res, err := replay.Execute(replay.Run{
+		Catalog:    w.Catalog,
+		Records:    w.Records,
+		Placement:  w.Placement,
+		Storage:    cfg,
+		Policy:     policy.NoPowerSaving{},
+		Duration:   w.Duration,
+		ClosedLoop: w.ClosedLoop,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.AvgEnclosureW, nil
+}
+
+// sweepTable renders sweep points.
+func sweepTable(title string, pts []SweepPoint) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"value", "encl W", "saving", "response", "migrated", "spinups"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			p.Label,
+			fmt.Sprintf("%.1f", p.AvgEnclosureW),
+			fmt.Sprintf("%.1f%%", p.SavingPct),
+			p.RespMean.Round(10 * time.Microsecond).String(),
+			fmtBytes(p.MigratedBytes),
+			fmt.Sprintf("%d", p.SpinUps),
+		})
+	}
+	return t
+}
+
+// SweepCacheSizes varies the preload and write-delay partitions together
+// (Table II fixes both at 500 MB within the 2 GB cache).
+func SweepCacheSizes(w *workload.Workload, sizes []int64) (*Table, error) {
+	base, err := baseline(w, StorageFor(w))
+	if err != nil {
+		return nil, err
+	}
+	var pts []SweepPoint
+	for _, size := range sizes {
+		cfg := StorageFor(w)
+		cfg.PreloadCacheBytes = size
+		cfg.WriteDelayCacheBytes = size
+		if cfg.CacheBytes < 2*size {
+			cfg.CacheBytes = 2 * size
+		}
+		params := core.DefaultParams()
+		params.PreloadCacheBytes = size
+		params.WriteDelayCacheBytes = size
+		p, err := sweepRun(w, cfg, params, base, fmtBytes(size))
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return sweepTable("Sweep — preload/write-delay cache size ("+w.Name+")", pts), nil
+}
+
+// SweepSpinDownTimeout varies the spin-down timeout relative to the
+// break-even time. Below break-even the enclosure pays more energy to
+// wake than it saved sleeping; far above it the idle interval is mostly
+// wasted awake.
+func SweepSpinDownTimeout(w *workload.Workload, timeouts []time.Duration) (*Table, error) {
+	base, err := baseline(w, StorageFor(w))
+	if err != nil {
+		return nil, err
+	}
+	var pts []SweepPoint
+	for _, to := range timeouts {
+		cfg := StorageFor(w)
+		cfg.SpinDownTimeout = to
+		p, err := sweepRun(w, cfg, core.DefaultParams(), base, to.String())
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return sweepTable("Sweep — spin-down timeout ("+w.Name+")", pts), nil
+}
+
+// SweepMigrationBps varies the data-migration throttle (§V-A).
+func SweepMigrationBps(w *workload.Workload, rates []float64) (*Table, error) {
+	base, err := baseline(w, StorageFor(w))
+	if err != nil {
+		return nil, err
+	}
+	var pts []SweepPoint
+	for _, bps := range rates {
+		cfg := StorageFor(w)
+		cfg.MigrationBps = bps
+		label := fmt.Sprintf("%.0f MB/s", bps/(1<<20))
+		p, err := sweepRun(w, cfg, core.DefaultParams(), base, label)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return sweepTable("Sweep — migration throttle ("+w.Name+")", pts), nil
+}
+
+// SweepAlpha varies the monitoring-period coefficient α (§IV-H).
+func SweepAlpha(w *workload.Workload, alphas []float64) (*Table, error) {
+	base, err := baseline(w, StorageFor(w))
+	if err != nil {
+		return nil, err
+	}
+	var pts []SweepPoint
+	for _, a := range alphas {
+		params := core.DefaultParams()
+		params.Alpha = a
+		p, err := sweepRun(w, StorageFor(w), params, base, fmt.Sprintf("%.2f", a))
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return sweepTable("Sweep — monitoring coefficient alpha ("+w.Name+")", pts), nil
+}
+
+// DefaultSweeps runs every sweep on w with canonical value grids.
+func DefaultSweeps(w *workload.Workload) ([]*Table, error) {
+	var tables []*Table
+	t, err := SweepCacheSizes(w, []int64{125 << 20, 250 << 20, 500 << 20, 1 << 30})
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+	t, err = SweepSpinDownTimeout(w, []time.Duration{13 * time.Second, 26 * time.Second, 52 * time.Second, 104 * time.Second, 208 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+	t, err = SweepMigrationBps(w, []float64{50 << 20, 100 << 20, 200 << 20, 400 << 20})
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+	t, err = SweepAlpha(w, []float64{1.05, 1.2, 1.5, 2.0})
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+	t, err = CompareMedia(w)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
+	return tables, nil
+}
+
+// CompareMedia replays w under every policy on the HDD test bed and on
+// an all-flash variant (powermodel.SSDParams, with the spin-down timeout
+// and the policies' break-even set to the flash-derived value). It
+// quantifies §VIII-D's claim that the method carries over to SSDs.
+func CompareMedia(w *workload.Workload) (*Table, error) {
+	t := &Table{
+		Title:  "Media comparison — HDD vs SSD enclosures (" + w.Name + ")",
+		Header: []string{"policy", "HDD W", "HDD saving", "SSD W", "SSD saving"},
+	}
+	type media struct {
+		cfg    storage.Config
+		params core.Params
+	}
+	hdd := media{cfg: StorageFor(w), params: core.DefaultParams()}
+	ssdCfg := StorageFor(w)
+	ssdCfg.Power = powermodel.SSDParams()
+	ssdBE := ssdCfg.Power.BreakEven()
+	ssdCfg.SpinDownTimeout = ssdBE
+	ssdParams := core.DefaultParams()
+	ssdParams.BreakEven = ssdBE
+	ssdParams.MinPeriod = 520 * time.Second
+	ssdParams.ReplanCooldown = 5 * ssdBE
+	ssd := media{cfg: ssdCfg, params: ssdParams}
+
+	type row struct{ w, saving [2]float64 }
+	rows := map[string]*row{}
+	order := []string{"none", "timeout", "esm"}
+	for mi, m := range []media{hdd, ssd} {
+		var baseW float64
+		for _, name := range order {
+			var pol policy.Policy
+			switch name {
+			case "none":
+				pol = policy.NoPowerSaving{}
+			case "timeout":
+				pol = policy.FixedTimeout{}
+			case "esm":
+				esm, err := core.NewESM(m.params)
+				if err != nil {
+					return nil, err
+				}
+				pol = esm
+			}
+			res, err := replay.Execute(replay.Run{
+				Catalog:    w.Catalog,
+				Records:    w.Records,
+				Placement:  w.Placement,
+				Storage:    m.cfg,
+				Policy:     pol,
+				Duration:   w.Duration,
+				ClosedLoop: w.ClosedLoop,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if rows[name] == nil {
+				rows[name] = &row{}
+			}
+			rows[name].w[mi] = res.AvgEnclosureW
+			if name == "none" {
+				baseW = res.AvgEnclosureW
+			}
+			if baseW > 0 {
+				rows[name].saving[mi] = (1 - res.AvgEnclosureW/baseW) * 100
+			}
+		}
+	}
+	for _, name := range order {
+		r := rows[name]
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.1f", r.w[0]),
+			fmt.Sprintf("%.1f%%", r.saving[0]),
+			fmt.Sprintf("%.1f", r.w[1]),
+			fmt.Sprintf("%.1f%%", r.saving[1]),
+		})
+	}
+	return t, nil
+}

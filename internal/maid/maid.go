@@ -1,0 +1,123 @@
+// Package maid implements a MAID-style baseline (Colarelli & Grunwald,
+// "Massive Arrays of Idle Disks for Storage Archives", SC 2002), the
+// archetype of the data-placement-control family the paper's related
+// work surveys (§VIII-B).
+//
+// A fixed set of cache enclosures stays powered; the remaining passive
+// enclosures may spin down. When an access lands on a passive enclosure
+// anyway, the touched extent is copied to a cache enclosure so the
+// passive disk can return to sleep. MAID is entirely physical-level: it
+// cannot know that the extent it just promoted belongs to a one-off
+// scan, nor that a quiet item is about to turn hot — the gap the
+// paper's application-collaborative method closes.
+package maid
+
+import (
+	"time"
+
+	"esm/internal/policy"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+// Config parameterises MAID.
+type Config struct {
+	// CacheEnclosures is how many enclosures stay always-on as the cache
+	// tier.
+	CacheEnclosures int
+	// CacheFillFraction caps how full a cache enclosure may get with
+	// promoted extents.
+	CacheFillFraction float64
+}
+
+// DefaultConfig uses one cache enclosure, as the original paper's
+// smallest configuration.
+func DefaultConfig() Config {
+	return Config{CacheEnclosures: 1, CacheFillFraction: 0.9}
+}
+
+// MAID is the cache-disk policy.
+type MAID struct {
+	cfg Config
+	ctx *policy.Context
+
+	promoted    map[storage.ExtentRef]bool
+	inPromotion bool
+	// determinations counts promotion decisions, MAID's only run-time
+	// choice.
+	determinations int64
+}
+
+// New returns a MAID instance.
+func New(cfg Config) *MAID {
+	def := DefaultConfig()
+	if cfg.CacheEnclosures <= 0 {
+		cfg.CacheEnclosures = def.CacheEnclosures
+	}
+	if cfg.CacheFillFraction <= 0 || cfg.CacheFillFraction > 1 {
+		cfg.CacheFillFraction = def.CacheFillFraction
+	}
+	return &MAID{cfg: cfg}
+}
+
+// Name implements policy.Policy.
+func (m *MAID) Name() string { return "maid" }
+
+// Init implements policy.Policy: the cache tier stays on, everything
+// else may spin down immediately.
+func (m *MAID) Init(ctx *policy.Context) {
+	m.ctx = ctx
+	m.promoted = make(map[storage.ExtentRef]bool)
+	n := ctx.Array.Enclosures()
+	cache := m.cfg.CacheEnclosures
+	if cache > n {
+		cache = n
+	}
+	for e := 0; e < n; e++ {
+		ctx.Array.SetSpinDownEnabled(e, e >= cache)
+	}
+}
+
+// OnLogical implements policy.Policy.
+func (m *MAID) OnLogical(trace.LogicalRecord) {}
+
+// OnPhysical implements policy.Policy: accesses to passive enclosures
+// promote the touched extent into the cache tier.
+func (m *MAID) OnPhysical(rec trace.PhysicalRecord) {
+	e := int(rec.Enclosure)
+	if m.inPromotion || e < m.cfg.CacheEnclosures {
+		return
+	}
+	arr := m.ctx.Array
+	ref, ok := arr.ResolveExtent(e, rec.Block)
+	if !ok || m.promoted[ref] {
+		return
+	}
+	m.determinations++
+	limit := int64(m.cfg.CacheFillFraction * float64(arr.Capacity()))
+	dst := -1
+	for c := 0; c < m.cfg.CacheEnclosures && c < arr.Enclosures(); c++ {
+		if arr.Used(c) < limit {
+			dst = c
+			break
+		}
+	}
+	if dst < 0 {
+		return // cache tier full; the access stays on the passive disk
+	}
+	m.inPromotion = true
+	err := arr.MigrateExtent(ref, dst)
+	m.inPromotion = false
+	if err == nil {
+		m.promoted[ref] = true
+	}
+}
+
+// OnPower implements policy.Policy.
+func (m *MAID) OnPower(int, time.Duration, bool) {}
+
+// Finish implements policy.Policy.
+func (m *MAID) Finish(time.Duration) {}
+
+// Determinations implements policy.Policy.
+func (m *MAID) Determinations() int64 { return m.determinations }

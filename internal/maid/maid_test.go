@@ -1,0 +1,103 @@
+package maid
+
+import (
+	"testing"
+	"time"
+
+	"esm/internal/policy"
+	"esm/internal/simclock"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+func buildRun(t *testing.T, cfg Config, n int, sizes []int64, locs []int) (*MAID, *storage.Array, *policy.Context, []trace.ItemID) {
+	t.Helper()
+	cat := trace.NewCatalog()
+	ids := make([]trace.ItemID, len(sizes))
+	for i, s := range sizes {
+		ids[i] = cat.Add("it"+string(rune('A'+i)), s)
+	}
+	clk := &simclock.Clock{}
+	evq := &simclock.EventQueue{}
+	arr, err := storage.New(storage.DefaultConfig(n), clk, evq, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if err := arr.Place(id, locs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := New(cfg)
+	ctx := &policy.Context{Array: arr, Catalog: cat, Clock: clk, Queue: evq, End: time.Hour}
+	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) { m.OnPhysical(rec) })
+	m.Init(ctx)
+	return m, arr, ctx, ids
+}
+
+func TestMAIDDefaults(t *testing.T) {
+	m := New(Config{})
+	if m.cfg.CacheEnclosures != 1 || m.cfg.CacheFillFraction != 0.9 {
+		t.Fatalf("defaults %+v", m.cfg)
+	}
+	if m.Name() != "maid" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+func TestMAIDCacheTierStaysOnPassiveSleeps(t *testing.T) {
+	_, arr, ctx, _ := buildRun(t, DefaultConfig(), 3, []int64{1 << 20}, []int{1})
+	if arr.SpinDownEnabled(0) {
+		t.Fatal("cache enclosure may spin down")
+	}
+	if !arr.SpinDownEnabled(1) || !arr.SpinDownEnabled(2) {
+		t.Fatal("passive enclosures cannot spin down")
+	}
+	ctx.Queue.RunUntil(ctx.Clock, 10*time.Minute)
+	arr.Finish()
+	if !arr.EnclosureOn(0, ctx.Clock.Now()) {
+		t.Fatal("cache enclosure powered off")
+	}
+	if arr.EnclosureOn(1, ctx.Clock.Now()) {
+		t.Fatal("idle passive enclosure still on")
+	}
+}
+
+func TestMAIDPromotesAccessedExtent(t *testing.T) {
+	_, arr, ctx, ids := buildRun(t, DefaultConfig(), 2,
+		[]int64{256 << 20}, []int{1})
+	ctx.Queue.RunUntil(ctx.Clock, time.Minute)
+	arr.Submit(trace.LogicalRecord{Time: time.Minute, Item: ids[0], Size: 8 << 10, Op: trace.OpRead})
+	if arr.Stats().MigratedBytes == 0 {
+		t.Fatal("no promotion to the cache tier")
+	}
+	r := arr.Submit(trace.LogicalRecord{Time: time.Minute + time.Second, Item: ids[0], Offset: 4 << 10, Size: 8 << 10, Op: trace.OpWrite})
+	if r.Enclosure != 0 {
+		t.Fatalf("promoted extent served by enclosure %d, want cache tier", r.Enclosure)
+	}
+}
+
+func TestMAIDPromotesOnce(t *testing.T) {
+	m, arr, ctx, ids := buildRun(t, DefaultConfig(), 2, []int64{256 << 20}, []int{1})
+	ctx.Queue.RunUntil(ctx.Clock, time.Minute)
+	arr.Submit(trace.LogicalRecord{Time: time.Minute, Item: ids[0], Size: 8 << 10, Op: trace.OpRead})
+	after := arr.Stats().MigratedBytes
+	arr.Submit(trace.LogicalRecord{Time: time.Minute + time.Second, Item: ids[0], Offset: 8 << 10, Size: 8 << 10, Op: trace.OpRead})
+	if arr.Stats().MigratedBytes != after {
+		t.Fatal("extent promoted twice")
+	}
+	if m.Determinations() == 0 {
+		t.Fatal("no promotion decisions counted")
+	}
+}
+
+func TestMAIDRespectsCacheCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheFillFraction = 0.0001 // limit ≈ 170 MB, below the resident item
+	_, arr, ctx, ids := buildRun(t, cfg, 2, []int64{256 << 20, 300 << 20}, []int{1, 0})
+	ctx.Queue.RunUntil(ctx.Clock, time.Minute)
+	arr.Submit(trace.LogicalRecord{Time: time.Minute, Item: ids[0], Size: 8 << 10, Op: trace.OpRead})
+	if arr.Stats().MigratedBytes != 0 {
+		t.Fatal("promotion into a full cache tier")
+	}
+}

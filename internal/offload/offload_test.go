@@ -1,0 +1,104 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"esm/internal/policy"
+	"esm/internal/simclock"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+func buildRun(t *testing.T) (*Offload, *storage.Array, *policy.Context, []trace.ItemID) {
+	t.Helper()
+	cat := trace.NewCatalog()
+	ids := []trace.ItemID{
+		cat.Add("busy", 1<<30),
+		cat.Add("cold", 1<<30),
+	}
+	clk := &simclock.Clock{}
+	evq := &simclock.EventQueue{}
+	arr, err := storage.New(storage.DefaultConfig(2), clk, evq, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.Place(ids[0], 0)
+	arr.Place(ids[1], 1)
+	o := New(Config{})
+	ctx := &policy.Context{Array: arr, Catalog: cat, Clock: clk, Queue: evq, End: time.Hour}
+	arr.SetPowerObserver(func(e int, at time.Duration, on bool) { o.OnPower(e, at, on) })
+	o.Init(ctx)
+	return o, arr, ctx, ids
+}
+
+func TestOffloadDefaults(t *testing.T) {
+	o := New(Config{})
+	if o.cfg.ReconcileEvery != time.Second {
+		t.Fatalf("defaults %+v", o.cfg)
+	}
+	if o.Name() != "offload" {
+		t.Fatalf("name %q", o.Name())
+	}
+}
+
+// feed keeps enclosure 0 busy so only enclosure 1 sleeps.
+func feed(arr *storage.Array, ctx *policy.Context, item trace.ItemID, until time.Duration) {
+	for tm := ctx.Clock.Now(); tm < until; tm += 5 * time.Second {
+		ctx.Queue.RunUntil(ctx.Clock, tm)
+		arr.Submit(trace.LogicalRecord{Time: tm, Item: item, Offset: int64(tm), Size: 8 << 10, Op: trace.OpRead})
+	}
+	ctx.Queue.RunUntil(ctx.Clock, until)
+}
+
+func TestOffloadDefersWritesToSleepingEnclosure(t *testing.T) {
+	o, arr, ctx, ids := buildRun(t)
+	feed(arr, ctx, ids[0], 5*time.Minute)
+	arr.Finish()
+	if arr.EnclosureOn(1, ctx.Clock.Now()) {
+		t.Fatal("idle enclosure did not sleep")
+	}
+	if !arr.WriteDelayed(ids[1]) {
+		t.Fatal("item on sleeping enclosure not selected for off-loading")
+	}
+	// A write to the sleeping enclosure's item is absorbed; the
+	// enclosure stays asleep.
+	r := arr.Submit(trace.LogicalRecord{Time: ctx.Clock.Now(), Item: ids[1], Size: 8 << 10, Op: trace.OpWrite})
+	if !r.CacheHit {
+		t.Fatal("off-loaded write went to the sleeping disk")
+	}
+	arr.Finish()
+	if arr.EnclosureOn(1, ctx.Clock.Now()) {
+		t.Fatal("off-loaded write woke the enclosure")
+	}
+	if o.Determinations() == 0 {
+		t.Fatal("no reconcile decisions counted")
+	}
+}
+
+func TestOffloadReclaimsOnWake(t *testing.T) {
+	_, arr, ctx, ids := buildRun(t)
+	feed(arr, ctx, ids[0], 5*time.Minute)
+	// Off-load a write, then wake the enclosure with a read.
+	arr.Submit(trace.LogicalRecord{Time: ctx.Clock.Now(), Item: ids[1], Size: 8 << 10, Op: trace.OpWrite})
+	arr.Submit(trace.LogicalRecord{Time: ctx.Clock.Now(), Item: ids[1], Offset: 64 << 20, Size: 8 << 10, Op: trace.OpRead})
+	// The reconcile tick after the power-on must deselect the item,
+	// destaging the deferred write back home.
+	feed(arr, ctx, ids[0], ctx.Clock.Now()+5*time.Second)
+	if arr.WriteDelayed(ids[1]) {
+		t.Fatal("item still off-loaded after its enclosure woke")
+	}
+	if arr.Stats().FlushedBytes == 0 {
+		t.Fatal("deferred write never reclaimed")
+	}
+}
+
+func TestOffloadReadsOfDeferredDataHitCache(t *testing.T) {
+	_, arr, ctx, ids := buildRun(t)
+	feed(arr, ctx, ids[0], 5*time.Minute)
+	arr.Submit(trace.LogicalRecord{Time: ctx.Clock.Now(), Item: ids[1], Offset: 0, Size: 8 << 10, Op: trace.OpWrite})
+	r := arr.Submit(trace.LogicalRecord{Time: ctx.Clock.Now(), Item: ids[1], Offset: 0, Size: 8 << 10, Op: trace.OpRead})
+	if !r.CacheHit {
+		t.Fatal("read of off-loaded data missed the cache")
+	}
+}

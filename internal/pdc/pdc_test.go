@@ -1,0 +1,135 @@
+package pdc
+
+import (
+	"testing"
+	"time"
+
+	"esm/internal/policy"
+	"esm/internal/simclock"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+// buildRun wires a PDC instance to a small array, returning a feed
+// function for logical I/O.
+func buildRun(t *testing.T, cfg Config, n int, sizes []int64, locs []int) (*PDC, *storage.Array, *policy.Context, []trace.ItemID) {
+	t.Helper()
+	cat := trace.NewCatalog()
+	ids := make([]trace.ItemID, len(sizes))
+	for i, s := range sizes {
+		ids[i] = cat.Add("it"+string(rune('A'+i)), s)
+	}
+	clk := &simclock.Clock{}
+	evq := &simclock.EventQueue{}
+	arr, err := storage.New(storage.DefaultConfig(n), clk, evq, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if err := arr.Place(id, locs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(cfg)
+	ctx := &policy.Context{Array: arr, Catalog: cat, Clock: clk, Queue: evq, End: 4 * time.Hour}
+	p.Init(ctx)
+	return p, arr, ctx, ids
+}
+
+func TestPDCDefaultsFillIn(t *testing.T) {
+	p := New(Config{})
+	if p.cfg.Period != 30*time.Minute || p.cfg.MaxIOPS <= 0 || p.cfg.FillFraction <= 0 {
+		t.Fatalf("defaults not applied: %+v", p.cfg)
+	}
+	if p.Name() != "pdc" {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+func TestPDCConcentratesPopularData(t *testing.T) {
+	// Item B on enclosure 1 is popular; item A on enclosure 0 is not.
+	// After one period, PDC should put B on enclosure 0 (most popular
+	// first) and leave the cold tail behind.
+	cfg := DefaultConfig()
+	cfg.Period = 5 * time.Minute
+	// A load cap of 2 means the two items cannot share one enclosure, so
+	// the ranking decides who gets the first one.
+	cfg.MaxIOPS = 2
+	p, arr, ctx, ids := buildRun(t, cfg, 2,
+		[]int64{1 << 30, 1 << 30},
+		[]int{0, 1})
+	for i := 0; i < 1000; i++ {
+		p.OnLogical(trace.LogicalRecord{
+			Time: time.Duration(i) * 500 * time.Millisecond,
+			Item: ids[1], Size: 8 << 10, Op: trace.OpRead,
+		})
+	}
+	p.OnLogical(trace.LogicalRecord{Time: time.Minute, Item: ids[0], Size: 8 << 10, Op: trace.OpRead})
+	ctx.Queue.RunUntil(ctx.Clock, 7*time.Minute)
+	if p.Determinations() < 1 {
+		t.Fatal("no reorganisation ran")
+	}
+	if arr.ItemEnclosure(ids[1]) != 0 {
+		t.Fatalf("popular item on enclosure %d, want 0", arr.ItemEnclosure(ids[1]))
+	}
+	if arr.ItemEnclosure(ids[0]) != 1 {
+		t.Fatalf("unpopular item on enclosure %d, want 1", arr.ItemEnclosure(ids[0]))
+	}
+}
+
+func TestPDCEnablesSpinDownEverywhere(t *testing.T) {
+	_, arr, _, _ := buildRun(t, DefaultConfig(), 3, []int64{1 << 20}, []int{0})
+	for e := 0; e < 3; e++ {
+		if !arr.SpinDownEnabled(e) {
+			t.Fatalf("enclosure %d spin-down not enabled", e)
+		}
+	}
+}
+
+func TestPDCRespectsLoadCap(t *testing.T) {
+	// Two items whose 1-second peaks each exceed half the cap cannot
+	// share an enclosure; the second goes to the next one.
+	cfg := DefaultConfig()
+	cfg.Period = 5 * time.Minute
+	cfg.MaxIOPS = 100
+	p, arr, ctx, ids := buildRun(t, cfg, 3,
+		[]int64{1 << 30, 1 << 30},
+		[]int{2, 2})
+	// Bursts of 80 I/Os within one second each: peak 80 for both items.
+	for i := 0; i < 80; i++ {
+		p.OnLogical(trace.LogicalRecord{Time: time.Minute, Item: ids[0], Size: 8 << 10, Op: trace.OpRead})
+		p.OnLogical(trace.LogicalRecord{Time: 2 * time.Minute, Item: ids[1], Size: 8 << 10, Op: trace.OpRead})
+	}
+	// Check right after the first reorganisation: with fresh peaks the
+	// cap must split the items. (Once the items fall idle, later periods
+	// may legitimately re-pack them.)
+	ctx.Queue.RunUntil(ctx.Clock, 6*time.Minute)
+	a, b := arr.ItemEnclosure(ids[0]), arr.ItemEnclosure(ids[1])
+	if a == b {
+		t.Fatalf("items with peak 80 packed onto one enclosure (cap 100): %d/%d", a, b)
+	}
+}
+
+func TestPDCLeavesUnplaceableItemsInPlace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Period = 5 * time.Minute
+	cfg.MaxIOPS = 10
+	p, arr, ctx, ids := buildRun(t, cfg, 2, []int64{1 << 30}, []int{1})
+	for i := 0; i < 50; i++ {
+		p.OnLogical(trace.LogicalRecord{Time: time.Minute, Item: ids[0], Size: 8 << 10, Op: trace.OpRead})
+	}
+	ctx.Queue.RunUntil(ctx.Clock, 6*time.Minute)
+	if arr.ItemEnclosure(ids[0]) != 1 {
+		t.Fatal("item with peak above the cap was migrated")
+	}
+}
+
+func TestPDCDeterminationsMatchPeriods(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Period = 10 * time.Minute
+	p, _, ctx, _ := buildRun(t, cfg, 2, []int64{1 << 20}, []int{0})
+	ctx.Queue.RunUntil(ctx.Clock, time.Hour)
+	if got := p.Determinations(); got != 6 {
+		t.Fatalf("determinations %d in 1h with a 10m period, want 6", got)
+	}
+}

@@ -1,0 +1,71 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"esm/internal/simclock"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+func testContext(t *testing.T, n int) (*Context, *storage.Array) {
+	t.Helper()
+	cat := trace.NewCatalog()
+	id := cat.Add("x", 1<<20)
+	clk := &simclock.Clock{}
+	evq := &simclock.EventQueue{}
+	arr, err := storage.New(storage.DefaultConfig(n), clk, evq, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Place(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	return &Context{Array: arr, Catalog: cat, Clock: clk, Queue: evq, End: time.Hour}, arr
+}
+
+func TestNoPowerSavingKeepsEverythingOn(t *testing.T) {
+	ctx, arr := testContext(t, 3)
+	var p NoPowerSaving
+	p.Init(ctx)
+	for e := 0; e < 3; e++ {
+		if arr.SpinDownEnabled(e) {
+			t.Fatalf("enclosure %d spin-down enabled under no-power-saving", e)
+		}
+	}
+	ctx.Queue.RunUntil(ctx.Clock, 30*time.Minute)
+	arr.Finish()
+	for e := 0; e < 3; e++ {
+		if !arr.EnclosureOn(e, ctx.Clock.Now()) {
+			t.Fatalf("enclosure %d powered off", e)
+		}
+	}
+	if p.Name() != "none" || p.Determinations() != 0 {
+		t.Fatal("identity accessors wrong")
+	}
+	p.OnLogical(trace.LogicalRecord{})
+	p.OnPhysical(trace.PhysicalRecord{})
+	p.OnPower(0, 0, true)
+	p.Finish(time.Hour)
+}
+
+func TestFixedTimeoutSpinsEverythingDown(t *testing.T) {
+	ctx, arr := testContext(t, 3)
+	var p FixedTimeout
+	p.Init(ctx)
+	ctx.Queue.RunUntil(ctx.Clock, 30*time.Minute)
+	arr.Finish()
+	for e := 0; e < 3; e++ {
+		if arr.EnclosureOn(e, ctx.Clock.Now()) {
+			t.Fatalf("idle enclosure %d still on under fixed timeout", e)
+		}
+	}
+	if p.Name() != "timeout" || p.Determinations() != 0 {
+		t.Fatal("identity accessors wrong")
+	}
+	p.OnLogical(trace.LogicalRecord{})
+	p.OnPhysical(trace.PhysicalRecord{})
+	p.OnPower(0, 0, false)
+	p.Finish(time.Hour)
+}

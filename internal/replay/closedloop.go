@@ -1,0 +1,89 @@
+// Closed-loop replay: per-data-item streams with queue depth one.
+
+package replay
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"esm/internal/simclock"
+	"esm/internal/trace"
+)
+
+// itemCursor walks one data item's records through the shifted timeline.
+type itemCursor struct {
+	item trace.ItemID
+	// recs are indices into the global record slice, in time order.
+	recs []int32
+	pos  int
+	// delay is how far the item's timeline has been pushed back by
+	// stalls; notBefore is the completion time of the item's last I/O.
+	delay     time.Duration
+	notBefore time.Duration
+	// eff is the effective issue time of the next record.
+	eff   time.Duration
+	index int // heap index
+}
+
+type cursorHeap []*itemCursor
+
+func (h cursorHeap) Len() int           { return len(h) }
+func (h cursorHeap) Less(i, j int) bool { return h[i].eff < h[j].eff }
+func (h cursorHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *cursorHeap) Push(x any)        { c := x.(*itemCursor); c.index = len(*h); *h = append(*h, c) }
+func (h *cursorHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+
+// runClosedLoop replays the records item by item: each item issues its
+// next I/O at its original spacing, but never before its previous I/O
+// completed. Stalls (queueing, spin-up waits) push the item's remaining
+// records back in time, as a blocked application thread would be.
+func runClosedLoop(r Run, clk *simclock.Clock, evq *simclock.EventQueue, submit func(rec trace.LogicalRecord, origTime time.Duration) time.Duration) error {
+	perItem := make(map[trace.ItemID][]int32)
+	var prev time.Duration
+	for i := range r.Records {
+		rec := &r.Records[i]
+		if rec.Time < prev {
+			return fmt.Errorf("replay: record %d out of order", i)
+		}
+		prev = rec.Time
+		perItem[rec.Item] = append(perItem[rec.Item], int32(i))
+	}
+	h := make(cursorHeap, 0, len(perItem))
+	for item, recs := range perItem {
+		c := &itemCursor{item: item, recs: recs}
+		c.eff = r.Records[recs[0]].Time
+		h = append(h, c)
+	}
+	heap.Init(&h)
+
+	for h.Len() > 0 {
+		c := h[0]
+		rec := r.Records[c.recs[c.pos]]
+		issueAt := c.eff
+		if issueAt < clk.Now() {
+			// Another item's stall moved the global clock past this
+			// record's effective time; issue immediately.
+			issueAt = clk.Now()
+		}
+		evq.RunUntil(clk, issueAt)
+		shifted := rec
+		shifted.Time = issueAt
+		resp := submit(shifted, rec.Time)
+		c.notBefore = issueAt + resp
+		c.delay = issueAt - rec.Time
+		c.pos++
+		if c.pos >= len(c.recs) {
+			heap.Pop(&h)
+			continue
+		}
+		next := r.Records[c.recs[c.pos]]
+		eff := next.Time + c.delay
+		if eff < c.notBefore {
+			eff = c.notBefore
+		}
+		c.eff = eff
+		heap.Fix(&h, 0)
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+// Package replay is the simulator's equivalent of the paper's trace
+// replay tool with a power-saving method (§VII-A.2, Fig. 7): it feeds a
+// logical I/O trace through a pluggable policy into the simulated storage
+// unit, on one virtual timeline, and measures power consumption, I/O
+// response time and throughput, migrated data size, and the enclosure
+// I/O interval distribution.
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"esm/internal/metrics"
+	"esm/internal/monitor"
+	"esm/internal/policy"
+	"esm/internal/powermodel"
+	"esm/internal/simclock"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+// Run describes one replay experiment.
+type Run struct {
+	// Catalog names the data items of the trace.
+	Catalog *trace.Catalog
+	// Records is the logical trace, sorted by time.
+	Records []trace.LogicalRecord
+	// Placement is the initial enclosure of every item, indexed by ItemID.
+	Placement []int
+	// Storage configures the simulated array.
+	Storage storage.Config
+	// Policy is the power-saving method under test.
+	Policy policy.Policy
+	// Duration is the measurement span. When zero, the time of the last
+	// record is used.
+	Duration time.Duration
+	// ClosedLoop, when set, replays each data item's I/O stream with a
+	// queue depth of one: an I/O cannot be issued before the item's
+	// previous I/O completed, and the stall shifts the item's remaining
+	// records. This models applications that block on I/O (sequential
+	// scans, file-server sessions); a spin-up then delays a burst once
+	// instead of being charged to every I/O issued during the wait. OLTP
+	// traces, issued by many concurrent threads, replay open-loop.
+	ClosedLoop bool
+	// Windows optionally marks named sub-spans (TPC-H queries) whose read
+	// responses are aggregated separately for the Fig. 15 analysis.
+	Windows []Window
+}
+
+// Window is a named measurement sub-span.
+type Window struct {
+	Name  string
+	Start time.Duration
+	End   time.Duration
+}
+
+// WindowResult is the per-window read-response aggregate.
+type WindowResult struct {
+	Name    string
+	Reads   int64
+	ReadSum time.Duration
+}
+
+// Result is the outcome of one replay.
+type Result struct {
+	// PolicyName identifies the policy.
+	PolicyName string
+	// Span is the measurement duration.
+	Span time.Duration
+	// AvgEnclosureW and AvgTotalW are the average power draws; EnergyJ is
+	// total energy including the controller.
+	AvgEnclosureW float64
+	AvgTotalW     float64
+	EnergyJ       float64
+	// Resp aggregates application I/O response times.
+	Resp metrics.ResponseStats
+	// Windows carries the per-window read aggregates, aligned with
+	// Run.Windows.
+	Windows []WindowResult
+	// Storage is the final array counter snapshot.
+	Storage storage.Stats
+	// Determinations is the policy's data-placement determination count.
+	Determinations int64
+	// SpinUps is the total number of enclosure power-ons.
+	SpinUps int
+	// PowerSeries samples the average summed enclosure power over
+	// consecutive buckets of PowerBucket each — the simulator's version
+	// of the §III-B "power consumption of the storage device" records.
+	PowerSeries []float64
+	PowerBucket time.Duration
+	// Monitor is the storage monitor used for metrics; it holds the
+	// per-enclosure interval distributions behind Figs 17–19.
+	Monitor *monitor.StorageMonitor
+	// StateMix is each enclosure's power-state residency over the run.
+	StateMix []StateResidency
+}
+
+// StateResidency is the fraction of the run one enclosure spent in each
+// power state.
+type StateResidency struct {
+	Active, Idle, Off, SpinUp float64
+}
+
+// Execute runs the experiment.
+func Execute(r Run) (*Result, error) {
+	if r.Catalog == nil || r.Policy == nil {
+		return nil, fmt.Errorf("replay: catalog and policy are required")
+	}
+	if len(r.Placement) != r.Catalog.Len() {
+		return nil, fmt.Errorf("replay: placement covers %d of %d items", len(r.Placement), r.Catalog.Len())
+	}
+	end := r.Duration
+	if n := len(r.Records); n > 0 && r.Records[n-1].Time > end {
+		end = r.Records[n-1].Time
+	}
+
+	var clk simclock.Clock
+	var evq simclock.EventQueue
+	arr, err := storage.New(r.Storage, &clk, &evq, r.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	for item, enc := range r.Placement {
+		if err := arr.Place(trace.ItemID(item), enc); err != nil {
+			return nil, err
+		}
+	}
+
+	stMon := monitor.NewStorageMonitor(r.Storage.Enclosures)
+	pol := r.Policy
+	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) {
+		stMon.RecordPhysical(rec)
+		pol.OnPhysical(rec)
+	})
+	arr.SetPowerObserver(func(enc int, at time.Duration, on bool) {
+		stMon.RecordPower(enc, at, on)
+		pol.OnPower(enc, at, on)
+	})
+
+	ctx := &policy.Context{
+		Array:   arr,
+		Catalog: r.Catalog,
+		Clock:   &clk,
+		Queue:   &evq,
+		End:     end,
+	}
+	pol.Init(ctx)
+
+	res := &Result{PolicyName: pol.Name(), Span: end}
+
+	// Sample enclosure power on a fixed grid (~120 buckets per run).
+	if end > 0 {
+		res.PowerBucket = end / 120
+		if res.PowerBucket < time.Second {
+			res.PowerBucket = time.Second
+		}
+		var lastJ float64
+		var sample func(now time.Duration)
+		sample = func(now time.Duration) {
+			arr.Finish()
+			j := arr.Meter().EnclosureEnergyJ()
+			res.PowerSeries = append(res.PowerSeries, (j-lastJ)/res.PowerBucket.Seconds())
+			lastJ = j
+			if next := now + res.PowerBucket; next <= end {
+				evq.Schedule(next, sample)
+			}
+		}
+		evq.Schedule(res.PowerBucket, sample)
+	}
+	res.Windows = make([]WindowResult, len(r.Windows))
+	for i, w := range r.Windows {
+		res.Windows[i].Name = w.Name
+	}
+
+	submit := func(rec trace.LogicalRecord, origTime time.Duration) time.Duration {
+		pol.OnLogical(rec)
+		out := arr.Submit(rec)
+		res.Resp.Add(rec.Op, out.Response)
+		if rec.Op == trace.OpRead {
+			for wi, w := range r.Windows {
+				if origTime >= w.Start && origTime < w.End {
+					res.Windows[wi].Reads++
+					res.Windows[wi].ReadSum += out.Response
+				}
+			}
+		}
+		return out.Response
+	}
+
+	if r.ClosedLoop {
+		if err := runClosedLoop(r, &clk, &evq, submit); err != nil {
+			return nil, err
+		}
+	} else {
+		var prev time.Duration
+		for i := range r.Records {
+			rec := r.Records[i]
+			if rec.Time < prev {
+				return nil, fmt.Errorf("replay: record %d out of order", i)
+			}
+			prev = rec.Time
+			evq.RunUntil(&clk, rec.Time)
+			submit(rec, rec.Time)
+		}
+	}
+	if clk.Now() > end {
+		end = clk.Now()
+		res.Span = end
+	}
+	evq.RunUntil(&clk, end)
+	pol.Finish(end)
+	arr.FlushAll()
+	arr.Finish()
+	stMon.Finish(end)
+
+	res.Storage = arr.Stats()
+	res.Determinations = pol.Determinations()
+	res.SpinUps = arr.Meter().SpinUps()
+	res.AvgEnclosureW = arr.Meter().AverageEnclosureW(end)
+	res.AvgTotalW = arr.Meter().AverageTotalW(end)
+	res.EnergyJ = arr.Meter().TotalEnergyJ(end)
+	res.Monitor = stMon
+	for e := 0; e < r.Storage.Enclosures; e++ {
+		acc := arr.Meter().Enclosure(e)
+		total := acc.Duration().Seconds()
+		if total <= 0 {
+			res.StateMix = append(res.StateMix, StateResidency{})
+			continue
+		}
+		res.StateMix = append(res.StateMix, StateResidency{
+			Active: acc.InState(powermodel.Active).Seconds() / total,
+			Idle:   acc.InState(powermodel.Idle).Seconds() / total,
+			Off:    acc.InState(powermodel.Off).Seconds() / total,
+			SpinUp: acc.InState(powermodel.SpinUp).Seconds() / total,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,623 @@
+// Array is the simulated storage unit: the facade the replay engine and
+// the power-saving policies talk to.
+
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"esm/internal/powermodel"
+	"esm/internal/simclock"
+	"esm/internal/trace"
+)
+
+// Result describes the outcome of one application I/O.
+type Result struct {
+	// Response is the application-observed response time, including
+	// spin-up waits and queueing delay for physical I/Os.
+	Response time.Duration
+	// CacheHit reports whether the I/O was served entirely from cache.
+	CacheHit bool
+	// Enclosure is the enclosure that served a physical I/O, or -1.
+	Enclosure int
+}
+
+// Stats aggregates array-level counters.
+type Stats struct {
+	PhysicalReads     int64
+	PhysicalWrites    int64
+	CacheHits         int64
+	DelayedWrites     int64
+	MigratedBytes     int64
+	Migrations        int64
+	MigrationsSkipped int64
+	FlushedBytes      int64
+	PreloadedBytes    int64
+}
+
+// ExtentRef identifies one extent of a data item.
+type ExtentRef struct {
+	Item   trace.ItemID
+	Extent int64
+}
+
+type extentLoc struct {
+	enc  int
+	base int64
+}
+
+type itemState struct {
+	placed bool
+	enc    int
+	base   int64
+	size   int64
+}
+
+// segment maps a block range of an enclosure back to the data item living
+// there, for physical-to-logical resolution (used by DDR).
+type segment struct {
+	base   int64
+	size   int64
+	item   trace.ItemID
+	extent int64 // -1 for a whole-item segment
+}
+
+type migration struct {
+	item   trace.ItemID
+	dst    int
+	offset int64
+	done   func()
+}
+
+// Array simulates the storage unit.
+type Array struct {
+	cfg  Config
+	clk  *simclock.Clock
+	evq  *simclock.EventQueue
+	cat  *trace.Catalog
+	mtr  *powermodel.Meter
+	enc  []*enclosure
+	segs [][]segment
+
+	items   []itemState
+	extents map[ExtentRef]extentLoc
+
+	general *lru
+	preload *preloadState
+	wdelay  *writeDelayState
+
+	stats Stats
+
+	physObs  func(rec trace.PhysicalRecord)
+	powerObs func(enc int, at time.Duration, on bool)
+
+	migQueue  []*migration
+	migActive bool
+}
+
+// New builds an array. The clock and event queue are shared with the
+// replay engine so migrations and application I/O interleave on one
+// virtual timeline.
+func New(cfg Config, clk *simclock.Clock, evq *simclock.EventQueue, cat *trace.Catalog) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{
+		cfg:     cfg,
+		clk:     clk,
+		evq:     evq,
+		cat:     cat,
+		mtr:     powermodel.NewMeter(cfg.Power, cfg.Enclosures),
+		enc:     make([]*enclosure, cfg.Enclosures),
+		segs:    make([][]segment, cfg.Enclosures),
+		items:   make([]itemState, cat.Len()),
+		extents: make(map[ExtentRef]extentLoc),
+		general: newLRU(cfg.generalCacheBytes(), cfg.CachePageBytes),
+		preload: newPreloadState(cfg.PreloadCacheBytes),
+		wdelay:  newWriteDelayState(cfg.WriteDelayCacheBytes, cfg.DirtyBlockRate),
+	}
+	for i := range a.enc {
+		a.enc[i] = newEnclosure(i, &a.cfg)
+		a.enc[i].acc = a.mtr.Enclosure(i)
+		a.enc[i].powerEvent = a.onPowerEvent
+	}
+	return a, nil
+}
+
+func (a *Array) onPowerEvent(enc int, at time.Duration, on bool) {
+	if a.powerObs != nil {
+		a.powerObs(enc, at, on)
+	}
+}
+
+// SetPhysicalObserver installs a callback invoked for every physical I/O
+// issued to an enclosure (application, migration, flush and preload
+// traffic alike). It feeds the storage monitor.
+func (a *Array) SetPhysicalObserver(fn func(rec trace.PhysicalRecord)) { a.physObs = fn }
+
+// SetPowerObserver installs a callback invoked on every enclosure
+// power-state transition.
+func (a *Array) SetPowerObserver(fn func(enc int, at time.Duration, on bool)) { a.powerObs = fn }
+
+// Config returns the array configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// Meter returns the power meter.
+func (a *Array) Meter() *powermodel.Meter { return a.mtr }
+
+// Stats returns a snapshot of the array counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// Enclosures returns the enclosure count.
+func (a *Array) Enclosures() int { return len(a.enc) }
+
+// Capacity returns the per-enclosure capacity in bytes.
+func (a *Array) Capacity() int64 { return a.cfg.EnclosureCapacity }
+
+// Used returns the bytes allocated on enclosure e.
+func (a *Array) Used(e int) int64 { return a.enc[e].used }
+
+// EnclosureOn reports whether enclosure e is spun up at time now.
+func (a *Array) EnclosureOn(e int, now time.Duration) bool {
+	a.enc[e].sync(now)
+	return a.enc[e].on
+}
+
+// IdleSince returns the start of enclosure e's current idle period; ok is
+// false when the enclosure is busy or powered off.
+func (a *Array) IdleSince(e int, now time.Duration) (time.Duration, bool) {
+	a.enc[e].sync(now)
+	return a.enc[e].idleSince(now)
+}
+
+// SpinDownEnabled reports whether power-off is enabled for enclosure e.
+func (a *Array) SpinDownEnabled(e int) bool { return a.enc[e].spindownEnabled }
+
+// SetSpinDownEnabled enables or disables the power-off function for one
+// enclosure. Policies call this to mark cold enclosures.
+func (a *Array) SetSpinDownEnabled(e int, enabled bool) {
+	a.enc[e].setSpinDown(a.clk.Now(), enabled)
+}
+
+// Place assigns item its initial location on enclosure e. Every item must
+// be placed exactly once, before replay starts.
+func (a *Array) Place(item trace.ItemID, e int) error {
+	st := &a.items[item]
+	if st.placed {
+		return fmt.Errorf("storage: item %q placed twice", a.cat.Name(item))
+	}
+	if e < 0 || e >= len(a.enc) {
+		return fmt.Errorf("storage: enclosure %d out of range", e)
+	}
+	size := a.cat.Size(item)
+	if a.enc[e].used+size > a.cfg.EnclosureCapacity {
+		return fmt.Errorf("storage: enclosure %d over capacity placing %q", e, a.cat.Name(item))
+	}
+	base := a.enc[e].alloc(size)
+	*st = itemState{placed: true, enc: e, base: base, size: size}
+	a.segs[e] = append(a.segs[e], segment{base: base, size: size, item: item, extent: -1})
+	return nil
+}
+
+// ItemEnclosure returns the home enclosure of item.
+func (a *Array) ItemEnclosure(item trace.ItemID) int { return a.items[item].enc }
+
+// ItemSize returns the size of item in bytes.
+func (a *Array) ItemSize(item trace.ItemID) int64 { return a.items[item].size }
+
+// locate returns the physical location of a byte offset within item,
+// honouring extent overrides.
+func (a *Array) locate(item trace.ItemID, offset int64) (enc int, block int64) {
+	st := &a.items[item]
+	if len(a.extents) > 0 {
+		ext := offset / a.cfg.ExtentBytes
+		if loc, ok := a.extents[ExtentRef{item, ext}]; ok {
+			return loc.enc, loc.base + offset%a.cfg.ExtentBytes
+		}
+	}
+	return st.enc, st.base + offset
+}
+
+// ResolveExtent maps a physical (enclosure, block) back to the data-item
+// extent living there. It lets physical-level policies (DDR) select
+// migration units without application knowledge.
+func (a *Array) ResolveExtent(e int, block int64) (ExtentRef, bool) {
+	for i := range a.segs[e] {
+		s := &a.segs[e][i]
+		if block >= s.base && block < s.base+s.size {
+			if s.extent >= 0 {
+				return ExtentRef{s.item, s.extent}, true
+			}
+			return ExtentRef{s.item, (block - s.base) / a.cfg.ExtentBytes}, true
+		}
+	}
+	return ExtentRef{}, false
+}
+
+// physical issues one physical I/O and returns its completion time.
+func (a *Array) physical(now time.Duration, e int, block int64, size int32, op trace.Op, forceSeq bool) time.Duration {
+	encl := a.enc[e]
+	seq := encl.isSequential(block, size) || forceSeq
+	end := encl.arrival(now, block, size, seq)
+	if op == trace.OpRead {
+		a.stats.PhysicalReads++
+	} else {
+		a.stats.PhysicalWrites++
+	}
+	if a.physObs != nil {
+		a.physObs(trace.PhysicalRecord{
+			Time:      now,
+			Enclosure: int32(e),
+			Block:     block,
+			Size:      size,
+			Op:        op,
+		})
+	}
+	return end
+}
+
+// Submit executes one application I/O at the current virtual time.
+func (a *Array) Submit(rec trace.LogicalRecord) Result {
+	now := a.clk.Now()
+	item := rec.Item
+	if !a.items[item].placed {
+		panic(fmt.Sprintf("storage: I/O to unplaced item %d", item))
+	}
+	firstPage := rec.Offset / a.cfg.CachePageBytes
+	lastPage := (rec.Offset + int64(rec.Size) - 1) / a.cfg.CachePageBytes
+	if rec.Size <= 0 {
+		lastPage = firstPage
+	}
+
+	if rec.Op == trace.OpRead {
+		if a.preload.hit(item, now) {
+			a.stats.CacheHits++
+			return Result{Response: a.cfg.CacheHitTime, CacheHit: true, Enclosure: -1}
+		}
+		if a.readCached(item, firstPage, lastPage) {
+			a.stats.CacheHits++
+			return Result{Response: a.cfg.CacheHitTime, CacheHit: true, Enclosure: -1}
+		}
+		e, block := a.locate(item, rec.Offset)
+		end := a.physical(now, e, block, rec.Size, trace.OpRead, false)
+		if !a.preload.pinned(item) {
+			for p := firstPage; p <= lastPage; p++ {
+				a.general.insert(pageKey{item, p})
+			}
+		}
+		return Result{Response: end - now, Enclosure: e}
+	}
+
+	// Write path.
+	if a.wdelay.selected[item] {
+		a.stats.DelayedWrites++
+		if a.wdelay.absorb(item, firstPage, lastPage, rec.Size) {
+			a.flushWriteDelay(now)
+		}
+		return Result{Response: a.cfg.CacheAckTime, CacheHit: true, Enclosure: -1}
+	}
+	e, block := a.locate(item, rec.Offset)
+	end := a.physical(now, e, block, rec.Size, trace.OpWrite, false)
+	for p := firstPage; p <= lastPage; p++ {
+		if a.general.contains(pageKey{item, p}) {
+			a.general.insert(pageKey{item, p})
+		}
+	}
+	return Result{Response: end - now, Enclosure: e}
+}
+
+// readCached reports whether every page of the read is available in the
+// general LRU or among write-delay dirty pages.
+func (a *Array) readCached(item trace.ItemID, firstPage, lastPage int64) bool {
+	for p := firstPage; p <= lastPage; p++ {
+		k := pageKey{item, p}
+		if a.general.contains(k) {
+			continue
+		}
+		if a.wdelay.dirtyPages[k] {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// chunked issues a bulk transfer as a series of physical I/Os of at most
+// chunk bytes, all submitted at time now (they serialise in the enclosure
+// queue). It returns the completion time of the last chunk.
+func (a *Array) chunked(now time.Duration, e int, base, size int64, chunk int64, op trace.Op) time.Duration {
+	var end time.Duration
+	for off := int64(0); off < size; off += chunk {
+		n := chunk
+		if size-off < n {
+			n = size - off
+		}
+		end = a.physical(now, e, base+off, int32(n), op, true)
+	}
+	return end
+}
+
+// flushWriteDelay destages every dirty item in one go (the paper's bulk
+// write when the dirty-block rate is reached).
+func (a *Array) flushWriteDelay(now time.Duration) {
+	items := make([]trace.ItemID, 0, len(a.wdelay.dirtyBytes))
+	for it := range a.wdelay.dirtyBytes {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, it := range items {
+		a.flushItem(now, it)
+	}
+}
+
+// flushItem destages the dirty bytes of one item to its home enclosure.
+func (a *Array) flushItem(now time.Duration, item trace.ItemID) {
+	n := a.wdelay.clearItem(item)
+	if n == 0 {
+		return
+	}
+	st := &a.items[item]
+	a.chunked(now, st.enc, st.base, n, 256<<20, trace.OpWrite)
+	a.stats.FlushedBytes += n
+}
+
+// SetWriteDelay replaces the set of write-delay-applied items. Items that
+// leave the set have their dirty data destaged immediately (§V-B).
+func (a *Array) SetWriteDelay(items []trace.ItemID) {
+	now := a.clk.Now()
+	next := make(map[trace.ItemID]bool, len(items))
+	for _, it := range items {
+		next[it] = true
+	}
+	for it := range a.wdelay.selected {
+		if !next[it] {
+			a.flushItem(now, it)
+		}
+	}
+	a.wdelay.selected = next
+}
+
+// WriteDelayed reports whether item is currently write-delay applied.
+func (a *Array) WriteDelayed(item trace.ItemID) bool { return a.wdelay.selected[item] }
+
+// SetPreload replaces the set of preloaded items (§V-C): items no longer
+// selected are evicted, newly selected items are loaded from their
+// enclosures with bulk sequential reads, and already-loaded items are
+// kept. The list is priority-ordered: the partition budget is granted in
+// list order, so a previously pinned item that no longer fits behind
+// higher-priority selections is evicted rather than squatting on the
+// budget forever.
+func (a *Array) SetPreload(items []trace.ItemID) {
+	now := a.clk.Now()
+	keep := make(map[trace.ItemID]bool, len(items))
+	var used int64
+	var toLoad []trace.ItemID
+	for _, it := range items {
+		if keep[it] {
+			continue
+		}
+		size := a.items[it].size
+		if used+size > a.preload.capBytes {
+			continue
+		}
+		keep[it] = true
+		used += size
+		if !a.preload.pinned(it) {
+			toLoad = append(toLoad, it)
+		}
+	}
+	for it := range a.preload.loadedAt {
+		if !keep[it] {
+			delete(a.preload.loadedAt, it)
+		}
+	}
+	a.preload.usedBytes = used
+	for _, it := range toLoad {
+		st := &a.items[it]
+		end := a.chunked(now, st.enc, st.base, st.size, 256<<20, trace.OpRead)
+		a.preload.loadedAt[it] = end
+		a.stats.PreloadedBytes += st.size
+	}
+}
+
+// Preloaded reports whether item is pinned in the preload partition.
+func (a *Array) Preloaded(item trace.ItemID) bool { return a.preload.pinned(item) }
+
+// PreloadCapacity returns the preload partition size in bytes.
+func (a *Array) PreloadCapacity() int64 { return a.preload.capBytes }
+
+// MigrateItem queues an online migration of item to enclosure dst.
+// Migrations are throttled to MigrationBps and run one at a time, in
+// submission order (§V-A): spills from hot enclosures run before the P3
+// moves whose space they create. The destination capacity check therefore
+// happens when the migration starts, not when it is queued; a migration
+// whose destination is still full at start time is dropped and counted in
+// Stats.MigrationsSkipped. done, if non-nil, runs when the copy finishes.
+func (a *Array) MigrateItem(item trace.ItemID, dst int, done func()) error {
+	st := &a.items[item]
+	if !st.placed {
+		return fmt.Errorf("storage: migrating unplaced item %d", item)
+	}
+	if dst < 0 || dst >= len(a.enc) {
+		return fmt.Errorf("storage: enclosure %d out of range", dst)
+	}
+	if dst == st.enc {
+		if done != nil {
+			done()
+		}
+		return nil
+	}
+	a.migQueue = append(a.migQueue, &migration{item: item, dst: dst, done: done})
+	a.kickMigration()
+	return nil
+}
+
+func (a *Array) kickMigration() {
+	for !a.migActive && len(a.migQueue) > 0 {
+		m := a.migQueue[0]
+		a.migQueue = a.migQueue[1:]
+		st := &a.items[m.item]
+		if m.dst == st.enc {
+			if m.done != nil {
+				m.done()
+			}
+			continue
+		}
+		if a.enc[m.dst].used+st.size > a.cfg.EnclosureCapacity {
+			a.stats.MigrationsSkipped++
+			continue
+		}
+		// Reserve destination space for the duration of the copy.
+		a.enc[m.dst].used += st.size
+		a.migActive = true
+		// Destage any delayed writes so the copy is complete.
+		a.flushItem(a.clk.Now(), m.item)
+		a.stats.Migrations++
+		a.migrateChunk(a.clk.Now(), m)
+	}
+}
+
+// migrateChunk copies the next chunk of m and schedules the following one
+// at the throttled rate.
+func (a *Array) migrateChunk(now time.Duration, m *migration) {
+	st := &a.items[m.item]
+	size := st.size
+	n := a.cfg.MigrationChunkBytes
+	if size-m.offset < n {
+		n = size - m.offset
+	}
+	if n > 0 {
+		src, block := st.enc, st.base+m.offset
+		a.physical(now, src, block, int32(n), trace.OpRead, true)
+		// The destination base is assigned on completion; chunk writes land
+		// at the current allocation cursor so sequential detection holds.
+		dstBlock := a.enc[m.dst].allocCursor + m.offset
+		a.physical(now, m.dst, dstBlock, int32(n), trace.OpWrite, true)
+		a.stats.MigratedBytes += n
+		m.offset += n
+	}
+	if m.offset >= size {
+		a.finishMigration(m)
+		return
+	}
+	delay := time.Duration(float64(n) / a.cfg.MigrationBps * float64(time.Second))
+	a.evq.Schedule(now+delay, func(t time.Duration) { a.migrateChunk(t, m) })
+}
+
+func (a *Array) finishMigration(m *migration) {
+	st := &a.items[m.item]
+	src := st.enc
+	// Drop source segments (whole-item and extent overrides alike).
+	a.removeItemSegments(src, m.item)
+	for ref, loc := range a.extents {
+		if ref.Item == m.item {
+			a.removeItemSegments(loc.enc, m.item)
+			a.enc[loc.enc].used -= a.extentSize(m.item, ref.Extent)
+			delete(a.extents, ref)
+		}
+	}
+	a.enc[src].used -= st.size
+	// The destination reservation made in MigrateItem becomes the real
+	// allocation; alloc would double count, so only advance the cursor.
+	base := a.enc[m.dst].allocCursor
+	a.enc[m.dst].allocCursor += st.size
+	st.enc = m.dst
+	st.base = base
+	a.segs[m.dst] = append(a.segs[m.dst], segment{base: base, size: st.size, item: m.item, extent: -1})
+	a.migActive = false
+	if m.done != nil {
+		m.done()
+	}
+	a.kickMigration()
+}
+
+func (a *Array) removeItemSegments(e int, item trace.ItemID) {
+	segs := a.segs[e][:0]
+	for _, s := range a.segs[e] {
+		if s.item != item {
+			segs = append(segs, s)
+		}
+	}
+	a.segs[e] = segs
+}
+
+// extentSize returns the byte size of extent ext of item (the last extent
+// may be short).
+func (a *Array) extentSize(item trace.ItemID, ext int64) int64 {
+	size := a.items[item].size
+	start := ext * a.cfg.ExtentBytes
+	if start >= size {
+		return 0
+	}
+	n := a.cfg.ExtentBytes
+	if size-start < n {
+		n = size - start
+	}
+	return n
+}
+
+// MigrateExtent immediately relocates one extent of item to enclosure dst,
+// copying it through the enclosure queues. This is the physical-block
+// migration primitive used by DDR. It returns an error when dst lacks
+// space or the extent is empty.
+func (a *Array) MigrateExtent(ref ExtentRef, dst int) error {
+	n := a.extentSize(ref.Item, ref.Extent)
+	if n == 0 {
+		return fmt.Errorf("storage: empty extent %v", ref)
+	}
+	now := a.clk.Now()
+	srcEnc, srcBlock := a.locate(ref.Item, ref.Extent*a.cfg.ExtentBytes)
+	if srcEnc == dst {
+		return nil
+	}
+	if a.enc[dst].used+n > a.cfg.EnclosureCapacity {
+		return fmt.Errorf("storage: enclosure %d lacks space for extent %v", dst, ref)
+	}
+	a.physical(now, srcEnc, srcBlock, int32(n), trace.OpRead, true)
+	base := a.enc[dst].alloc(n)
+	a.physical(now, dst, base, int32(n), trace.OpWrite, true)
+	if loc, ok := a.extents[ref]; ok {
+		// The extent had already been remapped once; release its previous
+		// override allocation.
+		a.enc[loc.enc].used -= n
+		a.removeExtentSegment(loc.enc, ref)
+	}
+	a.extents[ref] = extentLoc{enc: dst, base: base}
+	a.segs[dst] = append(a.segs[dst], segment{base: base, size: n, item: ref.Item, extent: ref.Extent})
+	a.stats.MigratedBytes += n
+	a.stats.Migrations++
+	return nil
+}
+
+func (a *Array) removeExtentSegment(e int, ref ExtentRef) {
+	segs := a.segs[e][:0]
+	for _, s := range a.segs[e] {
+		if s.item == ref.Item && s.extent == ref.Extent {
+			continue
+		}
+		segs = append(segs, s)
+	}
+	a.segs[e] = segs
+}
+
+// MigrationsPending reports whether migrations are queued or running.
+func (a *Array) MigrationsPending() bool { return a.migActive || len(a.migQueue) > 0 }
+
+// DropQueuedMigrations discards every migration that has not started yet.
+// A policy calls this when a new placement plan supersedes the previous
+// one; the in-flight copy, if any, still completes.
+func (a *Array) DropQueuedMigrations() { a.migQueue = nil }
+
+// FlushAll destages every dirty write-delayed item, as at end of run.
+func (a *Array) FlushAll() { a.flushWriteDelay(a.clk.Now()) }
+
+// Finish integrates every enclosure's power timeline up to now. Call it
+// once after the event queue drains, before reading the meter.
+func (a *Array) Finish() {
+	now := a.clk.Now()
+	for _, e := range a.enc {
+		e.sync(now)
+	}
+}

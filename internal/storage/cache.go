@@ -1,0 +1,146 @@
+// The partitioned battery-backed storage cache: general read LRU,
+// preload pinning, and write-delay dirty tracking.
+
+package storage
+
+import (
+	"container/list"
+	"time"
+
+	"esm/internal/trace"
+)
+
+type pageKey struct {
+	item trace.ItemID
+	page int64
+}
+
+// lru is a fixed-capacity page cache with least-recently-used eviction.
+type lru struct {
+	capPages int
+	ll       *list.List
+	pages    map[pageKey]*list.Element
+}
+
+func newLRU(capBytes, pageBytes int64) *lru {
+	capPages := int(capBytes / pageBytes)
+	if capPages < 0 {
+		capPages = 0
+	}
+	return &lru{
+		capPages: capPages,
+		ll:       list.New(),
+		pages:    make(map[pageKey]*list.Element),
+	}
+}
+
+// contains reports whether the page is cached, refreshing its recency.
+func (c *lru) contains(k pageKey) bool {
+	el, ok := c.pages[k]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	return ok
+}
+
+// insert adds the page, evicting the least recently used page if full.
+func (c *lru) insert(k pageKey) {
+	if c.capPages == 0 {
+		return
+	}
+	if el, ok := c.pages[k]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capPages {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.pages, back.Value.(pageKey))
+	}
+	c.pages[k] = c.ll.PushFront(k)
+}
+
+// len returns the number of cached pages.
+func (c *lru) len() int { return c.ll.Len() }
+
+// preloadState tracks the preload cache partition: which data items are
+// pinned and when their load completes. Reads of a pinned item hit the
+// cache once the load has finished.
+type preloadState struct {
+	capBytes  int64
+	usedBytes int64
+	loadedAt  map[trace.ItemID]time.Duration
+}
+
+func newPreloadState(capBytes int64) *preloadState {
+	return &preloadState{
+		capBytes: capBytes,
+		loadedAt: make(map[trace.ItemID]time.Duration),
+	}
+}
+
+// hit reports whether a read of item at time now is served from the
+// preload partition.
+func (p *preloadState) hit(item trace.ItemID, now time.Duration) bool {
+	at, ok := p.loadedAt[item]
+	return ok && now >= at
+}
+
+// pinned reports whether item is currently selected for preload.
+func (p *preloadState) pinned(item trace.ItemID) bool {
+	_, ok := p.loadedAt[item]
+	return ok
+}
+
+// writeDelayState tracks the write-delay partition: selected items, dirty
+// bytes per item, and the dirty page set (so reads of freshly written data
+// hit the cache).
+type writeDelayState struct {
+	capBytes   int64
+	rate       float64
+	selected   map[trace.ItemID]bool
+	dirtyBytes map[trace.ItemID]int64
+	dirtyPages map[pageKey]bool
+	totalDirty int64
+}
+
+func newWriteDelayState(capBytes int64, rate float64) *writeDelayState {
+	return &writeDelayState{
+		capBytes:   capBytes,
+		rate:       rate,
+		selected:   make(map[trace.ItemID]bool),
+		dirtyBytes: make(map[trace.ItemID]int64),
+		dirtyPages: make(map[pageKey]bool),
+	}
+}
+
+// absorb records a delayed write and reports whether the dirty-block rate
+// now forces a bulk destage.
+func (w *writeDelayState) absorb(item trace.ItemID, firstPage, lastPage int64, size int32) bool {
+	w.dirtyBytes[item] += int64(size)
+	w.totalDirty += int64(size)
+	for p := firstPage; p <= lastPage; p++ {
+		w.dirtyPages[pageKey{item, p}] = true
+	}
+	return float64(w.totalDirty) >= w.rate*float64(w.capBytes)
+}
+
+// dirtyOf returns the dirty byte count of item.
+func (w *writeDelayState) dirtyOf(item trace.ItemID) int64 { return w.dirtyBytes[item] }
+
+// clearItem drops the dirty state of one item (after its destage) and
+// returns how many bytes were destaged.
+func (w *writeDelayState) clearItem(item trace.ItemID) int64 {
+	n := w.dirtyBytes[item]
+	if n == 0 {
+		return 0
+	}
+	delete(w.dirtyBytes, item)
+	w.totalDirty -= n
+	for k := range w.dirtyPages {
+		if k.item == item {
+			delete(w.dirtyPages, k)
+		}
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"esm/internal/trace"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRU(3*64<<10, 64<<10) // 3 pages
+	k := func(p int64) pageKey { return pageKey{item: 1, page: p} }
+	c.insert(k(1))
+	c.insert(k(2))
+	c.insert(k(3))
+	if !c.contains(k(1)) {
+		t.Fatal("page 1 evicted too early")
+	}
+	// Page 2 is now LRU; inserting page 4 evicts it.
+	c.insert(k(4))
+	if c.contains(k(2)) {
+		t.Fatal("LRU page not evicted")
+	}
+	if !c.contains(k(1)) || !c.contains(k(3)) || !c.contains(k(4)) {
+		t.Fatal("wrong pages evicted")
+	}
+	if c.len() != 3 {
+		t.Fatalf("len %d", c.len())
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := newLRU(0, 64<<10)
+	c.insert(pageKey{1, 1})
+	if c.contains(pageKey{1, 1}) {
+		t.Fatal("zero-capacity cache stored a page")
+	}
+}
+
+func TestLRUReinsertRefreshes(t *testing.T) {
+	c := newLRU(2*64<<10, 64<<10)
+	c.insert(pageKey{1, 1})
+	c.insert(pageKey{1, 2})
+	c.insert(pageKey{1, 1}) // refresh
+	c.insert(pageKey{1, 3}) // evicts 2, not 1
+	if !c.contains(pageKey{1, 1}) || c.contains(pageKey{1, 2}) {
+		t.Fatal("refresh on reinsert not honoured")
+	}
+}
+
+// TestLRUNeverExceedsCapacity is the core accounting invariant.
+func TestLRUNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capPages := 1 + rng.Intn(64)
+		c := newLRU(int64(capPages)*4096, 4096)
+		for i := 0; i < 1000; i++ {
+			c.insert(pageKey{trace.ItemID(rng.Intn(4)), rng.Int63n(256)})
+			if c.len() > capPages {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDelayStateAccounting(t *testing.T) {
+	w := newWriteDelayState(1000, 0.5)
+	if w.absorb(1, 0, 0, 200) {
+		t.Fatal("200/1000 dirty should not trigger flush at rate 0.5")
+	}
+	if !w.absorb(1, 1, 1, 400) {
+		t.Fatal("600/1000 dirty should trigger flush at rate 0.5")
+	}
+	if w.dirtyOf(1) != 600 {
+		t.Fatalf("dirty bytes %d", w.dirtyOf(1))
+	}
+	if !w.dirtyPages[pageKey{1, 0}] || !w.dirtyPages[pageKey{1, 1}] {
+		t.Fatal("dirty pages not tracked")
+	}
+	n := w.clearItem(1)
+	if n != 600 || w.totalDirty != 0 || len(w.dirtyPages) != 0 {
+		t.Fatalf("clear returned %d, state %+v", n, w)
+	}
+	if w.clearItem(1) != 0 {
+		t.Fatal("double clear returned bytes")
+	}
+}
+
+// TestWriteDelayDirtyInvariant: totalDirty always equals the sum of
+// per-item dirty bytes.
+func TestWriteDelayDirtyInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newWriteDelayState(1<<20, 0.5)
+		for i := 0; i < 500; i++ {
+			item := trace.ItemID(rng.Intn(8))
+			if rng.Float64() < 0.2 {
+				w.clearItem(item)
+			} else {
+				p := rng.Int63n(64)
+				w.absorb(item, p, p, int32(rng.Intn(4096)+1))
+			}
+			var sum int64
+			for _, n := range w.dirtyBytes {
+				sum += n
+			}
+			if sum != w.totalDirty {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreloadStateHitTiming(t *testing.T) {
+	p := newPreloadState(100)
+	p.loadedAt[5] = 10 * time.Second
+	if p.hit(5, 9*time.Second) {
+		t.Fatal("hit before load completion")
+	}
+	if !p.hit(5, 10*time.Second) {
+		t.Fatal("no hit at load completion")
+	}
+	if p.hit(6, time.Minute) {
+		t.Fatal("hit for unpinned item")
+	}
+	if !p.pinned(5) || p.pinned(6) {
+		t.Fatal("pinned flags wrong")
+	}
+}

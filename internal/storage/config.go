@@ -1,0 +1,138 @@
+// Package storage simulates an enterprise storage unit of the class the
+// paper evaluates on (Hitachi AMS 2500): a RAID controller with a battery
+// backed cache in front of multiple disk enclosures, each enclosure a
+// RAID group of HDDs that is the unit of power control.
+//
+// The simulator is event driven over virtual time. It models
+//
+//   - per-enclosure power states (Active / Idle / Off) with a spin-down
+//     timeout and a spin-up transition that delays I/O and costs energy,
+//   - a multi-server service queue per enclosure with distinct random and
+//     sequential service rates, so IOPS ceilings and queueing delays are
+//     reproduced,
+//   - the block-virtualization layer mapping data items (and, for DDR,
+//     64 MB extents) onto enclosures, with throttled online migration,
+//   - the partitioned storage cache: a general read LRU, a preload
+//     partition that pins whole data items, and a write-delay partition
+//     that absorbs writes of selected items and destages them in bulk when
+//     the dirty-block rate is exceeded.
+package storage
+
+import (
+	"fmt"
+	"time"
+
+	"esm/internal/powermodel"
+)
+
+// Config describes the simulated storage unit. DefaultConfig matches the
+// paper's test bed parameters (Table II).
+type Config struct {
+	// Enclosures is the number of disk enclosures.
+	Enclosures int
+	// EnclosureCapacity is the usable volume size per enclosure in bytes
+	// (Table II: 1.7 TB).
+	EnclosureCapacity int64
+	// RandomIOPS is the sustained random-I/O ceiling of one enclosure
+	// (Table II: 900).
+	RandomIOPS float64
+	// SeqIOPS is the sustained sequential-I/O ceiling of one enclosure
+	// (Table II: 2800).
+	SeqIOPS float64
+	// ServersPerEnclosure is the effective service parallelism of one
+	// enclosure (the paper's enclosures hold 15 HDDs in RAID-6).
+	ServersPerEnclosure int
+	// TransferBps is the per-server data transfer rate in bytes/second,
+	// added on top of positioning time.
+	TransferBps float64
+	// CacheBytes is the total storage-cache size (Table II: 2 GB).
+	CacheBytes int64
+	// PreloadCacheBytes is the cache partition reserved for the preload
+	// function (Table II: 500 MB).
+	PreloadCacheBytes int64
+	// WriteDelayCacheBytes is the cache partition reserved for the
+	// write-delay function (Table II: 500 MB).
+	WriteDelayCacheBytes int64
+	// DirtyBlockRate is the fraction of the write-delay partition that may
+	// be dirty before a bulk destage is forced (Table II: 0.5).
+	DirtyBlockRate float64
+	// CachePageBytes is the cache page granularity.
+	CachePageBytes int64
+	// CacheHitTime is the response time of a cache read hit.
+	CacheHitTime time.Duration
+	// CacheAckTime is the response time of a battery-backed write ack.
+	CacheAckTime time.Duration
+	// SpinDownTimeout is how long an enclosure must be idle before it is
+	// powered off, when power-off is enabled for it (Table II: 52 s,
+	// equal to the break-even time).
+	SpinDownTimeout time.Duration
+	// MigrationBps is the throttled data-migration rate, chosen "so as to
+	// not influence the applications' performance" (§V-A).
+	MigrationBps float64
+	// MigrationChunkBytes is the copy granularity of online migration.
+	MigrationChunkBytes int64
+	// ExtentBytes is the extent granularity of the block-virtualization
+	// layer, used by physical-block-level policies such as DDR.
+	ExtentBytes int64
+	// Power holds the electrical parameters.
+	Power powermodel.Params
+}
+
+// DefaultConfig returns the test-bed configuration of the paper with n
+// disk enclosures.
+func DefaultConfig(n int) Config {
+	return Config{
+		Enclosures:           n,
+		EnclosureCapacity:    1_700_000_000_000, // 1.7 TB volumes (Table II)
+		RandomIOPS:           900,
+		SeqIOPS:              2800,
+		ServersPerEnclosure:  15,
+		TransferBps:          2e9,
+		CacheBytes:           2 << 30,
+		PreloadCacheBytes:    500 << 20,
+		WriteDelayCacheBytes: 500 << 20,
+		DirtyBlockRate:       0.5,
+		CachePageBytes:       64 << 10,
+		CacheHitTime:         200 * time.Microsecond,
+		CacheAckTime:         300 * time.Microsecond,
+		SpinDownTimeout:      52 * time.Second,
+		MigrationBps:         200 << 20, // 200 MB/s throttle
+		MigrationChunkBytes:  64 << 20,
+		ExtentBytes:          64 << 20,
+		Power:                powermodel.DefaultParams(),
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Enclosures <= 0:
+		return fmt.Errorf("storage: Enclosures %d <= 0", c.Enclosures)
+	case c.EnclosureCapacity <= 0:
+		return fmt.Errorf("storage: EnclosureCapacity %d <= 0", c.EnclosureCapacity)
+	case c.RandomIOPS <= 0 || c.SeqIOPS <= 0:
+		return fmt.Errorf("storage: IOPS ceilings must be positive")
+	case c.ServersPerEnclosure <= 0:
+		return fmt.Errorf("storage: ServersPerEnclosure %d <= 0", c.ServersPerEnclosure)
+	case c.TransferBps <= 0:
+		return fmt.Errorf("storage: TransferBps %v <= 0", c.TransferBps)
+	case c.CacheBytes < c.PreloadCacheBytes+c.WriteDelayCacheBytes:
+		return fmt.Errorf("storage: cache partitions exceed CacheBytes")
+	case c.DirtyBlockRate <= 0 || c.DirtyBlockRate > 1:
+		return fmt.Errorf("storage: DirtyBlockRate %v out of (0,1]", c.DirtyBlockRate)
+	case c.CachePageBytes <= 0:
+		return fmt.Errorf("storage: CachePageBytes %d <= 0", c.CachePageBytes)
+	case c.SpinDownTimeout <= 0:
+		return fmt.Errorf("storage: SpinDownTimeout %v <= 0", c.SpinDownTimeout)
+	case c.MigrationBps <= 0 || c.MigrationChunkBytes <= 0:
+		return fmt.Errorf("storage: migration parameters must be positive")
+	case c.ExtentBytes <= 0:
+		return fmt.Errorf("storage: ExtentBytes %d <= 0", c.ExtentBytes)
+	}
+	return c.Power.Validate()
+}
+
+// generalCacheBytes is the cache left for the unmanaged read LRU.
+func (c Config) generalCacheBytes() int64 {
+	return c.CacheBytes - c.PreloadCacheBytes - c.WriteDelayCacheBytes
+}

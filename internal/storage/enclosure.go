@@ -1,0 +1,221 @@
+// Disk enclosure model: a multi-server service queue plus a lazily
+// evaluated power state machine with energy integration.
+
+package storage
+
+import (
+	"time"
+
+	"esm/internal/powermodel"
+)
+
+// ioKind distinguishes why a physical I/O was issued. Application I/Os
+// contribute to response-time metrics; the others only consume service
+// capacity and energy.
+type ioKind uint8
+
+const (
+	kindApp ioKind = iota
+	kindMigration
+	kindFlush
+	kindPreload
+)
+
+// streamCursors is the number of concurrent sequential streams an
+// enclosure's sequential detector tracks.
+const streamCursors = 4
+
+// seqWindow is how close (in bytes) an I/O must start to a stream cursor
+// to be classified as sequential.
+const seqWindow = 128 << 10
+
+type enclosure struct {
+	id  int
+	cfg *Config
+	acc *powermodel.Accumulator
+
+	// Power state. on reports whether the enclosure is spun up; the split
+	// between Active and Idle residency is derived from busyUntil.
+	on              bool
+	spindownEnabled bool
+
+	// servers holds the per-server virtual free times; busyUntil is the
+	// latest completion across servers.
+	servers   []time.Duration
+	busyUntil time.Duration
+
+	// lastSync is the point up to which energy has been integrated.
+	lastSync time.Duration
+
+	// Sequential-stream detection state.
+	streams [streamCursors]int64 // next expected block per cursor
+	nextCur int
+
+	// Space accounting for the block-virtualization layer.
+	used        int64
+	allocCursor int64
+
+	// powerEvent, when non-nil, observes power-state transitions.
+	powerEvent func(enc int, at time.Duration, on bool)
+}
+
+func newEnclosure(id int, cfg *Config) *enclosure {
+	e := &enclosure{
+		id:      id,
+		cfg:     cfg,
+		acc:     powermodel.NewAccumulator(cfg.Power),
+		on:      true,
+		servers: make([]time.Duration, cfg.ServersPerEnclosure),
+	}
+	for i := range e.streams {
+		e.streams[i] = -1
+	}
+	return e
+}
+
+// sync integrates the enclosure's power timeline up to `to`, performing
+// any pending spin-down transition on the way. It is called before every
+// arrival and every control change.
+func (e *enclosure) sync(to time.Duration) {
+	if to <= e.lastSync {
+		return
+	}
+	t := e.lastSync
+	for t < to {
+		if !e.on {
+			e.acc.Add(powermodel.Off, to-t)
+			t = to
+			break
+		}
+		if t < e.busyUntil {
+			end := e.busyUntil
+			if end > to {
+				end = to
+			}
+			e.acc.Add(powermodel.Active, end-t)
+			t = end
+			continue
+		}
+		// Idle since max(busyUntil, t).
+		if e.spindownEnabled {
+			offAt := e.busyUntil + e.cfg.SpinDownTimeout
+			if offAt < t {
+				// Spin-down was enabled while the idle timer had already
+				// expired; power off immediately.
+				offAt = t
+			}
+			if offAt <= to {
+				e.acc.Add(powermodel.Idle, offAt-t)
+				e.on = false
+				if e.powerEvent != nil {
+					e.powerEvent(e.id, offAt, false)
+				}
+				t = offAt
+				continue
+			}
+		}
+		e.acc.Add(powermodel.Idle, to-t)
+		t = to
+	}
+	e.lastSync = to
+}
+
+// setSpinDown enables or disables power-off for the enclosure at time now.
+// Disabling while the enclosure is off leaves it off until the next I/O
+// spins it up.
+func (e *enclosure) setSpinDown(now time.Duration, enabled bool) {
+	e.sync(now)
+	e.spindownEnabled = enabled
+}
+
+// isSequential classifies the I/O against the recent stream cursors and
+// updates them. The detector tracks a handful of concurrent streams, which
+// is how real array firmware recognises scans through interleaved traffic.
+func (e *enclosure) isSequential(block int64, size int32) bool {
+	for i := range e.streams {
+		c := e.streams[i]
+		if c >= 0 && block >= c && block-c <= seqWindow {
+			e.streams[i] = block + int64(size)
+			return true
+		}
+	}
+	e.streams[e.nextCur] = block + int64(size)
+	e.nextCur = (e.nextCur + 1) % streamCursors
+	return false
+}
+
+// serviceTime returns the service duration of one I/O.
+func (e *enclosure) serviceTime(size int32, sequential bool) time.Duration {
+	var posSec float64
+	if sequential {
+		posSec = float64(e.cfg.ServersPerEnclosure) / e.cfg.SeqIOPS
+	} else {
+		posSec = float64(e.cfg.ServersPerEnclosure) / e.cfg.RandomIOPS
+	}
+	sec := posSec + float64(size)/e.cfg.TransferBps
+	return time.Duration(sec * float64(time.Second))
+}
+
+// arrival submits one physical I/O at time now and returns its completion
+// time. The completion includes any spin-up wait and queueing delay.
+func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequential bool) time.Duration {
+	e.sync(now)
+	start := now
+	if !e.on {
+		spinEnd := now + e.cfg.Power.SpinUpTime
+		e.acc.Add(powermodel.SpinUp, e.cfg.Power.SpinUpTime)
+		e.acc.CountSpinUp()
+		e.on = true
+		if e.powerEvent != nil {
+			e.powerEvent(e.id, now, true)
+		}
+		for i := range e.servers {
+			if e.servers[i] < spinEnd {
+				e.servers[i] = spinEnd
+			}
+		}
+		if e.busyUntil < spinEnd {
+			// Spin-up residency is integrated eagerly; move the sync point
+			// past it so it is not double counted as Active.
+			e.busyUntil = spinEnd
+		}
+		e.lastSync = spinEnd
+		start = spinEnd
+	}
+	svc := e.serviceTime(size, sequential)
+	k := 0
+	for i := 1; i < len(e.servers); i++ {
+		if e.servers[i] < e.servers[k] {
+			k = i
+		}
+	}
+	begin := start
+	if e.servers[k] > begin {
+		begin = e.servers[k]
+	}
+	end := begin + svc
+	e.servers[k] = end
+	if end > e.busyUntil {
+		e.busyUntil = end
+	}
+	return end
+}
+
+// idleSince returns the start of the current idle period, or false when
+// the enclosure is busy or off.
+func (e *enclosure) idleSince(now time.Duration) (time.Duration, bool) {
+	if !e.on || now < e.busyUntil {
+		return 0, false
+	}
+	return e.busyUntil, true
+}
+
+// alloc reserves size bytes and returns the starting block address.
+// Capacity enforcement is the caller's job; alloc only tracks addresses so
+// sequential detection sees realistic layouts.
+func (e *enclosure) alloc(size int64) int64 {
+	base := e.allocCursor
+	e.allocCursor += size
+	e.used += size
+	return base
+}

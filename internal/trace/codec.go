@@ -1,0 +1,305 @@
+// Binary and text codecs for logical traces and catalogs.
+//
+// The binary format is a compact delta/varint encoding: six-hour
+// enterprise traces run to tens of millions of records, and the CSV form
+// exists only for human inspection and interchange.
+
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// binaryMagic identifies the binary logical-trace format, version 1.
+const binaryMagic = "ESMTRC1\n"
+
+// WriteBinary encodes recs to w in the compact binary format. Records must
+// already be sorted by time; WriteBinary returns an error otherwise so a
+// corrupt trace is never produced silently.
+func WriteBinary(w io.Writer, recs []LogicalRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	var prev time.Duration
+	for i, r := range recs {
+		if r.Time < prev {
+			return fmt.Errorf("trace: record %d out of order (%v after %v)", i, r.Time, prev)
+		}
+		n := binary.PutUvarint(buf[:], uint64(r.Time-prev))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = r.Time
+		n = binary.PutUvarint(buf[:], uint64(r.Item))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(r.Offset))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(r.Size))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(r.Op)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary trace written by WriteBinary.
+func ReadBinary(r io.Reader) ([]LogicalRecord, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, errors.New("trace: not an ESM binary trace")
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	const maxRecords = 1 << 31
+	if n > maxRecords {
+		return nil, fmt.Errorf("trace: implausible record count %d", n)
+	}
+	recs := make([]LogicalRecord, 0, n)
+	var prev time.Duration
+	for i := uint64(0); i < n; i++ {
+		dt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d time: %w", i, err)
+		}
+		item, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d item: %w", i, err)
+		}
+		off, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d offset: %w", i, err)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d size: %w", i, err)
+		}
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d op: %w", i, err)
+		}
+		if op > uint8(OpWrite) {
+			return nil, fmt.Errorf("trace: record %d has invalid op %d", i, op)
+		}
+		prev += time.Duration(dt)
+		recs = append(recs, LogicalRecord{
+			Time:   prev,
+			Item:   ItemID(item),
+			Offset: int64(off),
+			Size:   int32(size),
+			Op:     Op(op),
+		})
+	}
+	return recs, nil
+}
+
+// WriteCSV encodes recs as "time_ns,item,offset,size,op" lines with a
+// header row.
+func WriteCSV(w io.Writer, recs []LogicalRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("time_ns,item,offset,size,op\n"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%s\n",
+			int64(r.Time), r.Item, r.Offset, r.Size, r.Op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV decodes a trace written by WriteCSV.
+func ReadCSV(r io.Reader) ([]LogicalRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var recs []LogicalRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 && strings.HasPrefix(text, "time_ns") {
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(fields))
+		}
+		t, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d time: %w", line, err)
+		}
+		item, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d item: %w", line, err)
+		}
+		off, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d offset: %w", line, err)
+		}
+		size, err := strconv.ParseInt(fields[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d size: %w", line, err)
+		}
+		var op Op
+		switch fields[4] {
+		case "R":
+			op = OpRead
+		case "W":
+			op = OpWrite
+		default:
+			return nil, fmt.Errorf("trace: line %d: invalid op %q", line, fields[4])
+		}
+		recs = append(recs, LogicalRecord{
+			Time:   time.Duration(t),
+			Item:   ItemID(item),
+			Offset: off,
+			Size:   int32(size),
+			Op:     op,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// WriteCatalog encodes a catalog as "id,size,name" lines.
+func WriteCatalog(w io.Writer, c *Catalog) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("id,size,name\n"); err != nil {
+		return err
+	}
+	for _, id := range c.IDs() {
+		it := c.Item(id)
+		if strings.ContainsAny(it.Name, ",\n") {
+			return fmt.Errorf("trace: item name %q contains a separator", it.Name)
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%d,%s\n", id, it.Size, it.Name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCatalog decodes a catalog written by WriteCatalog. IDs must be dense
+// and ascending from zero, matching what Catalog.Add produces.
+func ReadCatalog(r io.Reader) (*Catalog, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	c := NewCatalog()
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 && strings.HasPrefix(text, "id,") {
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.SplitN(text, ",", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: catalog line %d: want 3 fields", line)
+		}
+		id, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: catalog line %d id: %w", line, err)
+		}
+		size, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: catalog line %d size: %w", line, err)
+		}
+		got := c.Add(fields[2], size)
+		if got != ItemID(id) {
+			return nil, fmt.Errorf("trace: catalog line %d: non-dense id %d (expected %d)", line, id, got)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WritePlacement encodes an item→enclosure layout as "item,enclosure"
+// lines. The slice is indexed by ItemID.
+func WritePlacement(w io.Writer, placement []int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("item,enclosure\n"); err != nil {
+		return err
+	}
+	for item, enc := range placement {
+		if _, err := fmt.Fprintf(bw, "%d,%d\n", item, enc); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPlacement decodes a layout written by WritePlacement.
+func ReadPlacement(r io.Reader) ([]int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var placement []int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 && strings.HasPrefix(text, "item,") {
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace: placement line %d: want 2 fields", line)
+		}
+		item, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: placement line %d item: %w", line, err)
+		}
+		enc, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: placement line %d enclosure: %w", line, err)
+		}
+		if int(item) != len(placement) {
+			return nil, fmt.Errorf("trace: placement line %d: non-dense item %d", line, item)
+		}
+		placement = append(placement, int(enc))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return placement, nil
+}

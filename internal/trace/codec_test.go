@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := randomRecords(rng, 1000)
+	SortLogical(recs)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBinaryRejectsUnsorted(t *testing.T) {
+	recs := []LogicalRecord{{Time: 2}, {Time: 1}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, recs); err == nil {
+		t.Fatal("expected error writing unsorted trace")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	recs := randomRecords(rng, 50)
+	SortLogical(recs)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("expected error for truncated trace")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	recs := randomRecords(rng, 200)
+	SortLogical(recs)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"1,2,3\n",
+		"x,0,0,0,R\n",
+		"0,x,0,0,R\n",
+		"0,0,x,0,R\n",
+		"0,0,0,x,R\n",
+		"0,0,0,0,Q\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+}
+
+func TestCSVSkipsHeaderAndBlanks(t *testing.T) {
+	in := "time_ns,item,offset,size,op\n\n5,1,2,3,W\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Op != OpWrite || got[0].Item != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	c := NewCatalog()
+	c.Add("vol00/meta", 50<<20)
+	c.Add("tpcc/stock.p0", 28<<30)
+	c.Add("a b c", 1)
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("round trip %d items, want %d", got.Len(), c.Len())
+	}
+	for _, id := range c.IDs() {
+		if got.Item(id) != c.Item(id) {
+			t.Fatalf("item %d mismatch", id)
+		}
+	}
+}
+
+func TestCatalogRejectsSeparatorInName(t *testing.T) {
+	c := NewCatalog()
+	c.Add("bad,name", 1)
+	var buf bytes.Buffer
+	if err := WriteCatalog(&buf, c); err == nil {
+		t.Fatal("expected error for comma in name")
+	}
+}
+
+func TestCatalogRejectsNonDense(t *testing.T) {
+	in := "id,size,name\n5,1,x\n"
+	if _, err := ReadCatalog(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for non-dense ids")
+	}
+}
+
+// TestBinaryRoundTripProperty uses testing/quick over random traces.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, int(n))
+		SortLogical(recs)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, recs); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementRoundTrip(t *testing.T) {
+	placement := []int{0, 3, 1, 2}
+	var buf bytes.Buffer
+	if err := WritePlacement(&buf, placement); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlacement(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(placement) {
+		t.Fatalf("round trip %d entries", len(got))
+	}
+	for i := range placement {
+		if got[i] != placement[i] {
+			t.Fatalf("entry %d = %d", i, got[i])
+		}
+	}
+}
+
+func TestPlacementRejectsMalformed(t *testing.T) {
+	for _, in := range []string{"1\n", "x,0\n", "0,x\n", "5,0\n"} {
+		if _, err := ReadPlacement(strings.NewReader(in)); err == nil {
+			t.Fatalf("expected error for %q", in)
+		}
+	}
+}

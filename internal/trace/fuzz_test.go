@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadBinary checks the batch decoder never panics on arbitrary
+// input, and that anything it accepts re-encodes to an equivalent trace.
+func FuzzReadBinary(f *testing.F) {
+	var seedBuf bytes.Buffer
+	WriteBinary(&seedBuf, []LogicalRecord{
+		{Time: 1, Item: 2, Offset: 3, Size: 4, Op: OpRead},
+		{Time: 5, Item: 1, Offset: 0, Size: 8, Op: OpWrite},
+	})
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, recs); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		again, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed length %d -> %d", len(recs), len(again))
+		}
+	})
+}
+
+// FuzzReadCSV checks the CSV decoder never panics and accepted input
+// survives a round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time_ns,item,offset,size,op\n1,2,3,4,R\n")
+	f.Add("5,0,0,1,W\n")
+	f.Add(",,,,\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := ReadCSV(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, recs); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil || len(again) != len(recs) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzStreamReader checks the streaming decoder never panics on
+// arbitrary input.
+func FuzzStreamReader(f *testing.F) {
+	var seedBuf bytes.Buffer
+	w := NewStreamWriter(&seedBuf)
+	w.Append(LogicalRecord{Time: 1, Item: 1, Size: 1})
+	w.Close()
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte(streamMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewStreamReader(bytes.NewReader(data))
+		for i := 0; i < 10000; i++ {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF {
+					return
+				}
+				return
+			}
+		}
+	})
+}

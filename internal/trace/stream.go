@@ -1,0 +1,147 @@
+// Streaming access to binary traces: an incremental reader and an
+// appending writer, so tools can process traces far larger than memory.
+
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// streamMagic identifies the streaming binary format, which carries no
+// up-front record count (the stream ends at EOF).
+const streamMagic = "ESMSTR1\n"
+
+// StreamWriter encodes logical records incrementally. Records must be
+// appended in time order. Close flushes the underlying buffer.
+type StreamWriter struct {
+	bw    *bufio.Writer
+	prev  time.Duration
+	count int64
+	begun bool
+}
+
+// NewStreamWriter returns a writer targeting w.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{bw: bufio.NewWriter(w)}
+}
+
+// Append encodes one record.
+func (w *StreamWriter) Append(r LogicalRecord) error {
+	if !w.begun {
+		w.begun = true
+		if _, err := w.bw.WriteString(streamMagic); err != nil {
+			return err
+		}
+	}
+	if r.Time < w.prev {
+		return fmt.Errorf("trace: record %d out of order (%v after %v)", w.count, r.Time, w.prev)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range [4]uint64{uint64(r.Time - w.prev), uint64(r.Item), uint64(r.Offset), uint64(r.Size)} {
+		n := binary.PutUvarint(buf[:], v)
+		if _, err := w.bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	if err := w.bw.WriteByte(byte(r.Op)); err != nil {
+		return err
+	}
+	w.prev = r.Time
+	w.count++
+	return nil
+}
+
+// Count returns how many records have been appended.
+func (w *StreamWriter) Count() int64 { return w.count }
+
+// Close flushes buffered output. It does not close the underlying
+// writer.
+func (w *StreamWriter) Close() error {
+	if !w.begun {
+		// An empty stream still carries the magic so readers can tell it
+		// apart from a missing file.
+		w.begun = true
+		if _, err := w.bw.WriteString(streamMagic); err != nil {
+			return err
+		}
+	}
+	return w.bw.Flush()
+}
+
+// StreamReader decodes logical records incrementally.
+type StreamReader struct {
+	br    *bufio.Reader
+	prev  time.Duration
+	count int64
+	err   error
+	begun bool
+}
+
+// NewStreamReader returns a reader over r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{br: bufio.NewReader(r)}
+}
+
+// Next returns the next record. It returns io.EOF at the clean end of
+// the stream and a descriptive error on corruption.
+func (r *StreamReader) Next() (LogicalRecord, error) {
+	if r.err != nil {
+		return LogicalRecord{}, r.err
+	}
+	if !r.begun {
+		r.begun = true
+		magic := make([]byte, len(streamMagic))
+		if _, err := io.ReadFull(r.br, magic); err != nil {
+			r.err = fmt.Errorf("trace: reading stream magic: %w", err)
+			return LogicalRecord{}, r.err
+		}
+		if string(magic) != streamMagic {
+			r.err = errors.New("trace: not an ESM stream trace")
+			return LogicalRecord{}, r.err
+		}
+	}
+	dt, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		r.err = io.EOF
+		return LogicalRecord{}, io.EOF
+	}
+	if err != nil {
+		r.err = fmt.Errorf("trace: stream record %d time: %w", r.count, err)
+		return LogicalRecord{}, r.err
+	}
+	var vals [3]uint64
+	for i := range vals {
+		v, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			r.err = fmt.Errorf("trace: stream record %d field %d: %w", r.count, i+1, err)
+			return LogicalRecord{}, r.err
+		}
+		vals[i] = v
+	}
+	op, err := r.br.ReadByte()
+	if err != nil {
+		r.err = fmt.Errorf("trace: stream record %d op: %w", r.count, err)
+		return LogicalRecord{}, r.err
+	}
+	if op > uint8(OpWrite) {
+		r.err = fmt.Errorf("trace: stream record %d has invalid op %d", r.count, op)
+		return LogicalRecord{}, r.err
+	}
+	r.prev += time.Duration(dt)
+	r.count++
+	return LogicalRecord{
+		Time:   r.prev,
+		Item:   ItemID(vals[0]),
+		Offset: int64(vals[1]),
+		Size:   int32(vals[2]),
+		Op:     Op(op),
+	}, nil
+}
+
+// Count returns how many records have been decoded so far.
+func (r *StreamReader) Count() int64 { return r.count }

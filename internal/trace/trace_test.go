@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "R" || OpWrite.String() != "W" {
+		t.Fatalf("op strings: %s %s", OpRead, OpWrite)
+	}
+	if !strings.Contains(Op(9).String(), "9") {
+		t.Fatalf("unknown op string %q", Op(9))
+	}
+}
+
+func TestCatalogBasics(t *testing.T) {
+	c := NewCatalog()
+	a := c.Add("tpcc/stock.p0", 1<<30)
+	b := c.Add("tpcc/stock.p1", 2<<30)
+	if a == b {
+		t.Fatal("duplicate IDs")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Name(a) != "tpcc/stock.p0" || c.Size(b) != 2<<30 {
+		t.Fatal("catalog entry mismatch")
+	}
+	if got, ok := c.Lookup("tpcc/stock.p1"); !ok || got != b {
+		t.Fatalf("lookup = %v,%v", got, ok)
+	}
+	if _, ok := c.Lookup("absent"); ok {
+		t.Fatal("lookup of absent name succeeded")
+	}
+	ids := c.IDs()
+	if len(ids) != 2 || ids[0] != a || ids[1] != b {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestCatalogDuplicatePanics(t *testing.T) {
+	c := NewCatalog()
+	c.Add("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	c.Add("x", 2)
+}
+
+func TestSortLogical(t *testing.T) {
+	recs := []LogicalRecord{
+		{Time: 3 * time.Second, Item: 1},
+		{Time: 1 * time.Second, Item: 2},
+		{Time: 1 * time.Second, Item: 1, Offset: 5},
+		{Time: 1 * time.Second, Item: 1, Offset: 2},
+	}
+	SortLogical(recs)
+	want := []struct {
+		t    time.Duration
+		item ItemID
+		off  int64
+	}{
+		{time.Second, 1, 2}, {time.Second, 1, 5}, {time.Second, 2, 0}, {3 * time.Second, 1, 0},
+	}
+	for i, w := range want {
+		if recs[i].Time != w.t || recs[i].Item != w.item || recs[i].Offset != w.off {
+			t.Fatalf("record %d = %+v, want %+v", i, recs[i], w)
+		}
+	}
+}
+
+func TestMergeLogical(t *testing.T) {
+	a := []LogicalRecord{{Time: 1}, {Time: 4}}
+	b := []LogicalRecord{{Time: 2}, {Time: 3}, {Time: 5}}
+	got := MergeLogical(a, b)
+	if len(got) != 5 {
+		t.Fatalf("merged %d records", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time < got[i-1].Time {
+			t.Fatalf("merge out of order at %d", i)
+		}
+	}
+	if len(MergeLogical()) != 0 {
+		t.Fatal("empty merge should be empty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []LogicalRecord{
+		{Time: time.Second, Item: 0, Size: 100, Op: OpRead},
+		{Time: 2 * time.Second, Item: 1, Size: 200, Op: OpWrite},
+		{Time: 3 * time.Second, Item: 0, Size: 300, Op: OpRead},
+	}
+	s := Summarize(recs)
+	if s.Records != 3 || s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("summary counts %+v", s)
+	}
+	if s.Bytes != 600 || s.Items != 2 || s.Start != time.Second || s.End != 3*time.Second {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.ReadFrac < 0.66 || s.ReadFrac > 0.67 {
+		t.Fatalf("read frac %v", s.ReadFrac)
+	}
+	if !strings.Contains(s.String(), "3 records") {
+		t.Fatalf("summary string %q", s)
+	}
+	if Summarize(nil).Records != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func randomRecords(rng *rand.Rand, n int) []LogicalRecord {
+	recs := make([]LogicalRecord, n)
+	var t time.Duration
+	for i := range recs {
+		t += time.Duration(rng.Int63n(int64(time.Minute)))
+		recs[i] = LogicalRecord{
+			Time:   t,
+			Item:   ItemID(rng.Intn(50)),
+			Offset: rng.Int63n(1 << 40),
+			Size:   int32(rng.Intn(1<<20) + 1),
+			Op:     Op(rng.Intn(2)),
+		}
+	}
+	return recs
+}
+
+// TestSortIdempotent: sorting a sorted trace must not change it.
+func TestSortIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, 200)
+		SortLogical(recs)
+		before := append([]LogicalRecord(nil), recs...)
+		SortLogical(recs)
+		for i := range recs {
+			if recs[i] != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
