@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full gate CI runs: build, vet, tests with the race
+# detector.
+check: build vet race
+
+# bench runs the figure-regeneration suite once (see bench_test.go).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

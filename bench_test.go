@@ -26,6 +26,7 @@
 package esm
 
 import (
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -33,7 +34,9 @@ import (
 	"esm/internal/core"
 	"esm/internal/experiments"
 	"esm/internal/metrics"
+	"esm/internal/obs"
 	"esm/internal/powermodel"
+	"esm/internal/replay"
 )
 
 // benchScale keeps the full suite in the minutes range; experiments at
@@ -282,6 +285,55 @@ func BenchmarkTableIIParameters(b *testing.B) {
 	b.ReportMetric(core.DefaultParams().BreakEven.Seconds(), "break_even_s")
 	b.ReportMetric(core.DefaultParams().Alpha, "alpha")
 	b.ReportMetric(core.DefaultParams().InitialPeriod.Seconds(), "init_period_s")
+}
+
+// BenchmarkTelemetryOverhead measures the cost of the obs layer on the
+// replay hot path. "off" replays with a nil recorder — every
+// instrumented call site must reduce to one nil check — while "sink"
+// adds a JSONL sink and registry. Compare the two ns/op figures: the
+// off case must not regress against a pre-telemetry baseline.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	w, err := experiments.Build(experiments.FileServer, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	replayOnce := func(b *testing.B, rec *obs.Recorder) {
+		b.Helper()
+		esm, err := core.NewESM(core.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := replay.Run{
+			Catalog:    w.Catalog,
+			Records:    w.Records,
+			Placement:  w.Placement,
+			Storage:    experiments.StorageFor(w),
+			Policy:     esm,
+			Duration:   w.Duration,
+			ClosedLoop: w.ClosedLoop,
+			Recorder:   rec,
+		}
+		if _, err := replay.Execute(run); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			replayOnce(b, nil)
+		}
+	})
+	b.Run("sink", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := obs.New(obs.Options{
+				Sink:     obs.NewJSONLSink(io.Discard),
+				Registry: obs.NewRegistry(),
+			})
+			replayOnce(b, rec)
+			if err := rec.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationFileServer quantifies each mechanism's contribution

@@ -20,6 +20,7 @@ import (
 
 	"esm/internal/core"
 	"esm/internal/experiments"
+	"esm/internal/obs"
 	"esm/internal/powermodel"
 	"esm/internal/storage"
 	"esm/internal/workload"
@@ -32,6 +33,7 @@ func main() {
 	list := flag.Bool("list", false, "print Table I / Table II parameters and exit")
 	sweep := flag.Bool("sweep", false, "run the sensitivity sweeps instead of the figures")
 	extended := flag.Bool("extended", false, "also evaluate the extended baselines (timeout, MAID, write off-loading)")
+	events := flag.String("events", "", "append every replay's telemetry event stream to this JSONL file")
 	flag.Parse()
 
 	if *list {
@@ -45,7 +47,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scale, *kind, *fig, *extended); err != nil {
+	if err := run(*scale, *kind, *fig, *extended, *events); err != nil {
 		fmt.Fprintln(os.Stderr, "esmbench:", err)
 		os.Exit(1)
 	}
@@ -84,10 +86,23 @@ func runSweeps(scale float64, kindFlag string) error {
 	return nil
 }
 
-func run(scale float64, kindFlag string, fig int, extended bool) error {
+func run(scale float64, kindFlag string, fig int, extended bool, eventsPath string) error {
 	kinds := experiments.Kinds()
 	if kindFlag != "all" {
 		kinds = []experiments.Kind{experiments.Kind(kindFlag)}
+	}
+
+	// With -events, every replay shares one JSONL sink; the per-policy
+	// recorders stamp "workload/policy" run labels so the interleaved
+	// streams can be told apart (and filtered by esmstat -run).
+	var sink *obs.JSONLSink
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return err
+		}
+		sink = obs.NewJSONLSink(f)
+		defer sink.Close()
 	}
 
 	// Fig. 6 uses only the classifier, not the storage simulator.
@@ -135,11 +150,18 @@ func run(scale float64, kindFlag string, fig int, extended bool) error {
 		if extended {
 			pols = experiments.ExtendedPolicies(ks)
 		}
-		ev, err := experiments.Evaluate(w, pols)
+		var recFor func(policy string) *obs.Recorder
+		if sink != nil {
+			name := w.Name
+			recFor = func(policy string) *obs.Recorder {
+				return obs.New(obs.Options{Sink: sink, Label: name + "/" + policy})
+			}
+		}
+		ev, err := experiments.EvaluateWithRecorder(w, pols, recFor)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("   (replayed 4 policies in %v)\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("   (replayed %d policies in %v)\n", len(pols), time.Since(start).Round(time.Millisecond))
 
 		switch k {
 		case experiments.FileServer:

@@ -9,24 +9,36 @@
 // drives in batch: point a trace stream at it and watch the hot/cold
 // split, cache assignments and monitoring period evolve.
 //
+// With -listen the daemon serves live observability over HTTP:
+// /metrics (Prometheus text format), /status (JSON snapshot of the
+// current period, hot mask, pattern mix and cache occupancy) and
+// /debug/pprof. With -events it appends the typed telemetry event
+// stream as JSON lines; esmstat -events renders a saved log.
+//
 // Usage:
 //
 //	tracegen -workload fileserver -scale 0.2 -format csv \
 //	         -out /dev/stdout -catalog fs.items -placement fs.layout |
-//	  esmd -catalog fs.items -placement fs.layout
+//	  esmd -catalog fs.items -placement fs.layout \
+//	       -listen :9090 -events events.jsonl
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"esm/internal/config"
 	"esm/internal/core"
+	"esm/internal/obs"
 	"esm/internal/policy"
 	"esm/internal/simclock"
 	"esm/internal/storage"
@@ -39,40 +51,130 @@ func main() {
 	enclosures := flag.Int("enclosures", 0, "enclosure count (0 = infer from placement)")
 	quiet := flag.Bool("quiet", false, "suppress per-determination status lines")
 	configPath := flag.String("config", "", "optional JSON config for storage and ESM parameters")
+	listen := flag.String("listen", "", "serve /metrics, /status and /debug/pprof on this address")
+	events := flag.String("events", "", "append the telemetry event stream to this JSONL file")
 	flag.Parse()
 
 	if *catalogPath == "" || *placementPath == "" {
 		fmt.Fprintln(os.Stderr, "esmd: -catalog and -placement are required")
 		os.Exit(2)
 	}
-	if err := run(*catalogPath, *placementPath, *configPath, *enclosures, *quiet); err != nil {
+	opts := daemonOpts{
+		catalogPath:   *catalogPath,
+		placementPath: *placementPath,
+		configPath:    *configPath,
+		enclosures:    *enclosures,
+		quiet:         *quiet,
+		listen:        *listen,
+		eventsPath:    *events,
+	}
+	if err := run(opts, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "esmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(catalogPath, placementPath, configPath string, enclosures int, quiet bool) error {
-	cf, err := os.Open(catalogPath)
+type daemonOpts struct {
+	catalogPath   string
+	placementPath string
+	configPath    string
+	enclosures    int
+	quiet         bool
+	listen        string
+	eventsPath    string
+}
+
+// daemon bundles the simulated storage unit, the policy and the
+// telemetry state for one stream-processing run.
+type daemon struct {
+	opts daemonOpts
+	out  io.Writer
+
+	clk *simclock.Clock
+	evq *simclock.EventQueue
+	arr *storage.Array
+	esm *core.ESM
+
+	enclosures int
+	rec        *obs.Recorder
+
+	// mu guards snap against concurrent /status scrapes.
+	mu   sync.Mutex
+	snap statusSnapshot
+
+	records int64
+	lastDet int64
+}
+
+// statusSnapshot is the JSON payload of /status.
+type statusSnapshot struct {
+	TimeNS         int64                  `json:"t_ns"`
+	Records        int64                  `json:"records"`
+	Determinations int64                  `json:"determinations"`
+	Period         string                 `json:"period"`
+	PeriodNS       int64                  `json:"period_ns"`
+	HotMask        []bool                 `json:"hot_mask,omitempty"`
+	PatternMix     map[string]int         `json:"pattern_mix,omitempty"`
+	SpinUps        int                    `json:"spin_ups"`
+	MigratedBytes  int64                  `json:"migrated_bytes"`
+	CacheHits      int64                  `json:"cache_hits"`
+	AvgEnclosureW  float64                `json:"avg_enclosure_w"`
+	Cache          storage.CacheOccupancy `json:"cache"`
+}
+
+func run(opts daemonOpts, in io.Reader, out io.Writer) error {
+	d, err := newDaemon(opts, out)
 	if err != nil {
 		return err
+	}
+	if d.rec != nil {
+		defer d.rec.Close()
+	}
+
+	if opts.listen != "" {
+		ln, err := net.Listen("tcp", opts.listen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		handler := obs.Handler(d.rec.Registry(), d.statusJSON)
+		go http.Serve(ln, handler)
+		fmt.Fprintf(out, "serving /metrics /status /debug/pprof on %v\n", ln.Addr())
+	}
+
+	if err := d.processStream(in); err != nil {
+		return err
+	}
+	d.report()
+	if d.rec != nil {
+		return d.rec.Close()
+	}
+	return nil
+}
+
+func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
+	cf, err := os.Open(opts.catalogPath)
+	if err != nil {
+		return nil, err
 	}
 	defer cf.Close()
 	cat, err := trace.ReadCatalog(cf)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	pf, err := os.Open(placementPath)
+	pf, err := os.Open(opts.placementPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer pf.Close()
 	placement, err := trace.ReadPlacement(pf)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(placement) != cat.Len() {
-		return fmt.Errorf("placement covers %d of %d items", len(placement), cat.Len())
+		return nil, fmt.Errorf("placement covers %d of %d items", len(placement), cat.Len())
 	}
+	enclosures := opts.enclosures
 	if enclosures == 0 {
 		for _, e := range placement {
 			if e+1 > enclosures {
@@ -81,74 +183,83 @@ func run(catalogPath, placementPath, configPath string, enclosures int, quiet bo
 		}
 	}
 
-	cfgFile, err := config.Load(configPath)
+	cfgFile, err := config.Load(opts.configPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if cfgFile.Policy != nil && cfgFile.Policy.Name != "" && cfgFile.Policy.Name != "esm" {
-		return fmt.Errorf("esmd always runs the proposed method; policy %q is not supported here", cfgFile.Policy.Name)
+		return nil, fmt.Errorf("esmd always runs the proposed method; policy %q is not supported here", cfgFile.Policy.Name)
 	}
 	storageCfg, err := cfgFile.BuildStorage(enclosures)
 	if err != nil {
-		return err
+		return nil, err
+	}
+
+	// Telemetry is built whenever any observation surface is requested;
+	// otherwise the recorder stays nil and the hot path pays one nil
+	// check per instrumented site.
+	var rec *obs.Recorder
+	if opts.listen != "" || opts.eventsPath != "" {
+		recOpts := obs.Options{Registry: obs.NewRegistry()}
+		if opts.eventsPath != "" {
+			f, err := os.Create(opts.eventsPath)
+			if err != nil {
+				return nil, err
+			}
+			recOpts.Sink = obs.NewJSONLSink(f)
+		}
+		rec = obs.New(recOpts)
 	}
 
 	clk := &simclock.Clock{}
 	evq := &simclock.EventQueue{}
 	arr, err := storage.New(storageCfg, clk, evq, cat)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for item, enc := range placement {
 		if err := arr.Place(trace.ItemID(item), enc); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	pol, err := cfgFile.BuildPolicy()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	esm, ok := pol.(*core.ESM)
 	if !ok {
-		return fmt.Errorf("esmd requires the esm policy")
+		return nil, fmt.Errorf("esmd requires the esm policy")
+	}
+	if rec != nil {
+		arr.SetRecorder(rec)
+		esm.SetRecorder(rec)
 	}
 	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) { esm.OnPhysical(rec) })
 	arr.SetPowerObserver(func(e int, at time.Duration, on bool) { esm.OnPower(e, at, on) })
 	// The stream length is unknown; give the policy a generous horizon.
 	esm.Init(&policy.Context{Array: arr, Catalog: cat, Clock: clk, Queue: evq, End: 1000 * time.Hour})
 
-	var lastDet int64
-	status := func(now time.Duration) {
-		if quiet {
-			return
-		}
-		if det := esm.Determinations(); det != lastDet {
-			lastDet = det
-			hot := 0
-			for _, h := range esm.Hot() {
-				hot++
-				if !h {
-					hot--
-				}
-			}
-			plan := esm.LastPlan()
-			var mix core.PatternMix
-			if plan != nil {
-				for _, p := range plan.Patterns {
-					mix.Counts[p]++
-					mix.Total++
-				}
-			}
-			fmt.Printf("[%v] determination #%d: %d/%d hot enclosures, period %v, %s, avg %.1f W\n",
-				now.Round(time.Second), det, hot, enclosures,
-				esm.Period().Round(time.Second), mix.String(),
-				arr.Meter().AverageEnclosureW(now))
-		}
+	d := &daemon{
+		opts:       opts,
+		out:        out,
+		clk:        clk,
+		evq:        evq,
+		arr:        arr,
+		esm:        esm,
+		enclosures: enclosures,
+		rec:        rec,
 	}
+	d.updateSnapshot(0)
+	return d, nil
+}
 
-	sc := bufio.NewScanner(os.Stdin)
+// processStream consumes CSV logical records from in, driving the
+// simulation clock to each record's timestamp. Blank lines and the
+// tracegen header are skipped; malformed or out-of-order records abort
+// with a line-numbered error.
+func (d *daemon) processStream(in io.Reader) error {
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var count int64
 	var now time.Duration
 	line := 0
 	for sc.Scan() {
@@ -165,28 +276,102 @@ func run(catalogPath, placementPath, configPath string, enclosures int, quiet bo
 			return fmt.Errorf("line %d: records out of order", line)
 		}
 		now = rec.Time
-		evq.RunUntil(clk, now)
-		esm.OnLogical(rec)
-		arr.Submit(rec)
-		count++
-		status(now)
+		d.evq.RunUntil(d.clk, now)
+		d.esm.OnLogical(rec)
+		d.arr.Submit(rec)
+		d.records++
+		d.status(now)
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
-
-	esm.Finish(now)
-	arr.Finish()
-	fmt.Printf("\nprocessed %d records over %v\n", count, now.Round(time.Second))
-	fmt.Printf("determinations     %d\n", esm.Determinations())
-	fmt.Printf("avg enclosure      %.1f W\n", arr.Meter().AverageEnclosureW(now))
-	fmt.Printf("avg total          %.1f W\n", arr.Meter().AverageTotalW(now))
-	fmt.Printf("spin-ups           %d\n", arr.Meter().SpinUps())
-	st := arr.Stats()
-	fmt.Printf("migrated           %.2f GB\n", float64(st.MigratedBytes)/(1<<30))
-	fmt.Printf("cache hits         %d\n", st.CacheHits)
-	fmt.Printf("delayed writes     %d\n", st.DelayedWrites)
+	d.esm.Finish(now)
+	d.arr.Finish()
+	d.updateSnapshot(now)
 	return nil
+}
+
+// status refreshes the /status snapshot and prints a line whenever a
+// new placement determination has happened.
+func (d *daemon) status(now time.Duration) {
+	det := d.esm.Determinations()
+	newDet := det != d.lastDet
+	d.lastDet = det
+	if newDet || d.records%1024 == 0 {
+		d.updateSnapshot(now)
+	}
+	if !newDet || d.opts.quiet {
+		return
+	}
+	hot := 0
+	for _, h := range d.esm.Hot() {
+		if h {
+			hot++
+		}
+	}
+	var mix core.PatternMix
+	if plan := d.esm.LastPlan(); plan != nil {
+		for _, p := range plan.Patterns {
+			mix.Counts[p]++
+			mix.Total++
+		}
+	}
+	st := d.arr.Stats()
+	fmt.Fprintf(d.out, "[%v] determination #%d: %d/%d hot enclosures, period %v, %s, avg %.1f W, %d spin-ups, %.2f GB migrated\n",
+		now.Round(time.Second), det, hot, d.enclosures,
+		d.esm.Period().Round(time.Second), mix.String(),
+		d.arr.Meter().AverageEnclosureW(now),
+		d.arr.Meter().SpinUps(), float64(st.MigratedBytes)/(1<<30))
+}
+
+// updateSnapshot recomputes the mutex-guarded /status payload from the
+// live simulation state.
+func (d *daemon) updateSnapshot(now time.Duration) {
+	snap := statusSnapshot{
+		TimeNS:         int64(now),
+		Records:        d.records,
+		Determinations: d.esm.Determinations(),
+		Period:         d.esm.Period().String(),
+		PeriodNS:       int64(d.esm.Period()),
+		HotMask:        append([]bool(nil), d.esm.Hot()...),
+		SpinUps:        d.arr.Meter().SpinUps(),
+		AvgEnclosureW:  d.arr.Meter().AverageEnclosureW(now),
+		Cache:          d.arr.CacheOccupancy(),
+	}
+	st := d.arr.Stats()
+	snap.MigratedBytes = st.MigratedBytes
+	snap.CacheHits = st.CacheHits
+	if plan := d.esm.LastPlan(); plan != nil {
+		snap.PatternMix = map[string]int{}
+		for _, p := range plan.Patterns {
+			snap.PatternMix[p.String()]++
+		}
+	}
+	d.mu.Lock()
+	d.snap = snap
+	d.mu.Unlock()
+}
+
+// statusJSON is the /status content callback; it must be safe to call
+// from HTTP handler goroutines.
+func (d *daemon) statusJSON() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snap
+}
+
+// report prints the end-of-stream summary.
+func (d *daemon) report() {
+	now := d.clk.Now()
+	fmt.Fprintf(d.out, "\nprocessed %d records over %v\n", d.records, now.Round(time.Second))
+	fmt.Fprintf(d.out, "determinations     %d\n", d.esm.Determinations())
+	fmt.Fprintf(d.out, "avg enclosure      %.1f W\n", d.arr.Meter().AverageEnclosureW(now))
+	fmt.Fprintf(d.out, "avg total          %.1f W\n", d.arr.Meter().AverageTotalW(now))
+	fmt.Fprintf(d.out, "spin-ups           %d\n", d.arr.Meter().SpinUps())
+	st := d.arr.Stats()
+	fmt.Fprintf(d.out, "migrated           %.2f GB\n", float64(st.MigratedBytes)/(1<<30))
+	fmt.Fprintf(d.out, "cache hits         %d\n", st.CacheHits)
+	fmt.Fprintf(d.out, "delayed writes     %d\n", st.DelayedWrites)
 }
 
 func parseRecord(text string) (trace.LogicalRecord, error) {
@@ -196,19 +381,27 @@ func parseRecord(text string) (trace.LogicalRecord, error) {
 	}
 	t, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
-		return trace.LogicalRecord{}, err
+		return trace.LogicalRecord{}, fmt.Errorf("time: %w", err)
+	}
+	if t < 0 {
+		return trace.LogicalRecord{}, fmt.Errorf("negative time %d", t)
 	}
 	item, err := strconv.ParseInt(fields[1], 10, 32)
 	if err != nil {
-		return trace.LogicalRecord{}, err
+		return trace.LogicalRecord{}, fmt.Errorf("item: %w", err)
 	}
 	off, err := strconv.ParseInt(fields[2], 10, 64)
 	if err != nil {
-		return trace.LogicalRecord{}, err
+		return trace.LogicalRecord{}, fmt.Errorf("offset: %w", err)
 	}
+	// ParseInt's bitSize 32 rejects values outside int32, so a size like
+	// 3 GiB fails here instead of overflowing the record's int32 field.
 	size, err := strconv.ParseInt(fields[3], 10, 32)
 	if err != nil {
-		return trace.LogicalRecord{}, err
+		return trace.LogicalRecord{}, fmt.Errorf("size: %w", err)
+	}
+	if size <= 0 {
+		return trace.LogicalRecord{}, fmt.Errorf("non-positive size %d", size)
 	}
 	var op trace.Op
 	switch fields[4] {

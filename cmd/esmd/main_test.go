@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"esm/internal/obs"
+	"esm/internal/trace"
+)
+
+func TestParseRecordValid(t *testing.T) {
+	rec, err := parseRecord("1500000000,3,4096,8192,W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.LogicalRecord{
+		Time: 1500 * time.Millisecond, Item: 3,
+		Offset: 4096, Size: 8192, Op: trace.OpWrite,
+	}
+	if rec != want {
+		t.Fatalf("got %+v, want %+v", rec, want)
+	}
+	if rec, _ := parseRecord("0,0,0,512,R"); rec.Op != trace.OpRead {
+		t.Fatalf("read op parsed as %v", rec.Op)
+	}
+}
+
+func TestParseRecordMalformed(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"too few fields", "1,2,3,R"},
+		{"too many fields", "1,2,3,4,R,extra"},
+		{"non-numeric time", "abc,2,3,4,R"},
+		{"negative time", "-5,2,3,4,R"},
+		{"non-numeric item", "1,x,3,4,R"},
+		{"non-numeric offset", "1,2,x,4,R"},
+		{"non-numeric size", "1,2,3,x,R"},
+		{"zero size", "1,2,3,0,R"},
+		{"negative size", "1,2,3,-1,R"},
+		{"size over int32", fmt.Sprintf("1,2,3,%d,R", int64(1)<<31)},
+		{"bad op", "1,2,3,4,Q"},
+		{"lowercase op", "1,2,3,4,r"},
+		{"empty line", ""},
+	}
+	for _, c := range cases {
+		if _, err := parseRecord(c.line); err == nil {
+			t.Errorf("%s: parseRecord(%q) succeeded, want error", c.name, c.line)
+		}
+	}
+}
+
+// TestParseRecordSizeBoundary: MaxInt32 must round-trip exactly while
+// MaxInt32+1 must be rejected rather than wrap negative.
+func TestParseRecordSizeBoundary(t *testing.T) {
+	rec, err := parseRecord(fmt.Sprintf("1,2,3,%d,R", int32(1<<31-1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Size != 1<<31-1 {
+		t.Fatalf("size = %d", rec.Size)
+	}
+}
+
+// testDaemon builds a daemon over a tiny synthetic catalog.
+func testDaemon(t *testing.T, opts daemonOpts, out io.Writer) *daemon {
+	t.Helper()
+	dir := t.TempDir()
+	cat := trace.NewCatalog()
+	for i := 0; i < 8; i++ {
+		cat.Add(fmt.Sprintf("item%d", i), 1<<20)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCatalog(&buf, cat); err != nil {
+		t.Fatal(err)
+	}
+	catPath := filepath.Join(dir, "items")
+	if err := os.WriteFile(catPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	placement := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	if err := trace.WritePlacement(&buf, placement); err != nil {
+		t.Fatal(err)
+	}
+	plPath := filepath.Join(dir, "layout")
+	if err := os.WriteFile(plPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts.catalogPath = catPath
+	opts.placementPath = plPath
+	d, err := newDaemon(opts, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestProcessStreamSkipsHeaderAndBlanks(t *testing.T) {
+	var out bytes.Buffer
+	d := testDaemon(t, daemonOpts{quiet: true}, &out)
+	in := strings.Join([]string{
+		"time_ns,item,offset,size,op",
+		"",
+		"1000000,0,0,4096,R",
+		"   ",
+		"2000000,1,0,4096,W",
+	}, "\n")
+	if err := d.processStream(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if d.records != 2 {
+		t.Fatalf("processed %d records, want 2", d.records)
+	}
+}
+
+func TestProcessStreamRejectsOutOfOrder(t *testing.T) {
+	var out bytes.Buffer
+	d := testDaemon(t, daemonOpts{quiet: true}, &out)
+	in := "2000000,0,0,4096,R\n1000000,1,0,4096,R\n"
+	err := d.processStream(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("want line-2 out-of-order error, got %v", err)
+	}
+}
+
+func TestProcessStreamRejectsMalformedWithLineNumber(t *testing.T) {
+	var out bytes.Buffer
+	d := testDaemon(t, daemonOpts{quiet: true}, &out)
+	in := "time_ns,item,offset,size,op\n1000000,0,0,4096,R\nnot,a,record\n"
+	err := d.processStream(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-3 error, got %v", err)
+	}
+}
+
+// TestDaemonServesEndpoints: a daemon with -listen must answer
+// /metrics, /status and /debug/pprof/ while a stream is processed.
+func TestDaemonServesEndpoints(t *testing.T) {
+	var out bytes.Buffer
+	d := testDaemon(t, daemonOpts{quiet: true, listen: "127.0.0.1:0"}, &out)
+	// Serve the way run() does, but on an ephemeral port owned by the test.
+	srv := http.Server{Handler: obs.Handler(d.rec.Registry(), d.statusJSON)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln)
+
+	if err := d.processStream(strings.NewReader("1000000,0,0,4096,R\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "esm_physical_reads_total") {
+		t.Fatalf("/metrics: code %d body %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap statusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Records != 1 {
+		t.Fatalf("/status records = %d, want 1", snap.Records)
+	}
+	if snap.Period == "" {
+		t.Fatal("/status period empty")
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/: code %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,221 @@
+// Rendering of saved telemetry event logs (esmd -events /
+// esmbench -events): per-run determination summaries and per-enclosure
+// power-state timelines.
+
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"esm/internal/obs"
+)
+
+func runEvents(out io.Writer, path, runLabel string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: no events", path)
+	}
+
+	byRun := map[string][]obs.Event{}
+	for _, ev := range events {
+		byRun[ev.Run] = append(byRun[ev.Run], ev)
+	}
+	var runs []string
+	for r := range byRun {
+		runs = append(runs, r)
+	}
+	sort.Strings(runs)
+	if runLabel != "" {
+		if _, ok := byRun[runLabel]; !ok {
+			return fmt.Errorf("run %q not in log (have: %s)", runLabel, strings.Join(runs, ", "))
+		}
+		runs = []string{runLabel}
+	}
+	for i, r := range runs {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		renderRun(out, r, byRun[r])
+	}
+	return nil
+}
+
+func renderRun(out io.Writer, run string, events []obs.Event) {
+	name := run
+	if name == "" {
+		name = "(unlabelled)"
+	}
+	var span time.Duration
+	for _, ev := range events {
+		if d := time.Duration(ev.T); d > span {
+			span = d
+		}
+	}
+	fmt.Fprintf(out, "== %s: %d events over %v ==\n", name, len(events), span.Round(time.Second))
+
+	// Determination-by-determination summary.
+	fmt.Fprintln(out, "\ndeterminations:")
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.EvDetermination:
+			d := ev.Determination
+			hot := 0
+			for _, h := range d.Hot {
+				if h {
+					hot++
+				}
+			}
+			fmt.Fprintf(out, "  [%8v] #%-3d %-16s P0/P1/P2/P3 %d/%d/%d/%d  hot %d/%d  moves %-3d wdelay %-3d preload %-3d next period %v\n",
+				time.Duration(ev.T).Round(time.Second), d.N, d.Cause,
+				d.PatternCounts[0], d.PatternCounts[1], d.PatternCounts[2], d.PatternCounts[3],
+				hot, len(d.Hot), d.Moves, d.WriteDelay, d.Preload,
+				time.Duration(d.NextPeriodNS).Round(time.Second))
+		case obs.EvReplanTrigger:
+			t := ev.Replan
+			switch t.Trigger {
+			case obs.CauseTriggerInterval:
+				fmt.Fprintf(out, "  [%8v] trigger i): enclosure %d interval %v > break-even %v\n",
+					time.Duration(ev.T).Round(time.Second), t.Enclosure,
+					time.Duration(t.IntervalNS).Round(time.Second),
+					time.Duration(int64(t.Threshold)).Round(time.Second))
+			default:
+				fmt.Fprintf(out, "  [%8v] trigger ii): enclosure %d, %d cold spin-ups > m=%.1f\n",
+					time.Duration(ev.T).Round(time.Second), t.Enclosure, t.SpinUps, t.Threshold)
+			}
+		case obs.EvPeriodAdapt:
+			p := ev.Period
+			fmt.Fprintf(out, "  [%8v] period %v -> %v\n",
+				time.Duration(ev.T).Round(time.Second),
+				time.Duration(p.OldNS).Round(time.Second), time.Duration(p.NewNS).Round(time.Second))
+		}
+	}
+
+	// Aggregate counts.
+	var migDone, migSkip int
+	var migBytes int64
+	spinupsBy := map[obs.Cause]int{}
+	offs := 0
+	cacheSel := map[string]int{}
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.EvMigrationDone:
+			migDone++
+			migBytes += ev.Migration.Bytes
+		case obs.EvMigrationSkip:
+			migSkip++
+		case obs.EvPowerOn:
+			spinupsBy[ev.Power.Cause]++
+		case obs.EvPowerOff:
+			offs++
+		case obs.EvCacheSelect:
+			cacheSel[ev.Cache.Function] += len(ev.Cache.Items)
+		}
+	}
+	fmt.Fprintf(out, "\nmigrations: %d done (%.2f GB), %d skipped\n", migDone, float64(migBytes)/(1<<30), migSkip)
+	fmt.Fprintf(out, "power-offs: %d\n", offs)
+	if len(spinupsBy) > 0 {
+		var causes []string
+		for c := range spinupsBy {
+			causes = append(causes, string(c))
+		}
+		sort.Strings(causes)
+		fmt.Fprint(out, "spin-ups:  ")
+		for _, c := range causes {
+			fmt.Fprintf(out, " %s=%d", c, spinupsBy[obs.Cause(c)])
+		}
+		fmt.Fprintln(out)
+	}
+	if n := cacheSel["write-delay"] + cacheSel["preload"]; n > 0 {
+		fmt.Fprintf(out, "cache selections: write-delay=%d preload=%d\n", cacheSel["write-delay"], cacheSel["preload"])
+	}
+
+	renderTimelines(out, events, span)
+}
+
+// renderTimelines draws one character strip per enclosure: '#' on,
+// '.' off, '^' spinning up, sampled at the start of each column.
+func renderTimelines(out io.Writer, events []obs.Event, span time.Duration) {
+	segs := timelinesOf(events)
+	if len(segs) == 0 || span <= 0 {
+		return
+	}
+	const cols = 64
+	fmt.Fprintf(out, "\npower timelines (%v per column; '#'=on '.'=off '^'=spin-up):\n", (span / cols).Round(time.Second))
+	encs := make([]int, 0, len(segs))
+	for e := range segs {
+		encs = append(encs, e)
+	}
+	sort.Ints(encs)
+	for _, e := range encs {
+		strip := make([]byte, cols)
+		for c := 0; c < cols; c++ {
+			at := span * time.Duration(c) / cols
+			if stateAt(segs[e], at) == "off" {
+				strip[c] = '.'
+			} else {
+				strip[c] = '#'
+			}
+		}
+		// Overlay one '^' at the column each spin-up lands in; its true
+		// duration (the spin-up time) is not in the log.
+		for _, s := range segs[e] {
+			if s.State == "spinup" {
+				c := int(int64(s.T) * cols / int64(span))
+				if c >= cols {
+					c = cols - 1
+				}
+				strip[c] = '^'
+			}
+		}
+		off := obs.OffTime(segs[e], span)
+		fmt.Fprintf(out, "  enc %-3d %s  %.0f%% off\n", e, strip, 100*off.Seconds()/span.Seconds())
+	}
+}
+
+// timelinesOf reconstructs per-enclosure power segments from the power
+// events of one run. Enclosures start "on"; a power_on event marks the
+// start of the spin-up.
+func timelinesOf(events []obs.Event) map[int][]obs.Segment {
+	segs := map[int][]obs.Segment{}
+	for _, ev := range events {
+		if ev.Type != obs.EvPowerOn && ev.Type != obs.EvPowerOff {
+			continue
+		}
+		p := ev.Power
+		segs[p.Enclosure] = append(segs[p.Enclosure], obs.Segment{
+			T: time.Duration(ev.T), State: p.State, Cause: p.Cause,
+		})
+	}
+	return segs
+}
+
+// stateAt returns "on" or "off" at time at, given the time-ordered
+// transition segments. Before the first transition the enclosure is on;
+// a spin-up counts as on from its start.
+func stateAt(segs []obs.Segment, at time.Duration) string {
+	state := "on"
+	for _, s := range segs {
+		if s.T > at {
+			break
+		}
+		if s.State == "off" {
+			state = "off"
+		} else {
+			state = "on"
+		}
+	}
+	return state
+}

@@ -2,9 +2,14 @@
 // summary, the logical I/O pattern distribution (the Fig. 6 analysis for
 // an arbitrary trace), and the per-pattern top data items.
 //
+// It also renders saved telemetry event logs (the JSONL streams written
+// by esmd -events and esmbench -events): a determination-by-
+// determination summary plus per-enclosure power-state timelines.
+//
 // Usage:
 //
 //	esmstat -trace fs.trace -catalog fs.items [-break-even 52s] [-top 5]
+//	esmstat -events events.jsonl [-run fileserver/esm]
 package main
 
 import (
@@ -20,14 +25,23 @@ import (
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "binary trace path (required)")
-	catalogPath := flag.String("catalog", "", "catalog path (required)")
+	tracePath := flag.String("trace", "", "binary trace path")
+	catalogPath := flag.String("catalog", "", "catalog path")
 	breakEven := flag.Duration("break-even", 52*time.Second, "break-even time for Long Intervals")
 	top := flag.Int("top", 5, "items to list per pattern")
+	eventsPath := flag.String("events", "", "telemetry event log (JSONL) to render instead of a trace")
+	runLabel := flag.String("run", "", "with -events: only render the stream with this run label")
 	flag.Parse()
 
+	if *eventsPath != "" {
+		if err := runEvents(os.Stdout, *eventsPath, *runLabel); err != nil {
+			fmt.Fprintln(os.Stderr, "esmstat:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *tracePath == "" || *catalogPath == "" {
-		fmt.Fprintln(os.Stderr, "esmstat: -trace and -catalog are required")
+		fmt.Fprintln(os.Stderr, "esmstat: -trace and -catalog are required (or use -events)")
 		os.Exit(2)
 	}
 	if err := run(*tracePath, *catalogPath, *breakEven, *top); err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"esm/internal/monitor"
+	"esm/internal/obs"
 	"esm/internal/policy"
 	"esm/internal/simclock"
 	"esm/internal/trace"
@@ -39,6 +40,7 @@ type ESM struct {
 	hasPhys     []bool
 	coldSpinUps int
 
+	rec  *obs.Recorder
 	wake *simclock.Event
 }
 
@@ -52,6 +54,10 @@ func NewESM(params Params) (*ESM, error) {
 
 // Name implements policy.Policy.
 func (d *ESM) Name() string { return "esm" }
+
+// SetRecorder attaches a telemetry recorder. A nil recorder (the
+// default) keeps the policy observation-free.
+func (d *ESM) SetRecorder(rec *obs.Recorder) { d.rec = rec }
 
 // Params returns the policy parameters.
 func (d *ESM) Params() Params { return d.params }
@@ -84,7 +90,7 @@ func (d *ESM) scheduleWake(after time.Duration) {
 	}
 	d.wake = d.ctx.Queue.Schedule(at, func(now time.Duration) {
 		d.wake = nil
-		d.runManagement(now)
+		d.runManagement(now, obs.CausePeriodEnd)
 	})
 }
 
@@ -101,8 +107,13 @@ func (d *ESM) OnLogical(rec trace.LogicalRecord) {
 func (d *ESM) OnPhysical(rec trace.PhysicalRecord) {
 	e := int(rec.Enclosure)
 	if d.hasPhys[e] && d.hot != nil && d.hot[e] {
-		if rec.Time-d.lastPhys[e] > d.params.BreakEven {
-			d.maybeReplan(rec.Time)
+		if iv := rec.Time - d.lastPhys[e]; iv > d.params.BreakEven {
+			d.maybeReplan(rec.Time, obs.CauseTriggerInterval, obs.ReplanEvent{
+				Trigger:    obs.CauseTriggerInterval,
+				Enclosure:  e,
+				IntervalNS: int64(iv),
+				Threshold:  float64(d.params.BreakEven.Nanoseconds()),
+			})
 		}
 	}
 	d.lastPhys[e] = rec.Time
@@ -120,30 +131,39 @@ func (d *ESM) OnPower(enc int, at time.Duration, on bool) {
 	d.coldSpinUps++
 	m := 2 * float64(at-d.periodStart) / float64(d.params.BreakEven)
 	if float64(d.coldSpinUps) > m {
-		d.maybeReplan(at)
+		d.maybeReplan(at, obs.CauseTriggerSpinUps, obs.ReplanEvent{
+			Trigger:   obs.CauseTriggerSpinUps,
+			Enclosure: enc,
+			SpinUps:   d.coldSpinUps,
+			Threshold: m,
+		})
 	}
 }
 
 // maybeReplan runs the management function now unless one ran within the
 // cooldown window (the paper leaves the anti-thrash guard implicit).
-func (d *ESM) maybeReplan(now time.Duration) {
+// The trigger event is emitted only when the replan actually fires, so a
+// cooldown-suppressed storm does not flood the event stream.
+func (d *ESM) maybeReplan(now time.Duration, cause obs.Cause, ev obs.ReplanEvent) {
 	if d.inManagement {
 		return
 	}
 	if d.ranOnce && now-d.lastRun < d.params.ReplanCooldown {
 		return
 	}
-	d.runManagement(now)
+	d.rec.ReplanTrigger(now, ev)
+	d.runManagement(now, cause)
 }
 
 // runManagement is the body of Algorithm 1's loop.
-func (d *ESM) runManagement(now time.Duration) {
+func (d *ESM) runManagement(now time.Duration, cause obs.Cause) {
 	if d.inManagement {
 		return
 	}
 	d.inManagement = true
 	defer func() { d.inManagement = false }()
 
+	d.rec.DeterminationStart(now, d.determinations+1, cause)
 	stats := d.appMon.EndPeriod(now)
 	arr := d.ctx.Array
 
@@ -213,6 +233,7 @@ func (d *ESM) runManagement(now time.Duration) {
 	}
 
 	// Determine the length of the next monitoring period (§IV-H).
+	oldPeriod := d.period
 	d.period = NextPeriod(d.params, stats, d.period)
 	d.lastPlan = &plan
 	d.hot = plan.Hot
@@ -221,6 +242,30 @@ func (d *ESM) runManagement(now time.Duration) {
 	d.lastRun = now
 	d.ranOnce = true
 	d.determinations++
+	if d.rec.Enabled() {
+		var counts [4]int
+		for _, p := range plan.Patterns {
+			counts[p]++
+		}
+		nHot := 0
+		for _, h := range plan.Hot {
+			if h {
+				nHot++
+			}
+		}
+		d.rec.Determination(now, obs.DeterminationEvent{
+			N:             d.determinations,
+			Cause:         cause,
+			PatternCounts: counts,
+			Hot:           append([]bool(nil), plan.Hot...),
+			NHot:          nHot,
+			Moves:         len(plan.Moves),
+			WriteDelay:    len(wd),
+			Preload:       len(pre),
+			NextPeriodNS:  int64(d.period),
+		})
+		d.rec.PeriodAdapt(now, oldPeriod, d.period)
+	}
 	d.scheduleWake(d.period)
 }
 

@@ -16,6 +16,7 @@ import (
 	"esm/internal/maid"
 	"esm/internal/metrics"
 	"esm/internal/monitor"
+	"esm/internal/obs"
 	"esm/internal/offload"
 	"esm/internal/pdc"
 	"esm/internal/policy"
@@ -129,6 +130,13 @@ type Eval struct {
 
 // Evaluate replays w under every policy.
 func Evaluate(w *workload.Workload, factories []PolicyFactory) (*Eval, error) {
+	return EvaluateWithRecorder(w, factories, nil)
+}
+
+// EvaluateWithRecorder replays w under every policy, attaching the
+// telemetry recorder returned by rec for each policy name. rec may be
+// nil (no telemetry) and may return nil for individual policies.
+func EvaluateWithRecorder(w *workload.Workload, factories []PolicyFactory, rec func(policy string) *obs.Recorder) (*Eval, error) {
 	ev := &Eval{Workload: w, Policies: factories}
 	for _, f := range factories {
 		run := replay.Run{
@@ -139,6 +147,9 @@ func Evaluate(w *workload.Workload, factories []PolicyFactory) (*Eval, error) {
 			Policy:     f.New(),
 			Duration:   w.Duration,
 			ClosedLoop: w.ClosedLoop,
+		}
+		if rec != nil {
+			run.Recorder = rec(f.Name)
 		}
 		for _, win := range w.Windows {
 			run.Windows = append(run.Windows, replay.Window{Name: win.Name, Start: win.Start, End: win.End})

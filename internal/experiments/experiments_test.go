@@ -290,7 +290,7 @@ func fakeEval(t *testing.T) *Eval {
 	return &Eval{
 		Workload: w,
 		Policies: []PolicyFactory{{Name: "none"}, {Name: "esm"}},
-		Results:  []*replay.Result{mkRes("none", 10 * time.Millisecond), mkRes("esm", 5 * time.Millisecond)},
+		Results:  []*replay.Result{mkRes("none", 10*time.Millisecond), mkRes("esm", 5*time.Millisecond)},
 	}
 }
 

@@ -14,8 +14,12 @@ import (
 )
 
 // respBuckets is the number of logarithmic response-time histogram
-// buckets: bucket i covers [0.1ms·2^i, 0.1ms·2^(i+1)).
+// buckets: bucket 0 covers [0, respBucketBase) and bucket i ≥ 1 covers
+// [respBucketBase·2^(i-1), respBucketBase·2^i).
 const respBuckets = 32
+
+// respBucketBase is the upper bound of the first histogram bucket.
+const respBucketBase = 200 * time.Microsecond
 
 // ResponseStats accumulates response times of application I/Os.
 type ResponseStats struct {
@@ -39,7 +43,7 @@ func (r *ResponseStats) Add(op trace.Op, d time.Duration) {
 		r.readSum += d
 	}
 	b := 0
-	for limit := 200 * time.Microsecond; d >= limit && b < respBuckets-1; limit *= 2 {
+	for limit := respBucketBase; d >= limit && b < respBuckets-1; limit *= 2 {
 		b++
 	}
 	r.hist[b]++
@@ -82,7 +86,7 @@ func (r *ResponseStats) Percentile(p float64) time.Duration {
 	}
 	target := int64(math.Ceil(p * float64(r.count)))
 	var seen int64
-	limit := 200 * time.Microsecond
+	limit := respBucketBase
 	for b := 0; b < respBuckets; b++ {
 		seen += r.hist[b]
 		if seen >= target {
@@ -148,11 +152,13 @@ func IntervalCurve(mon *monitor.StorageMonitor) []CurvePoint {
 		iv := mon.Intervals(e)
 		for b := 0; b < monitor.IntervalBuckets; b++ {
 			pts[b].Count += iv.Counts[b]
-			// A gap in bucket b contributes to every point at or below b.
-			for j := 0; j <= b; j++ {
-				pts[j].Cumulative += iv.Sums[b]
-			}
+			pts[b].Cumulative += iv.Sums[b]
 		}
+	}
+	// A gap in bucket b contributes to every point at or below b, so the
+	// cumulative column is the suffix sum of the per-bucket totals.
+	for b := monitor.IntervalBuckets - 2; b >= 0; b-- {
+		pts[b].Cumulative += pts[b+1].Cumulative
 	}
 	return pts
 }

@@ -74,6 +74,39 @@ func TestPercentileBounds(t *testing.T) {
 	}
 }
 
+// TestPercentileBucketBoundaries pins the histogram's bucket layout:
+// bucket 0 is [0, 200µs), bucket i ≥ 1 is [200µs·2^(i-1), 200µs·2^i),
+// and Percentile reports each bucket's upper bound (capped at the max).
+func TestPercentileBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want time.Duration // upper bound of d's bucket
+	}{
+		{0, 200 * time.Microsecond},
+		{199 * time.Microsecond, 200 * time.Microsecond},
+		{200 * time.Microsecond, 400 * time.Microsecond}, // boundary lands in the next bucket
+		{399 * time.Microsecond, 400 * time.Microsecond},
+		{400 * time.Microsecond, 800 * time.Microsecond},
+		{time.Millisecond, 1600 * time.Microsecond},
+		{25 * time.Millisecond, 25600 * time.Microsecond},
+	}
+	for _, c := range cases {
+		var r ResponseStats
+		r.Add(trace.OpRead, c.d)
+		// A second sample far above keeps the max from capping the bound.
+		r.Add(trace.OpRead, time.Hour)
+		if got := r.Percentile(0.5); got != c.want {
+			t.Errorf("Percentile(0.5) after Add(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+	// With one sample the bound is capped at the observed max.
+	var r ResponseStats
+	r.Add(trace.OpRead, 150*time.Microsecond)
+	if got := r.Percentile(0.99); got != 150*time.Microsecond {
+		t.Errorf("capped percentile = %v, want 150µs", got)
+	}
+}
+
 func TestDerivedThroughput(t *testing.T) {
 	// Doubling the read response halves the derived throughput.
 	got := DerivedThroughput(1859.5, 10*time.Millisecond, 20*time.Millisecond)
@@ -127,5 +160,58 @@ func TestIntervalCurve(t *testing.T) {
 	}
 	if got := CumulativeAbove(m, time.Hour); got != 0 {
 		t.Fatalf("cumulative above 1h = %v", got)
+	}
+}
+
+// naiveIntervalCurve is the reference quadratic accumulation the
+// suffix-sum implementation must match bucket for bucket.
+func naiveIntervalCurve(mon *monitor.StorageMonitor) []CurvePoint {
+	pts := make([]CurvePoint, monitor.IntervalBuckets)
+	min := time.Duration(0)
+	next := 2 * time.Second
+	for b := 0; b < monitor.IntervalBuckets; b++ {
+		pts[b].MinLen = min
+		min = next
+		next *= 2
+	}
+	for e := 0; e < mon.Enclosures(); e++ {
+		iv := mon.Intervals(e)
+		for b := 0; b < monitor.IntervalBuckets; b++ {
+			pts[b].Count += iv.Counts[b]
+			for j := 0; j <= b; j++ {
+				pts[j].Cumulative += iv.Sums[b]
+			}
+		}
+	}
+	return pts
+}
+
+func TestIntervalCurveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := monitor.NewStorageMonitor(4)
+	var now [4]time.Duration
+	for i := 0; i < 2000; i++ {
+		e := rng.Intn(4)
+		// Gaps from sub-second to hours, exercising every bucket.
+		now[e] += time.Duration(rng.Int63n(int64(4 * time.Hour)))
+		m.RecordPhysical(trace.PhysicalRecord{Time: now[e], Enclosure: int32(e)})
+	}
+	var end time.Duration
+	for _, n := range now {
+		if n > end {
+			end = n
+		}
+	}
+	m.Finish(end)
+
+	got := IntervalCurve(m)
+	want := naiveIntervalCurve(m)
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for b := range got {
+		if got[b] != want[b] {
+			t.Fatalf("bucket %d: %+v, want %+v", b, got[b], want[b])
+		}
 	}
 }

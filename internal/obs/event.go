@@ -1,0 +1,229 @@
+// The typed event stream: one envelope per consequential transition,
+// serialised as one JSON object per line (JSONL) so a saved log can be
+// replayed, diffed, or fed to external tooling.
+
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventType names the kind of transition an Event describes.
+type EventType string
+
+// The event vocabulary.
+const (
+	EvDeterminationStart EventType = "determination_start"
+	EvDetermination      EventType = "determination"
+	EvMigrationStart     EventType = "migration_start"
+	EvMigrationDone      EventType = "migration_done"
+	EvMigrationSkip      EventType = "migration_skip"
+	EvCacheSelect        EventType = "cache_select"
+	EvCacheEvict         EventType = "cache_evict"
+	EvPowerOn            EventType = "power_on"
+	EvPowerOff           EventType = "power_off"
+	EvReplanTrigger      EventType = "replan_trigger"
+	EvPeriodAdapt        EventType = "period_adapt"
+)
+
+// Event is the envelope every transition is reported in. Exactly one
+// payload pointer is set, matching Type.
+type Event struct {
+	// Seq is the 1-based emission order within one recorder.
+	Seq int64 `json:"seq"`
+	// T is the virtual time of the transition in nanoseconds.
+	T int64 `json:"t_ns"`
+	// Type selects the payload.
+	Type EventType `json:"type"`
+	// Run labels the replay the event belongs to (esmbench writes the
+	// policy name here); empty for single-run tools.
+	Run string `json:"run,omitempty"`
+
+	Determination *DeterminationEvent `json:"determination,omitempty"`
+	Migration     *MigrationEvent     `json:"migration,omitempty"`
+	Cache         *CacheEvent         `json:"cache,omitempty"`
+	Power         *PowerEvent         `json:"power,omitempty"`
+	Replan        *ReplanEvent        `json:"replan,omitempty"`
+	Period        *PeriodEvent        `json:"period,omitempty"`
+}
+
+// DeterminationEvent describes one run of the power management
+// function. A determination_start event carries only N and Cause; the
+// determination (end) event carries the full decision.
+type DeterminationEvent struct {
+	// N is the 1-based determination number.
+	N int64 `json:"n"`
+	// Cause is what provoked the run: period-end, trigger-interval or
+	// trigger-spinups.
+	Cause Cause `json:"cause,omitempty"`
+	// PatternCounts is the number of items classified P0..P3.
+	PatternCounts [4]int `json:"patterns,omitempty"`
+	// Hot is the per-enclosure hot flag; NHot the hot count.
+	Hot  []bool `json:"hot,omitempty"`
+	NHot int    `json:"n_hot,omitempty"`
+	// Moves is the number of planned migrations; WriteDelay and
+	// Preload the sizes of the cache-function selections.
+	Moves      int `json:"moves,omitempty"`
+	WriteDelay int `json:"write_delay,omitempty"`
+	Preload    int `json:"preload,omitempty"`
+	// NextPeriodNS is the monitoring period chosen for the next cycle.
+	NextPeriodNS int64 `json:"next_period_ns,omitempty"`
+}
+
+// MigrationEvent describes one data-item migration. Src is -1 when the
+// source is unknown (a skipped migration never started its copy).
+type MigrationEvent struct {
+	Item  int64 `json:"item"`
+	Src   int   `json:"src"`
+	Dst   int   `json:"dst"`
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// CacheEvent describes a cache-function selection change. Function is
+// "preload" or "write-delay".
+type CacheEvent struct {
+	Function string  `json:"function"`
+	Items    []int64 `json:"items"`
+}
+
+// PowerEvent describes one enclosure power transition. State is
+// "spinup" (power-on begins) or "off".
+type PowerEvent struct {
+	Enclosure int    `json:"enclosure"`
+	State     string `json:"state"`
+	Cause     Cause  `json:"cause"`
+}
+
+// ReplanEvent describes a §V-D pattern-change trigger firing, with the
+// measurement that crossed the threshold.
+type ReplanEvent struct {
+	// Trigger is trigger-interval (i) or trigger-spinups (ii).
+	Trigger Cause `json:"trigger"`
+	// Enclosure is the hot enclosure whose interval fired trigger i),
+	// or the cold enclosure whose spin-up fired trigger ii).
+	Enclosure int `json:"enclosure"`
+	// IntervalNS is the measured I/O interval for trigger i).
+	IntervalNS int64 `json:"interval_ns,omitempty"`
+	// SpinUps and Threshold are the cold spin-up count and the m it
+	// exceeded for trigger ii).
+	SpinUps   int     `json:"spin_ups,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// PeriodEvent describes a monitoring-period adaptation.
+type PeriodEvent struct {
+	OldNS int64 `json:"old_ns"`
+	NewNS int64 `json:"new_ns"`
+}
+
+// Sink consumes events. Implementations must be safe for concurrent
+// Emit calls.
+type Sink interface {
+	Emit(Event)
+	Close() error
+}
+
+// JSONLSink writes one JSON object per line. Emissions are buffered;
+// Close flushes. Safe for concurrent use and for sharing between
+// recorders (esmbench funnels every policy's recorder into one file).
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONLSink returns a sink writing to w. When w is also an
+// io.Closer, Close closes it after flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink. The first encoding or write error is kept and
+// returned by Close; later events are dropped.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// CollectSink buffers events in memory, for tests and esmstat.
+type CollectSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *CollectSink) Emit(ev Event) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Close implements Sink.
+func (s *CollectSink) Close() error { return nil }
+
+// Events returns a copy of the collected events.
+func (s *CollectSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// ReadEvents decodes a JSONL event log. Blank lines are skipped; a
+// malformed line fails with its line number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

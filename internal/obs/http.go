@@ -1,0 +1,41 @@
+// The HTTP surface: /metrics in Prometheus text exposition format,
+// /status as a JSON snapshot, and the standard net/http/pprof
+// endpoints under /debug/pprof/.
+
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the telemetry mux. status is invoked per /status
+// request and its result marshalled as JSON; it must be safe to call
+// from the serving goroutine (snapshot under the caller's lock). A nil
+// status serves an empty object; a nil registry serves empty metrics.
+func Handler(reg *Registry, status func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any = struct{}{}
+		if status != nil {
+			v = status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

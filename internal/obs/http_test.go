@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetricsStatusPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esm_spin_ups_total", "spin-ups").Add(7)
+	type status struct {
+		Determinations int64  `json:"determinations"`
+		Period         string `json:"period"`
+	}
+	srv := httptest.NewServer(Handler(reg, func() any {
+		return status{Determinations: 3, Period: "8m40s"}
+	}))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != 200 || !strings.Contains(body, "esm_spin_ups_total 7") {
+		t.Fatalf("/metrics: code %d body %q", code, body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+
+	code, body, ctype = get("/status")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/status: code %d content type %q", code, ctype)
+	}
+	var st status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if st.Determinations != 3 || st.Period != "8m40s" {
+		t.Fatalf("/status payload wrong: %+v", st)
+	}
+
+	code, body, _ = get("/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code %d", code)
+	}
+}
+
+func TestHandlerNilStatusAndRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/status"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: code %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package obs is the telemetry layer: a typed event stream (JSONL), a
+// dependency-free counter/gauge registry rendered in Prometheus text
+// exposition format, and per-enclosure power-state timelines.
+//
+// The entry point is the Recorder. A nil *Recorder is a valid, fully
+// disabled recorder: every method nil-checks its receiver and returns
+// immediately, so instrumented hot paths (storage.Array.Submit, the
+// physical I/O path) pay exactly one pointer comparison when telemetry
+// is off. Construct one with New only when an event sink, a registry,
+// or timelines are actually wanted.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Cause attributes a power-state transition or a management-function
+// run to what provoked it.
+type Cause string
+
+// Power-transition and determination causes.
+const (
+	// CauseIdleTimeout: the enclosure's idle timer expired and the
+	// power-off function spun it down.
+	CauseIdleTimeout Cause = "idle-timeout"
+	// CauseDemand: an application I/O arrived at a powered-off
+	// enclosure and forced a spin-up.
+	CauseDemand Cause = "demand"
+	// CauseMigration: migration traffic forced a spin-up.
+	CauseMigration Cause = "migration"
+	// CauseFlush: a write-delay destage forced a spin-up.
+	CauseFlush Cause = "flush"
+	// CausePreload: a preload bulk read forced a spin-up.
+	CausePreload Cause = "preload"
+	// CausePeriodEnd: the monitoring period ended (Algorithm 1's
+	// regular cadence).
+	CausePeriodEnd Cause = "period-end"
+	// CauseTriggerInterval: pattern-change trigger i) — a hot enclosure
+	// saw an I/O interval longer than the break-even time.
+	CauseTriggerInterval Cause = "trigger-interval"
+	// CauseTriggerSpinUps: pattern-change trigger ii) — cold enclosures
+	// spun up more than m times since the last determination.
+	CauseTriggerSpinUps Cause = "trigger-spinups"
+)
+
+// Recorder fans consequential transitions out to an event sink, a
+// metric registry and per-enclosure power timelines. All methods are
+// safe on a nil receiver (no-ops) and safe for concurrent use.
+type Recorder struct {
+	mu        sync.Mutex
+	sink      Sink
+	reg       *Registry
+	label     string
+	seq       int64
+	timelines []*Timeline
+
+	// Registry instruments, pre-resolved so the hot path does not pay
+	// a map lookup. All nil when no registry is attached.
+	cPhysReads      *Counter
+	cPhysWrites     *Counter
+	cCacheHits      *Counter
+	cDelayedWrites  *Counter
+	cMigratedBytes  *Counter
+	cMigrations     *Counter
+	cSpinUps        *Counter
+	cPowerOffs      *Counter
+	cDeterminations *Counter
+	cReplanTriggers *Counter
+	gPeriodSeconds  *Gauge
+	gHotEnclosures  *Gauge
+}
+
+// Options configures a Recorder. All fields are optional; a zero
+// Options yields a recorder that only keeps timelines.
+type Options struct {
+	// Sink receives every event. Nil discards events.
+	Sink Sink
+	// Registry, when non-nil, is populated with the esm_* counters and
+	// gauges the recorder maintains.
+	Registry *Registry
+	// Label is stamped into every event's "run" field; esmbench uses it
+	// to tell the interleaved per-policy streams of one file apart.
+	Label string
+}
+
+// New returns a live recorder.
+func New(opts Options) *Recorder {
+	r := &Recorder{sink: opts.Sink, reg: opts.Registry, label: opts.Label}
+	if reg := opts.Registry; reg != nil {
+		r.cPhysReads = reg.Counter("esm_physical_reads_total", "Physical read I/Os issued to enclosures.")
+		r.cPhysWrites = reg.Counter("esm_physical_writes_total", "Physical write I/Os issued to enclosures.")
+		r.cCacheHits = reg.Counter("esm_cache_hits_total", "Application I/Os served entirely from cache.")
+		r.cDelayedWrites = reg.Counter("esm_delayed_writes_total", "Application writes absorbed by the write-delay partition.")
+		r.cMigratedBytes = reg.Counter("esm_migrated_bytes_total", "Bytes copied by data-item and extent migrations.")
+		r.cMigrations = reg.Counter("esm_migrations_total", "Completed data-item migrations.")
+		r.cSpinUps = reg.Counter("esm_spin_ups_total", "Enclosure power-on transitions.")
+		r.cPowerOffs = reg.Counter("esm_power_offs_total", "Enclosure power-off transitions.")
+		r.cDeterminations = reg.Counter("esm_determinations_total", "Runs of the power management function.")
+		r.cReplanTriggers = reg.Counter("esm_replan_triggers_total", "Pattern-change triggers that forced an immediate replan.")
+		r.gPeriodSeconds = reg.Gauge("esm_monitoring_period_seconds", "Current monitoring-period length.")
+		r.gHotEnclosures = reg.Gauge("esm_hot_enclosures", "Enclosures classified hot by the last determination.")
+	}
+	return r
+}
+
+// Enabled reports whether the recorder is live. Call sites that must
+// assemble a non-trivial payload guard on it; plain emit calls rely on
+// the methods' own nil checks instead.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Registry returns the attached registry, or nil.
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// emit stamps sequence, label and time onto ev and hands it to the
+// sink. Callers hold no lock.
+func (r *Recorder) emit(t time.Duration, ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sink == nil {
+		return
+	}
+	r.seq++
+	ev.Seq = r.seq
+	ev.T = int64(t)
+	ev.Run = r.label
+	r.sink.Emit(ev)
+}
+
+// Close flushes and closes the sink, if any.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sink == nil {
+		return nil
+	}
+	return r.sink.Close()
+}
+
+// PhysicalIO counts one physical I/O on the registry. It sits on the
+// simulator's hottest path; keep it to the nil check and two atomic
+// increments.
+func (r *Recorder) PhysicalIO(read bool) {
+	if r == nil || r.reg == nil {
+		return
+	}
+	if read {
+		r.cPhysReads.Inc()
+	} else {
+		r.cPhysWrites.Inc()
+	}
+}
+
+// CacheHit counts one application I/O served from cache.
+func (r *Recorder) CacheHit() {
+	if r == nil || r.reg == nil {
+		return
+	}
+	r.cCacheHits.Inc()
+}
+
+// DelayedWrite counts one write absorbed by the write-delay partition.
+func (r *Recorder) DelayedWrite() {
+	if r == nil || r.reg == nil {
+		return
+	}
+	r.cDelayedWrites.Inc()
+}
+
+// PowerTransition records one enclosure power-state segment: an event,
+// a timeline segment, and the spin-up/power-off counters. state is one
+// of "on", "off", "spinup".
+func (r *Recorder) PowerTransition(t time.Duration, enc int, state string, cause Cause) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for len(r.timelines) <= enc {
+		r.timelines = append(r.timelines, &Timeline{})
+	}
+	r.timelines[enc].append(Segment{T: t, State: state, Cause: cause})
+	r.mu.Unlock()
+	if r.reg != nil {
+		switch state {
+		case "spinup":
+			r.cSpinUps.Inc()
+		case "off":
+			r.cPowerOffs.Inc()
+		}
+	}
+	typ := EvPowerOn
+	if state == "off" {
+		typ = EvPowerOff
+	} else if state == "on" {
+		// The spin-up event already reported the transition; the
+		// "on" segment only extends the timeline.
+		return
+	}
+	r.emit(t, Event{Type: typ, Power: &PowerEvent{Enclosure: enc, State: state, Cause: cause}})
+}
+
+// Timeline returns a copy of enclosure enc's power-state segments (nil
+// for an unknown enclosure or a nil recorder).
+func (r *Recorder) Timeline(enc int) []Segment {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if enc < 0 || enc >= len(r.timelines) {
+		return nil
+	}
+	return r.timelines[enc].Segments()
+}
+
+// Timelines returns copies of every enclosure timeline recorded so far.
+func (r *Recorder) Timelines() [][]Segment {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]Segment, len(r.timelines))
+	for i, tl := range r.timelines {
+		out[i] = tl.Segments()
+	}
+	return out
+}
+
+// MigrationStart records the start of one data-item migration copy.
+func (r *Recorder) MigrationStart(t time.Duration, item int64, src, dst int, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.emit(t, Event{Type: EvMigrationStart, Migration: &MigrationEvent{Item: item, Src: src, Dst: dst, Bytes: bytes}})
+}
+
+// MigrationDone records a finished migration and its copied volume.
+func (r *Recorder) MigrationDone(t time.Duration, item int64, src, dst int, bytes int64) {
+	if r == nil {
+		return
+	}
+	if r.reg != nil {
+		r.cMigrations.Inc()
+		r.cMigratedBytes.Add(bytes)
+	}
+	r.emit(t, Event{Type: EvMigrationDone, Migration: &MigrationEvent{Item: item, Src: src, Dst: dst, Bytes: bytes}})
+}
+
+// MigrationSkipped records a migration dropped because its destination
+// was full when it reached the head of the queue.
+func (r *Recorder) MigrationSkipped(t time.Duration, item int64, dst int) {
+	if r == nil {
+		return
+	}
+	r.emit(t, Event{Type: EvMigrationSkip, Migration: &MigrationEvent{Item: item, Src: -1, Dst: dst}})
+}
+
+// CacheSelect records items newly selected for a cache function
+// ("preload" or "write-delay").
+func (r *Recorder) CacheSelect(t time.Duration, function string, items []int64) {
+	if r == nil || len(items) == 0 {
+		return
+	}
+	r.emit(t, Event{Type: EvCacheSelect, Cache: &CacheEvent{Function: function, Items: items}})
+}
+
+// CacheEvict records items dropped from a cache function.
+func (r *Recorder) CacheEvict(t time.Duration, function string, items []int64) {
+	if r == nil || len(items) == 0 {
+		return
+	}
+	r.emit(t, Event{Type: EvCacheEvict, Cache: &CacheEvent{Function: function, Items: items}})
+}
+
+// DeterminationStart records the power management function beginning a
+// run, with the cause that provoked it.
+func (r *Recorder) DeterminationStart(t time.Duration, n int64, cause Cause) {
+	if r == nil {
+		return
+	}
+	r.emit(t, Event{Type: EvDeterminationStart, Determination: &DeterminationEvent{N: n, Cause: cause}})
+}
+
+// Determination records a completed run of the power management
+// function: the per-item pattern counts, the hot/cold assignment and
+// the decisions taken.
+func (r *Recorder) Determination(t time.Duration, d DeterminationEvent) {
+	if r == nil {
+		return
+	}
+	if r.reg != nil {
+		r.cDeterminations.Inc()
+		r.gPeriodSeconds.Set(time.Duration(d.NextPeriodNS).Seconds())
+		hot := 0
+		for _, h := range d.Hot {
+			if h {
+				hot++
+			}
+		}
+		r.gHotEnclosures.Set(float64(hot))
+	}
+	r.emit(t, Event{Type: EvDetermination, Determination: &d})
+}
+
+// ReplanTrigger records a §V-D pattern-change trigger that actually
+// forced a replan, with the measurement that fired it.
+func (r *Recorder) ReplanTrigger(t time.Duration, ev ReplanEvent) {
+	if r == nil {
+		return
+	}
+	if r.reg != nil {
+		r.cReplanTriggers.Inc()
+	}
+	r.emit(t, Event{Type: EvReplanTrigger, Replan: &ev})
+}
+
+// PeriodAdapt records a monitoring-period change (§IV-H).
+func (r *Recorder) PeriodAdapt(t time.Duration, old, next time.Duration) {
+	if r == nil || old == next {
+		return
+	}
+	r.emit(t, Event{Type: EvPeriodAdapt, Period: &PeriodEvent{OldNS: int64(old), NewNS: int64(next)}})
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsNoOp: every method must be callable on a nil
+// recorder — the disabled fast path the hot I/O loop relies on.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.PhysicalIO(true)
+	r.CacheHit()
+	r.DelayedWrite()
+	r.PowerTransition(time.Second, 0, "off", CauseIdleTimeout)
+	r.MigrationStart(0, 1, 0, 1, 100)
+	r.MigrationDone(0, 1, 0, 1, 100)
+	r.MigrationSkipped(0, 1, 1)
+	r.CacheSelect(0, "preload", []int64{1})
+	r.CacheEvict(0, "preload", []int64{1})
+	r.DeterminationStart(0, 1, CausePeriodEnd)
+	r.Determination(0, DeterminationEvent{N: 1})
+	r.ReplanTrigger(0, ReplanEvent{Trigger: CauseTriggerInterval})
+	r.PeriodAdapt(0, time.Second, 2*time.Second)
+	if r.Timeline(0) != nil || r.Timelines() != nil || r.Registry() != nil {
+		t.Fatal("nil recorder returned non-nil state")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventStreamJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := New(Options{Sink: NewJSONLSink(&buf), Label: "esm"})
+	rec.DeterminationStart(520*time.Second, 1, CausePeriodEnd)
+	rec.Determination(520*time.Second, DeterminationEvent{
+		N: 1, Cause: CausePeriodEnd,
+		PatternCounts: [4]int{3, 2, 1, 4},
+		Hot:           []bool{true, false, true},
+		NHot:          2, Moves: 5, WriteDelay: 2, Preload: 1,
+		NextPeriodNS: int64(624 * time.Second),
+	})
+	rec.PowerTransition(600*time.Second, 1, "off", CauseIdleTimeout)
+	rec.PowerTransition(700*time.Second, 1, "spinup", CauseDemand)
+	rec.PowerTransition(715*time.Second, 1, "on", CauseDemand)
+	rec.MigrationStart(520*time.Second, 7, 2, 0, 1<<20)
+	rec.MigrationDone(530*time.Second, 7, 2, 0, 1<<20)
+	rec.CacheSelect(520*time.Second, "preload", []int64{3, 4})
+	rec.ReplanTrigger(800*time.Second, ReplanEvent{Trigger: CauseTriggerSpinUps, Enclosure: 1, SpinUps: 5, Threshold: 4.2})
+	rec.PeriodAdapt(800*time.Second, 520*time.Second, 624*time.Second)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "on" power segment extends the timeline without an event.
+	want := []EventType{
+		EvDeterminationStart, EvDetermination, EvPowerOff, EvPowerOn,
+		EvMigrationStart, EvMigrationDone, EvCacheSelect,
+		EvReplanTrigger, EvPeriodAdapt,
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(events), len(want))
+	}
+	for i, ev := range events {
+		if ev.Type != want[i] {
+			t.Errorf("event %d: type %q, want %q", i, ev.Type, want[i])
+		}
+		if ev.Seq != int64(i+1) {
+			t.Errorf("event %d: seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Run != "esm" {
+			t.Errorf("event %d: run %q, want esm", i, ev.Run)
+		}
+	}
+	det := events[1].Determination
+	if det == nil || det.PatternCounts != [4]int{3, 2, 1, 4} || det.NHot != 2 {
+		t.Fatalf("determination payload corrupted: %+v", det)
+	}
+	if p := events[3].Power; p == nil || p.State != "spinup" || p.Cause != CauseDemand {
+		t.Fatalf("power payload corrupted: %+v", events[3].Power)
+	}
+}
+
+func TestTimelineAndOffTime(t *testing.T) {
+	rec := New(Options{})
+	rec.PowerTransition(10*time.Second, 0, "off", CauseIdleTimeout)
+	rec.PowerTransition(30*time.Second, 0, "spinup", CauseDemand)
+	rec.PowerTransition(45*time.Second, 0, "on", CauseDemand)
+	rec.PowerTransition(100*time.Second, 0, "off", CauseIdleTimeout)
+
+	segs := rec.Timeline(0)
+	if len(segs) != 4 {
+		t.Fatalf("got %d segments, want 4", len(segs))
+	}
+	if segs[0].State != "off" || segs[0].Cause != CauseIdleTimeout || segs[0].T != 10*time.Second {
+		t.Fatalf("segment 0 wrong: %+v", segs[0])
+	}
+	// Off 10s..30s (20s) plus 100s..120s (20s).
+	if got := OffTime(segs, 120*time.Second); got != 40*time.Second {
+		t.Fatalf("OffTime = %v, want 40s", got)
+	}
+	if rec.Timeline(5) != nil {
+		t.Fatal("unknown enclosure should have nil timeline")
+	}
+	if all := rec.Timelines(); len(all) != 1 || len(all[0]) != 4 {
+		t.Fatalf("Timelines() wrong shape: %v", all)
+	}
+}
+
+func TestCollectSink(t *testing.T) {
+	var sink CollectSink
+	rec := New(Options{Sink: &sink})
+	rec.DeterminationStart(time.Second, 1, CausePeriodEnd)
+	rec.DeterminationStart(2*time.Second, 2, CauseTriggerInterval)
+	got := sink.Events()
+	if len(got) != 2 || got[0].Determination.Cause != CausePeriodEnd || got[1].Determination.Cause != CauseTriggerInterval {
+		t.Fatalf("collect sink contents wrong: %+v", got)
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"seq\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+// The counter/gauge registry: atomic instruments with no external
+// dependencies, rendered in the Prometheus text exposition format.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which must be non-negative; negative deltas are
+// ignored to keep the counter monotonic).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The value is stored as
+// float64 bits so Set/Value are single atomic operations.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// gaugeFunc is a gauge evaluated at render time.
+type gaugeFunc struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// Registry holds named instruments. Registration is idempotent by
+// name; rendering is sorted by name so output is deterministic.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]*gaugeFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]*gaugeFunc),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Help is kept from the first registration.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at render
+// time. fn must be safe to call from the scrape goroutine; callers
+// whose state is mutated elsewhere lock inside fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = &gaugeFunc{name: name, help: help, fn: fn}
+}
+
+// metricName reports whether name is a valid Prometheus metric name
+// (with an optional single {label="value"} suffix, which the registry
+// treats as part of the name).
+func metricName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders every instrument in the text exposition
+// format, sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type row struct {
+		name, help, typ string
+		value           float64
+		integer         bool
+		intValue        int64
+	}
+	rows := make([]row, 0, len(r.counters)+len(r.gauges)+len(r.funcs))
+	for _, c := range r.counters {
+		rows = append(rows, row{name: c.name, help: c.help, typ: "counter", integer: true, intValue: c.Value()})
+	}
+	for _, g := range r.gauges {
+		rows = append(rows, row{name: g.name, help: g.help, typ: "gauge", value: g.Value()})
+	}
+	funcs := make([]*gaugeFunc, 0, len(r.funcs))
+	for _, f := range r.funcs {
+		funcs = append(funcs, f)
+	}
+	r.mu.Unlock()
+	// Evaluate callback gauges outside the registry lock: a callback
+	// that touches the registry again must not deadlock.
+	for _, f := range funcs {
+		rows = append(rows, row{name: f.name, help: f.help, typ: "gauge", value: f.fn()})
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, row := range rows {
+		base := metricName(row.name)
+		if row.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, row.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, row.typ); err != nil {
+			return err
+		}
+		var err error
+		if row.integer {
+			_, err = fmt.Fprintf(w, "%s %d\n", row.name, row.intValue)
+		} else {
+			_, err = fmt.Fprintf(w, "%s %v\n", row.name, row.value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

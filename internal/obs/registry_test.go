@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryPrometheusRendering(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("esm_spin_ups_total", "Enclosure power-on transitions.")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	g := reg.Gauge("esm_monitoring_period_seconds", "Current monitoring-period length.")
+	g.Set(624)
+	reg.GaugeFunc("esm_cache_occupancy_bytes{partition=\"preload\"}", "Bytes pinned in the preload partition.", func() float64 { return 1024 })
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP esm_spin_ups_total Enclosure power-on transitions.",
+		"# TYPE esm_spin_ups_total counter",
+		"esm_spin_ups_total 3",
+		"# TYPE esm_monitoring_period_seconds gauge",
+		"esm_monitoring_period_seconds 624",
+		"# TYPE esm_cache_occupancy_bytes gauge",
+		"esm_cache_occupancy_bytes{partition=\"preload\"} 1024",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: the cache gauge precedes the period gauge.
+	if strings.Index(out, "esm_cache_occupancy_bytes{") > strings.Index(out, "esm_monitoring_period_seconds ") {
+		t.Error("output not sorted by metric name")
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "first")
+	b := reg.Counter("x_total", "second")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	if reg.Gauge("g", "") != reg.Gauge("g", "") {
+		t.Fatal("same name must return the same gauge")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits_total", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				reg.Gauge("g", "").Set(float64(j))
+			}
+		}()
+	}
+	var renderErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				renderErr = err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if renderErr != nil {
+		t.Fatal(renderErr)
+	}
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}

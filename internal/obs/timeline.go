@@ -1,0 +1,57 @@
+// Per-enclosure power-state timelines: the ordered {t, state, cause}
+// segments behind the §III-B power status records, kept queryable so a
+// bad energy result can be walked transition by transition.
+
+package obs
+
+import "time"
+
+// Segment is one power-state change: the enclosure entered State at
+// time T because of Cause. States are "on", "off" and "spinup"; a
+// spin-up segment is followed by an "on" segment when service begins.
+type Segment struct {
+	T     time.Duration `json:"t_ns"`
+	State string        `json:"state"`
+	Cause Cause         `json:"cause"`
+}
+
+// Timeline is the ordered segment list of one enclosure.
+type Timeline struct {
+	segs []Segment
+}
+
+// append adds a segment. Out-of-order appends are tolerated (lazily
+// synced enclosures can report a power-off dated before a concurrent
+// observer's read); segments keep emission order.
+func (tl *Timeline) append(s Segment) { tl.segs = append(tl.segs, s) }
+
+// Segments returns a copy of the segment list.
+func (tl *Timeline) Segments() []Segment {
+	return append([]Segment(nil), tl.segs...)
+}
+
+// OffTime sums the time spent powered off up to end, assuming the
+// enclosure starts on at t=0.
+func OffTime(segs []Segment, end time.Duration) time.Duration {
+	var total time.Duration
+	var offAt time.Duration
+	off := false
+	for _, s := range segs {
+		switch s.State {
+		case "off":
+			if !off {
+				off = true
+				offAt = s.T
+			}
+		case "spinup", "on":
+			if off {
+				total += s.T - offAt
+				off = false
+			}
+		}
+	}
+	if off && end > offAt {
+		total += end - offAt
+	}
+	return total
+}

@@ -12,6 +12,7 @@ import (
 
 	"esm/internal/metrics"
 	"esm/internal/monitor"
+	"esm/internal/obs"
 	"esm/internal/policy"
 	"esm/internal/powermodel"
 	"esm/internal/simclock"
@@ -45,6 +46,9 @@ type Run struct {
 	// Windows optionally marks named sub-spans (TPC-H queries) whose read
 	// responses are aggregated separately for the Fig. 15 analysis.
 	Windows []Window
+	// Recorder, when non-nil, receives the telemetry event stream from
+	// the array and (if the policy supports it) the policy itself.
+	Recorder *obs.Recorder
 }
 
 // Window is a named measurement sub-span.
@@ -128,6 +132,12 @@ func Execute(r Run) (*Result, error) {
 
 	stMon := monitor.NewStorageMonitor(r.Storage.Enclosures)
 	pol := r.Policy
+	if r.Recorder != nil {
+		arr.SetRecorder(r.Recorder)
+		if p, ok := pol.(interface{ SetRecorder(*obs.Recorder) }); ok {
+			p.SetRecorder(r.Recorder)
+		}
+	}
 	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) {
 		stMon.RecordPhysical(rec)
 		pol.OnPhysical(rec)

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"esm/internal/obs"
 	"esm/internal/powermodel"
 	"esm/internal/simclock"
 	"esm/internal/trace"
@@ -92,6 +93,9 @@ type Array struct {
 
 	physObs  func(rec trace.PhysicalRecord)
 	powerObs func(enc int, at time.Duration, on bool)
+	// rec is the telemetry recorder; nil (the default) disables every
+	// emission at the cost of one nil check per call site.
+	rec *obs.Recorder
 
 	migQueue  []*migration
 	migActive bool
@@ -126,9 +130,19 @@ func New(cfg Config, clk *simclock.Clock, evq *simclock.EventQueue, cat *trace.C
 	return a, nil
 }
 
-func (a *Array) onPowerEvent(enc int, at time.Duration, on bool) {
+func (a *Array) onPowerEvent(enc int, at time.Duration, on bool, cause obs.Cause) {
 	if a.powerObs != nil {
 		a.powerObs(enc, at, on)
+	}
+	if a.rec != nil {
+		if on {
+			// A power-on is a spin-up transition followed by service
+			// readiness SpinUpTime later.
+			a.rec.PowerTransition(at, enc, "spinup", cause)
+			a.rec.PowerTransition(at+a.cfg.Power.SpinUpTime, enc, "on", cause)
+		} else {
+			a.rec.PowerTransition(at, enc, "off", cause)
+		}
 	}
 }
 
@@ -140,6 +154,46 @@ func (a *Array) SetPhysicalObserver(fn func(rec trace.PhysicalRecord)) { a.physO
 // SetPowerObserver installs a callback invoked on every enclosure
 // power-state transition.
 func (a *Array) SetPowerObserver(fn func(enc int, at time.Duration, on bool)) { a.powerObs = fn }
+
+// SetRecorder attaches the telemetry recorder. A nil recorder (the
+// default) keeps the array's hot path free of telemetry work beyond a
+// nil check.
+func (a *Array) SetRecorder(rec *obs.Recorder) { a.rec = rec }
+
+// Recorder returns the attached telemetry recorder (nil when off).
+func (a *Array) Recorder() *obs.Recorder { return a.rec }
+
+// PowerTimeline returns enclosure e's recorded power-state segments
+// (nil without a recorder).
+func (a *Array) PowerTimeline(e int) []obs.Segment { return a.rec.Timeline(e) }
+
+// CacheOccupancy is a point-in-time snapshot of the three cache
+// partitions, for status reporting.
+type CacheOccupancy struct {
+	// GeneralPages and GeneralCapPages are the general read LRU's
+	// occupancy and capacity in pages.
+	GeneralPages    int `json:"general_pages"`
+	GeneralCapPages int `json:"general_cap_pages"`
+	// PreloadUsedBytes of PreloadCapBytes are pinned by preloaded items.
+	PreloadUsedBytes int64 `json:"preload_used_bytes"`
+	PreloadCapBytes  int64 `json:"preload_cap_bytes"`
+	// WriteDelayDirtyBytes of WriteDelayCapBytes are dirty delayed
+	// writes awaiting destage.
+	WriteDelayDirtyBytes int64 `json:"write_delay_dirty_bytes"`
+	WriteDelayCapBytes   int64 `json:"write_delay_cap_bytes"`
+}
+
+// CacheOccupancy returns the current cache partition usage.
+func (a *Array) CacheOccupancy() CacheOccupancy {
+	return CacheOccupancy{
+		GeneralPages:         a.general.len(),
+		GeneralCapPages:      a.general.capPages,
+		PreloadUsedBytes:     a.preload.usedBytes,
+		PreloadCapBytes:      a.preload.capBytes,
+		WriteDelayDirtyBytes: a.wdelay.totalDirty,
+		WriteDelayCapBytes:   a.wdelay.capBytes,
+	}
+}
 
 // Config returns the array configuration.
 func (a *Array) Config() Config { return a.cfg }
@@ -237,15 +291,17 @@ func (a *Array) ResolveExtent(e int, block int64) (ExtentRef, bool) {
 }
 
 // physical issues one physical I/O and returns its completion time.
-func (a *Array) physical(now time.Duration, e int, block int64, size int32, op trace.Op, forceSeq bool) time.Duration {
+// kind attributes any spin-up the I/O provokes.
+func (a *Array) physical(now time.Duration, e int, block int64, size int32, op trace.Op, forceSeq bool, kind ioKind) time.Duration {
 	encl := a.enc[e]
 	seq := encl.isSequential(block, size) || forceSeq
-	end := encl.arrival(now, block, size, seq)
+	end := encl.arrival(now, block, size, seq, kind)
 	if op == trace.OpRead {
 		a.stats.PhysicalReads++
 	} else {
 		a.stats.PhysicalWrites++
 	}
+	a.rec.PhysicalIO(op == trace.OpRead)
 	if a.physObs != nil {
 		a.physObs(trace.PhysicalRecord{
 			Time:      now,
@@ -274,14 +330,16 @@ func (a *Array) Submit(rec trace.LogicalRecord) Result {
 	if rec.Op == trace.OpRead {
 		if a.preload.hit(item, now) {
 			a.stats.CacheHits++
+			a.rec.CacheHit()
 			return Result{Response: a.cfg.CacheHitTime, CacheHit: true, Enclosure: -1}
 		}
 		if a.readCached(item, firstPage, lastPage) {
 			a.stats.CacheHits++
+			a.rec.CacheHit()
 			return Result{Response: a.cfg.CacheHitTime, CacheHit: true, Enclosure: -1}
 		}
 		e, block := a.locate(item, rec.Offset)
-		end := a.physical(now, e, block, rec.Size, trace.OpRead, false)
+		end := a.physical(now, e, block, rec.Size, trace.OpRead, false, kindApp)
 		if !a.preload.pinned(item) {
 			for p := firstPage; p <= lastPage; p++ {
 				a.general.insert(pageKey{item, p})
@@ -293,13 +351,14 @@ func (a *Array) Submit(rec trace.LogicalRecord) Result {
 	// Write path.
 	if a.wdelay.selected[item] {
 		a.stats.DelayedWrites++
+		a.rec.DelayedWrite()
 		if a.wdelay.absorb(item, firstPage, lastPage, rec.Size) {
 			a.flushWriteDelay(now)
 		}
 		return Result{Response: a.cfg.CacheAckTime, CacheHit: true, Enclosure: -1}
 	}
 	e, block := a.locate(item, rec.Offset)
-	end := a.physical(now, e, block, rec.Size, trace.OpWrite, false)
+	end := a.physical(now, e, block, rec.Size, trace.OpWrite, false, kindApp)
 	for p := firstPage; p <= lastPage; p++ {
 		if a.general.contains(pageKey{item, p}) {
 			a.general.insert(pageKey{item, p})
@@ -327,14 +386,14 @@ func (a *Array) readCached(item trace.ItemID, firstPage, lastPage int64) bool {
 // chunked issues a bulk transfer as a series of physical I/Os of at most
 // chunk bytes, all submitted at time now (they serialise in the enclosure
 // queue). It returns the completion time of the last chunk.
-func (a *Array) chunked(now time.Duration, e int, base, size int64, chunk int64, op trace.Op) time.Duration {
+func (a *Array) chunked(now time.Duration, e int, base, size int64, chunk int64, op trace.Op, kind ioKind) time.Duration {
 	var end time.Duration
 	for off := int64(0); off < size; off += chunk {
 		n := chunk
 		if size-off < n {
 			n = size - off
 		}
-		end = a.physical(now, e, base+off, int32(n), op, true)
+		end = a.physical(now, e, base+off, int32(n), op, true, kind)
 	}
 	return end
 }
@@ -359,7 +418,7 @@ func (a *Array) flushItem(now time.Duration, item trace.ItemID) {
 		return
 	}
 	st := &a.items[item]
-	a.chunked(now, st.enc, st.base, n, 256<<20, trace.OpWrite)
+	a.chunked(now, st.enc, st.base, n, 256<<20, trace.OpWrite, kindFlush)
 	a.stats.FlushedBytes += n
 }
 
@@ -371,10 +430,25 @@ func (a *Array) SetWriteDelay(items []trace.ItemID) {
 	for _, it := range items {
 		next[it] = true
 	}
+	var evicted, added []int64
 	for it := range a.wdelay.selected {
 		if !next[it] {
 			a.flushItem(now, it)
+			if a.rec.Enabled() {
+				evicted = append(evicted, int64(it))
+			}
 		}
+	}
+	if a.rec.Enabled() {
+		for it := range next {
+			if !a.wdelay.selected[it] {
+				added = append(added, int64(it))
+			}
+		}
+		sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
+		sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
+		a.rec.CacheEvict(now, "write-delay", evicted)
+		a.rec.CacheSelect(now, "write-delay", added)
 	}
 	a.wdelay.selected = next
 }
@@ -408,15 +482,28 @@ func (a *Array) SetPreload(items []trace.ItemID) {
 			toLoad = append(toLoad, it)
 		}
 	}
+	var evicted []int64
 	for it := range a.preload.loadedAt {
 		if !keep[it] {
 			delete(a.preload.loadedAt, it)
+			if a.rec.Enabled() {
+				evicted = append(evicted, int64(it))
+			}
 		}
+	}
+	if a.rec.Enabled() {
+		sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
+		a.rec.CacheEvict(now, "preload", evicted)
+		loaded := make([]int64, len(toLoad))
+		for i, it := range toLoad {
+			loaded[i] = int64(it)
+		}
+		a.rec.CacheSelect(now, "preload", loaded)
 	}
 	a.preload.usedBytes = used
 	for _, it := range toLoad {
 		st := &a.items[it]
-		end := a.chunked(now, st.enc, st.base, st.size, 256<<20, trace.OpRead)
+		end := a.chunked(now, st.enc, st.base, st.size, 256<<20, trace.OpRead, kindPreload)
 		a.preload.loadedAt[it] = end
 		a.stats.PreloadedBytes += st.size
 	}
@@ -467,6 +554,7 @@ func (a *Array) kickMigration() {
 		}
 		if a.enc[m.dst].used+st.size > a.cfg.EnclosureCapacity {
 			a.stats.MigrationsSkipped++
+			a.rec.MigrationSkipped(a.clk.Now(), int64(m.item), m.dst)
 			continue
 		}
 		// Reserve destination space for the duration of the copy.
@@ -475,6 +563,7 @@ func (a *Array) kickMigration() {
 		// Destage any delayed writes so the copy is complete.
 		a.flushItem(a.clk.Now(), m.item)
 		a.stats.Migrations++
+		a.rec.MigrationStart(a.clk.Now(), int64(m.item), st.enc, m.dst, st.size)
 		a.migrateChunk(a.clk.Now(), m)
 	}
 }
@@ -490,11 +579,10 @@ func (a *Array) migrateChunk(now time.Duration, m *migration) {
 	}
 	if n > 0 {
 		src, block := st.enc, st.base+m.offset
-		a.physical(now, src, block, int32(n), trace.OpRead, true)
+		a.physical(now, src, block, int32(n), trace.OpRead, true, kindMigration)
 		// The destination base is assigned on completion; chunk writes land
 		// at the current allocation cursor so sequential detection holds.
-		dstBlock := a.enc[m.dst].allocCursor + m.offset
-		a.physical(now, m.dst, dstBlock, int32(n), trace.OpWrite, true)
+		a.physical(now, m.dst, a.enc[m.dst].allocCursor+m.offset, int32(n), trace.OpWrite, true, kindMigration)
 		a.stats.MigratedBytes += n
 		m.offset += n
 	}
@@ -527,6 +615,7 @@ func (a *Array) finishMigration(m *migration) {
 	st.base = base
 	a.segs[m.dst] = append(a.segs[m.dst], segment{base: base, size: st.size, item: m.item, extent: -1})
 	a.migActive = false
+	a.rec.MigrationDone(a.clk.Now(), int64(m.item), src, m.dst, st.size)
 	if m.done != nil {
 		m.done()
 	}
@@ -575,9 +664,9 @@ func (a *Array) MigrateExtent(ref ExtentRef, dst int) error {
 	if a.enc[dst].used+n > a.cfg.EnclosureCapacity {
 		return fmt.Errorf("storage: enclosure %d lacks space for extent %v", dst, ref)
 	}
-	a.physical(now, srcEnc, srcBlock, int32(n), trace.OpRead, true)
+	a.physical(now, srcEnc, srcBlock, int32(n), trace.OpRead, true, kindMigration)
 	base := a.enc[dst].alloc(n)
-	a.physical(now, dst, base, int32(n), trace.OpWrite, true)
+	a.physical(now, dst, base, int32(n), trace.OpWrite, true, kindMigration)
 	if loc, ok := a.extents[ref]; ok {
 		// The extent had already been remapped once; release its previous
 		// override allocation.

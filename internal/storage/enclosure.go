@@ -6,12 +6,14 @@ package storage
 import (
 	"time"
 
+	"esm/internal/obs"
 	"esm/internal/powermodel"
 )
 
 // ioKind distinguishes why a physical I/O was issued. Application I/Os
 // contribute to response-time metrics; the others only consume service
-// capacity and energy.
+// capacity and energy. The kind also attributes a demand spin-up to
+// its cause in the telemetry event stream.
 type ioKind uint8
 
 const (
@@ -20,6 +22,21 @@ const (
 	kindFlush
 	kindPreload
 )
+
+// cause maps the I/O kind to the telemetry cause of a spin-up it
+// provokes.
+func (k ioKind) cause() obs.Cause {
+	switch k {
+	case kindMigration:
+		return obs.CauseMigration
+	case kindFlush:
+		return obs.CauseFlush
+	case kindPreload:
+		return obs.CausePreload
+	default:
+		return obs.CauseDemand
+	}
+}
 
 // streamCursors is the number of concurrent sequential streams an
 // enclosure's sequential detector tracks.
@@ -55,8 +72,9 @@ type enclosure struct {
 	used        int64
 	allocCursor int64
 
-	// powerEvent, when non-nil, observes power-state transitions.
-	powerEvent func(enc int, at time.Duration, on bool)
+	// powerEvent, when non-nil, observes power-state transitions with
+	// the cause that provoked them.
+	powerEvent func(enc int, at time.Duration, on bool, cause obs.Cause)
 }
 
 func newEnclosure(id int, cfg *Config) *enclosure {
@@ -108,7 +126,7 @@ func (e *enclosure) sync(to time.Duration) {
 				e.acc.Add(powermodel.Idle, offAt-t)
 				e.on = false
 				if e.powerEvent != nil {
-					e.powerEvent(e.id, offAt, false)
+					e.powerEvent(e.id, offAt, false, obs.CauseIdleTimeout)
 				}
 				t = offAt
 				continue
@@ -158,7 +176,8 @@ func (e *enclosure) serviceTime(size int32, sequential bool) time.Duration {
 
 // arrival submits one physical I/O at time now and returns its completion
 // time. The completion includes any spin-up wait and queueing delay.
-func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequential bool) time.Duration {
+// kind attributes any spin-up the arrival provokes.
+func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequential bool, kind ioKind) time.Duration {
 	e.sync(now)
 	start := now
 	if !e.on {
@@ -167,7 +186,7 @@ func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequenti
 		e.acc.CountSpinUp()
 		e.on = true
 		if e.powerEvent != nil {
-			e.powerEvent(e.id, now, true)
+			e.powerEvent(e.id, now, true, kind.cause())
 		}
 		for i := range e.servers {
 			if e.servers[i] < spinEnd {
