@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race check bench bench-json clean
 
 all: build
 
@@ -23,6 +23,11 @@ check: build vet race
 # bench runs the figure-regeneration suite once (see bench_test.go).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# bench-json regenerates every figure with the parallel scheduler and
+# writes the per-figure numbers to a dated JSON file for diffing runs.
+bench-json:
+	$(GO) run ./cmd/esmbench -json BENCH_$$(date +%F).json
 
 clean:
 	$(GO) clean ./...

@@ -305,7 +305,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		}
 		run := replay.Run{
 			Catalog:    w.Catalog,
-			Records:    w.Records,
+			Records:    w.EnsureRecords(),
 			Placement:  w.Placement,
 			Storage:    experiments.StorageFor(w),
 			Policy:     esm,

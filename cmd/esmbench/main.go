@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	esmbench [-scale f] [-workload fileserver|oltp|dss|all] [-fig N] [-list]
+//	esmbench [-scale f] [-workload fileserver|oltp|dss|all] [-fig N]
+//	         [-parallel N] [-json out.json] [-list]
 //
 // -scale 1.0 reproduces the paper's full durations (hours of simulated
 // time; minutes of CPU). The default scale keeps runs under a minute.
+// Independent replays run concurrently, -parallel at a time (default
+// GOMAXPROCS); results are identical at any setting. -json additionally
+// writes every figure's per-policy numbers to a machine-readable file
+// (see `make bench-json`).
 package main
 
 import (
@@ -34,8 +39,11 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run the sensitivity sweeps instead of the figures")
 	extended := flag.Bool("extended", false, "also evaluate the extended baselines (timeout, MAID, write off-loading)")
 	events := flag.String("events", "", "append every replay's telemetry event stream to this JSONL file")
+	parallel := flag.Int("parallel", 0, "max concurrent replays (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "also write per-figure results as JSON to this file")
 	flag.Parse()
 
+	experiments.SetParallelism(*parallel)
 	if *list {
 		printParameters()
 		return
@@ -47,7 +55,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scale, *kind, *fig, *extended, *events); err != nil {
+	if err := run(*scale, *kind, *fig, *extended, *events, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "esmbench:", err)
 		os.Exit(1)
 	}
@@ -74,7 +82,9 @@ func runSweeps(scale float64, kindFlag string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\n-- %s sweeps: %d records, %v --\n", w.Name, len(w.Records), w.Duration)
+		// Sweep points share the workload; materialize once so every
+		// concurrent replay reads the same slice instead of regenerating.
+		fmt.Printf("\n-- %s sweeps: %d records, %v --\n", w.Name, len(w.EnsureRecords()), w.Duration)
 		tables, err := experiments.DefaultSweeps(w)
 		if err != nil {
 			return err
@@ -86,10 +96,18 @@ func runSweeps(scale float64, kindFlag string) error {
 	return nil
 }
 
-func run(scale float64, kindFlag string, fig int, extended bool, eventsPath string) error {
+func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, jsonPath string) error {
 	kinds := experiments.Kinds()
 	if kindFlag != "all" {
 		kinds = []experiments.Kind{experiments.Kind(kindFlag)}
+	}
+
+	var report *experiments.Report
+	if jsonPath != "" {
+		report = &experiments.Report{
+			Date:     time.Now().Format("2006-01-02"),
+			Parallel: experiments.Parallelism(),
+		}
 	}
 
 	// With -events, every replay shares one JSONL sink; the per-policy
@@ -143,8 +161,11 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath stri
 		if err != nil {
 			return err
 		}
+		// The same trace replays once per policy; materialize it so the
+		// concurrent runs share one slice (a single streaming run would
+		// not need this).
 		fmt.Printf("\n-- %s: %d records, %d items, %d enclosures, %v --\n",
-			w.Name, len(w.Records), w.Catalog.Len(), w.Enclosures, w.Duration)
+			w.Name, len(w.EnsureRecords()), w.Catalog.Len(), w.Enclosures, w.Duration)
 		start := time.Now()
 		pols := experiments.PoliciesFor(ks)
 		if extended {
@@ -161,7 +182,11 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath stri
 		if err != nil {
 			return err
 		}
-		fmt.Printf("   (replayed %d policies in %v)\n", len(pols), time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("   (replayed %d policies in %v)\n", len(pols), elapsed.Round(time.Millisecond))
+		if report != nil {
+			report.AddEval(ev, ks, elapsed.Seconds())
+		}
 
 		switch k {
 		case experiments.FileServer:
@@ -200,6 +225,20 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath stri
 				experiments.IntervalTable("Fig. 19 — TPC-H I/O intervals", ev, experiments.DefaultIntervalThresholds()).Fprint(os.Stdout)
 			})
 		}
+	}
+	if report != nil {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := report.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d figure results to %s\n", len(report.Figures), jsonPath)
 	}
 	return nil
 }

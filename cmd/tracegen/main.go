@@ -1,7 +1,9 @@
 // Command tracegen generates the synthetic application traces used by
 // the evaluation (file server, OLTP, DSS, or a generic synthetic mix)
-// and writes them to disk together with their item catalog, in either
-// the compact binary format or CSV.
+// and writes them to disk together with their item catalog, in the
+// compact binary format, CSV, or the appendable stream format. The
+// stream format is written straight off the workload's lazy trace
+// source, so traces larger than memory can be generated.
 //
 // Usage:
 //
@@ -26,7 +28,7 @@ func main() {
 	kind := flag.String("workload", "fileserver", "fileserver, oltp, dss, sensor or synthetic")
 	scale := flag.Float64("scale", 1.0, "time-scale factor (1.0 = paper-scale durations)")
 	seed := flag.Int64("seed", 0, "override the workload's default seed (0 = keep)")
-	format := flag.String("format", "binary", "binary or csv")
+	format := flag.String("format", "binary", "binary, csv or stream")
 	out := flag.String("out", "", "trace output path (required)")
 	catalogPath := flag.String("catalog", "", "catalog output path (required)")
 	placementPath := flag.String("placement", "", "initial-placement output path (required)")
@@ -72,9 +74,30 @@ func run(kind string, scale float64, seed int64, format, out, catalogPath, place
 	defer tf.Close()
 	switch format {
 	case "binary":
-		err = trace.WriteBinary(tf, w.Records)
+		err = trace.WriteBinary(tf, w.EnsureRecords())
 	case "csv":
-		err = trace.WriteCSV(tf, w.Records)
+		err = trace.WriteCSV(tf, w.EnsureRecords())
+	case "stream":
+		// The length-prefixed formats need the whole trace up front;
+		// the stream format is emitted record by record in O(items)
+		// memory.
+		sw := trace.NewStreamWriter(tf)
+		src := w.Source()
+		for {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err = sw.Append(rec); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = src.Err()
+		}
+		if err == nil {
+			err = sw.Close()
+		}
 	default:
 		err = fmt.Errorf("unknown format %q", format)
 	}
@@ -109,7 +132,10 @@ func run(kind string, scale float64, seed int64, format, out, catalogPath, place
 		return err
 	}
 
-	sum := trace.Summarize(w.Records)
+	sum, err := trace.SummarizeSource(w.Source())
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s: %s\n", w.Name, sum)
 	fmt.Printf("wrote %s (%s), %s (%d items), %s (%d enclosures)\n", out, format, catalogPath, w.Catalog.Len(), placementPath, w.Enclosures)
 	return nil

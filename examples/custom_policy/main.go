@@ -72,7 +72,6 @@ func main() {
 
 	run := replay.Run{
 		Catalog:    w.Catalog,
-		Records:    w.Records,
 		Placement:  w.Placement,
 		Storage:    storage.DefaultConfig(w.Enclosures),
 		Duration:   w.Duration,
@@ -91,6 +90,7 @@ func main() {
 	var baseW float64
 	for _, pol := range policies {
 		run.Policy = pol
+		run.Source = w.Source()
 		res, err := replay.Execute(run)
 		if err != nil {
 			log.Fatal(err)

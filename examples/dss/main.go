@@ -28,7 +28,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("dss: %d records, %d items on %d enclosures, %v, %d queries\n",
-		len(w.Records), w.Catalog.Len(), w.Enclosures, w.Duration, len(w.Windows))
+		len(w.EnsureRecords()), w.Catalog.Len(), w.Enclosures, w.Duration, len(w.Windows))
 
 	ev, err := experiments.Evaluate(w, experiments.PoliciesFor(*scale))
 	if err != nil {

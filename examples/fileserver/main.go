@@ -26,7 +26,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("file server: %d records, %d items (files) on %d enclosures, %v\n",
-		len(w.Records), w.Catalog.Len(), w.Enclosures, w.Duration)
+		len(w.EnsureRecords()), w.Catalog.Len(), w.Enclosures, w.Duration)
 
 	mix := experiments.PatternMix(w, 52e9)
 	fmt.Printf("logical I/O patterns: %s\n\n", mix)

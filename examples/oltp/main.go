@@ -28,7 +28,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("oltp: %d records, %d items (table partitions + log) on %d enclosures, %v\n",
-		len(w.Records), w.Catalog.Len(), w.Enclosures, w.Duration)
+		len(w.EnsureRecords()), w.Catalog.Len(), w.Enclosures, w.Duration)
 
 	ev, err := experiments.Evaluate(w, experiments.PoliciesFor(*scale))
 	if err != nil {

@@ -27,11 +27,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("workload: %d records, %d items, %d enclosures, %v\n",
-		len(w.Records), w.Catalog.Len(), w.Enclosures, w.Duration)
+		len(w.EnsureRecords()), w.Catalog.Len(), w.Enclosures, w.Duration)
 
+	// A trace source is single-use: give every replay its own.
 	run := replay.Run{
 		Catalog:    w.Catalog,
-		Records:    w.Records,
 		Placement:  w.Placement,
 		Storage:    storage.DefaultConfig(w.Enclosures),
 		Duration:   w.Duration,
@@ -39,6 +39,7 @@ func main() {
 	}
 
 	run.Policy = policy.NoPowerSaving{}
+	run.Source = w.Source()
 	base, err := replay.Execute(run)
 	if err != nil {
 		log.Fatal(err)
@@ -49,6 +50,7 @@ func main() {
 		log.Fatal(err)
 	}
 	run.Policy = esm
+	run.Source = w.Source()
 	managed, err := replay.Execute(run)
 	if err != nil {
 		log.Fatal(err)

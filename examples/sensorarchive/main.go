@@ -30,18 +30,26 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("sensor archive: %d records, %d items on %d enclosures, %v\n",
-		len(w.Records), w.Catalog.Len(), w.Enclosures, w.Duration)
+		len(w.EnsureRecords()), w.Catalog.Len(), w.Enclosures, w.Duration)
 
-	// The Fig. 6-style pattern mix of this application.
+	// The Fig. 6-style pattern mix of this application, fed straight off
+	// the streaming trace source.
 	mon := monitor.NewAppMonitor(w.Catalog.Len(), core.DefaultParams().BreakEven)
-	for _, rec := range w.Records {
+	src := w.Source()
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
 		mon.Record(rec)
+	}
+	if err := src.Err(); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("patterns: %s\n\n", core.MixOf(mon.EndPeriod(w.Duration)))
 
 	run := replay.Run{
 		Catalog:    w.Catalog,
-		Records:    w.Records,
 		Placement:  w.Placement,
 		Storage:    storage.DefaultConfig(w.Enclosures),
 		Duration:   w.Duration,
@@ -56,6 +64,7 @@ func main() {
 	}
 	for _, pol := range pols {
 		run.Policy = pol
+		run.Source = w.Source()
 		res, err := replay.Execute(run)
 		if err != nil {
 			log.Fatal(err)

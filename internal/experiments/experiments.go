@@ -136,12 +136,19 @@ func Evaluate(w *workload.Workload, factories []PolicyFactory) (*Eval, error) {
 // EvaluateWithRecorder replays w under every policy, attaching the
 // telemetry recorder returned by rec for each policy name. rec may be
 // nil (no telemetry) and may return nil for individual policies.
+//
+// The replays run concurrently on the scheduler's worker pool (bounded
+// by SetParallelism); each run gets its own policy instance, clock and
+// trace source, so the results are identical to a serial run and come
+// back in factory order. Jobs are constructed — including the rec
+// callbacks — serially, before any worker starts.
 func EvaluateWithRecorder(w *workload.Workload, factories []PolicyFactory, rec func(policy string) *obs.Recorder) (*Eval, error) {
 	ev := &Eval{Workload: w, Policies: factories}
+	jobs := make([]runJob, 0, len(factories))
 	for _, f := range factories {
 		run := replay.Run{
 			Catalog:    w.Catalog,
-			Records:    w.Records,
+			Source:     w.Source(),
 			Placement:  w.Placement,
 			Storage:    StorageFor(w),
 			Policy:     f.New(),
@@ -154,12 +161,13 @@ func EvaluateWithRecorder(w *workload.Workload, factories []PolicyFactory, rec f
 		for _, win := range w.Windows {
 			run.Windows = append(run.Windows, replay.Window{Name: win.Name, Start: win.Start, End: win.End})
 		}
-		res, err := replay.Execute(run)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s: %w", w.Name, f.Name, err)
-		}
-		ev.Results = append(ev.Results, res)
+		jobs = append(jobs, runJob{label: w.Name + "/" + f.Name, run: run})
 	}
+	results, err := executeJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	ev.Results = results
 	return ev, nil
 }
 
@@ -208,10 +216,17 @@ func (t *Table) Fprint(out io.Writer) {
 }
 
 // PatternMix classifies every data item of w over the whole trace with
-// the paper's break-even time and returns the Fig. 6 distribution.
+// the paper's break-even time and returns the Fig. 6 distribution. The
+// trace is consumed as a stream, so paper-scale workloads classify
+// without ever being materialized.
 func PatternMix(w *workload.Workload, breakEven time.Duration) core.PatternMix {
 	mon := monitor.NewAppMonitor(w.Catalog.Len(), breakEven)
-	for _, rec := range w.Records {
+	src := w.Source()
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
 		mon.Record(rec)
 	}
 	stats := mon.EndPeriod(w.Duration)

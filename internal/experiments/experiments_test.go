@@ -19,7 +19,7 @@ func TestBuildAllKinds(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", k, err)
 		}
-		if len(w.Records) == 0 {
+		if len(w.EnsureRecords()) == 0 {
 			t.Fatalf("%s: empty trace", k)
 		}
 		cfg := StorageFor(w)

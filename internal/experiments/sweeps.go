@@ -1,7 +1,9 @@
 // Sensitivity sweeps: how the proposed method's saving and performance
 // respond to the main tunables. The paper fixes these at the Table II
 // values and defers configuration studies to future work (§IX); these
-// harnesses provide them.
+// harnesses provide them. Every sweep batches its baseline and all its
+// points through the worker-pool scheduler, so a sweep costs about as
+// much wall-clock as its slowest single replay.
 
 package experiments
 
@@ -27,54 +29,66 @@ type SweepPoint struct {
 	SpinUps       int
 }
 
-// sweepRun replays w once under ESM with the given storage config and
-// parameters, returning the headline numbers relative to baseW.
-func sweepRun(w *workload.Workload, cfg storage.Config, params core.Params, baseW float64, label string) (SweepPoint, error) {
-	esm, err := core.NewESM(params)
-	if err != nil {
-		return SweepPoint{}, err
-	}
-	res, err := replay.Execute(replay.Run{
+// runFor assembles the standard replay run of w under pol: fresh trace
+// source, the workload's own span and loop mode.
+func runFor(w *workload.Workload, cfg storage.Config, pol policy.Policy) replay.Run {
+	return replay.Run{
 		Catalog:    w.Catalog,
-		Records:    w.Records,
+		Source:     w.Source(),
 		Placement:  w.Placement,
 		Storage:    cfg,
-		Policy:     esm,
+		Policy:     pol,
 		Duration:   w.Duration,
 		ClosedLoop: w.ClosedLoop,
-	})
-	if err != nil {
-		return SweepPoint{}, err
 	}
-	p := SweepPoint{
-		Label:         label,
-		AvgEnclosureW: res.AvgEnclosureW,
-		RespMean:      res.Resp.Mean(),
-		MigratedBytes: res.Storage.MigratedBytes,
-		SpinUps:       res.SpinUps,
-	}
-	if baseW > 0 {
-		p.SavingPct = (1 - res.AvgEnclosureW/baseW) * 100
-	}
-	return p, nil
 }
 
-// baseline replays w with no power saving and returns its average
-// enclosure power.
-func baseline(w *workload.Workload, cfg storage.Config) (float64, error) {
-	res, err := replay.Execute(replay.Run{
-		Catalog:    w.Catalog,
-		Records:    w.Records,
-		Placement:  w.Placement,
-		Storage:    cfg,
-		Policy:     policy.NoPowerSaving{},
-		Duration:   w.Duration,
-		ClosedLoop: w.ClosedLoop,
+// sweepVariant is one ESM configuration point of a sweep.
+type sweepVariant struct {
+	label  string
+	cfg    storage.Config
+	params core.Params
+}
+
+// runSweepESM schedules the no-power-saving baseline plus one ESM replay
+// per variant and renders the sweep rows in variant order.
+func runSweepESM(title string, w *workload.Workload, variants []sweepVariant) (*Table, error) {
+	jobs := make([]runJob, 0, len(variants)+1)
+	jobs = append(jobs, runJob{
+		label: w.Name + "/sweep-baseline",
+		run:   runFor(w, StorageFor(w), policy.NoPowerSaving{}),
 	})
-	if err != nil {
-		return 0, err
+	for _, v := range variants {
+		esm, err := core.NewESM(v.params)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, runJob{
+			label: w.Name + "/sweep " + v.label,
+			run:   runFor(w, v.cfg, esm),
+		})
 	}
-	return res.AvgEnclosureW, nil
+	results, err := executeJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0].AvgEnclosureW
+	pts := make([]SweepPoint, 0, len(variants))
+	for i, v := range variants {
+		res := results[i+1]
+		p := SweepPoint{
+			Label:         v.label,
+			AvgEnclosureW: res.AvgEnclosureW,
+			RespMean:      res.Resp.Mean(),
+			MigratedBytes: res.Storage.MigratedBytes,
+			SpinUps:       res.SpinUps,
+		}
+		if base > 0 {
+			p.SavingPct = (1 - res.AvgEnclosureW/base) * 100
+		}
+		pts = append(pts, p)
+	}
+	return sweepTable(title, pts), nil
 }
 
 // sweepTable renders sweep points.
@@ -99,11 +113,7 @@ func sweepTable(title string, pts []SweepPoint) *Table {
 // SweepCacheSizes varies the preload and write-delay partitions together
 // (Table II fixes both at 500 MB within the 2 GB cache).
 func SweepCacheSizes(w *workload.Workload, sizes []int64) (*Table, error) {
-	base, err := baseline(w, StorageFor(w))
-	if err != nil {
-		return nil, err
-	}
-	var pts []SweepPoint
+	variants := make([]sweepVariant, 0, len(sizes))
 	for _, size := range sizes {
 		cfg := StorageFor(w)
 		cfg.PreloadCacheBytes = size
@@ -114,13 +124,9 @@ func SweepCacheSizes(w *workload.Workload, sizes []int64) (*Table, error) {
 		params := core.DefaultParams()
 		params.PreloadCacheBytes = size
 		params.WriteDelayCacheBytes = size
-		p, err := sweepRun(w, cfg, params, base, fmtBytes(size))
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, p)
+		variants = append(variants, sweepVariant{label: fmtBytes(size), cfg: cfg, params: params})
 	}
-	return sweepTable("Sweep — preload/write-delay cache size ("+w.Name+")", pts), nil
+	return runSweepESM("Sweep — preload/write-delay cache size ("+w.Name+")", w, variants)
 }
 
 // SweepSpinDownTimeout varies the spin-down timeout relative to the
@@ -128,60 +134,36 @@ func SweepCacheSizes(w *workload.Workload, sizes []int64) (*Table, error) {
 // wake than it saved sleeping; far above it the idle interval is mostly
 // wasted awake.
 func SweepSpinDownTimeout(w *workload.Workload, timeouts []time.Duration) (*Table, error) {
-	base, err := baseline(w, StorageFor(w))
-	if err != nil {
-		return nil, err
-	}
-	var pts []SweepPoint
+	variants := make([]sweepVariant, 0, len(timeouts))
 	for _, to := range timeouts {
 		cfg := StorageFor(w)
 		cfg.SpinDownTimeout = to
-		p, err := sweepRun(w, cfg, core.DefaultParams(), base, to.String())
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, p)
+		variants = append(variants, sweepVariant{label: to.String(), cfg: cfg, params: core.DefaultParams()})
 	}
-	return sweepTable("Sweep — spin-down timeout ("+w.Name+")", pts), nil
+	return runSweepESM("Sweep — spin-down timeout ("+w.Name+")", w, variants)
 }
 
 // SweepMigrationBps varies the data-migration throttle (§V-A).
 func SweepMigrationBps(w *workload.Workload, rates []float64) (*Table, error) {
-	base, err := baseline(w, StorageFor(w))
-	if err != nil {
-		return nil, err
-	}
-	var pts []SweepPoint
+	variants := make([]sweepVariant, 0, len(rates))
 	for _, bps := range rates {
 		cfg := StorageFor(w)
 		cfg.MigrationBps = bps
 		label := fmt.Sprintf("%.0f MB/s", bps/(1<<20))
-		p, err := sweepRun(w, cfg, core.DefaultParams(), base, label)
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, p)
+		variants = append(variants, sweepVariant{label: label, cfg: cfg, params: core.DefaultParams()})
 	}
-	return sweepTable("Sweep — migration throttle ("+w.Name+")", pts), nil
+	return runSweepESM("Sweep — migration throttle ("+w.Name+")", w, variants)
 }
 
 // SweepAlpha varies the monitoring-period coefficient α (§IV-H).
 func SweepAlpha(w *workload.Workload, alphas []float64) (*Table, error) {
-	base, err := baseline(w, StorageFor(w))
-	if err != nil {
-		return nil, err
-	}
-	var pts []SweepPoint
+	variants := make([]sweepVariant, 0, len(alphas))
 	for _, a := range alphas {
 		params := core.DefaultParams()
 		params.Alpha = a
-		p, err := sweepRun(w, StorageFor(w), params, base, fmt.Sprintf("%.2f", a))
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, p)
+		variants = append(variants, sweepVariant{label: fmt.Sprintf("%.2f", a), cfg: StorageFor(w), params: params})
 	}
-	return sweepTable("Sweep — monitoring coefficient alpha ("+w.Name+")", pts), nil
+	return runSweepESM("Sweep — monitoring coefficient alpha ("+w.Name+")", w, variants)
 }
 
 // DefaultSweeps runs every sweep on w with canonical value grids.
@@ -218,17 +200,19 @@ func DefaultSweeps(w *workload.Workload) ([]*Table, error) {
 // CompareMedia replays w under every policy on the HDD test bed and on
 // an all-flash variant (powermodel.SSDParams, with the spin-down timeout
 // and the policies' break-even set to the flash-derived value). It
-// quantifies §VIII-D's claim that the method carries over to SSDs.
+// quantifies §VIII-D's claim that the method carries over to SSDs. All
+// six replays are scheduled as one batch.
 func CompareMedia(w *workload.Workload) (*Table, error) {
 	t := &Table{
 		Title:  "Media comparison — HDD vs SSD enclosures (" + w.Name + ")",
 		Header: []string{"policy", "HDD W", "HDD saving", "SSD W", "SSD saving"},
 	}
 	type media struct {
+		name   string
 		cfg    storage.Config
 		params core.Params
 	}
-	hdd := media{cfg: StorageFor(w), params: core.DefaultParams()}
+	hdd := media{name: "hdd", cfg: StorageFor(w), params: core.DefaultParams()}
 	ssdCfg := StorageFor(w)
 	ssdCfg.Power = powermodel.SSDParams()
 	ssdBE := ssdCfg.Power.BreakEven()
@@ -237,13 +221,11 @@ func CompareMedia(w *workload.Workload) (*Table, error) {
 	ssdParams.BreakEven = ssdBE
 	ssdParams.MinPeriod = 520 * time.Second
 	ssdParams.ReplanCooldown = 5 * ssdBE
-	ssd := media{cfg: ssdCfg, params: ssdParams}
+	ssd := media{name: "ssd", cfg: ssdCfg, params: ssdParams}
 
-	type row struct{ w, saving [2]float64 }
-	rows := map[string]*row{}
 	order := []string{"none", "timeout", "esm"}
-	for mi, m := range []media{hdd, ssd} {
-		var baseW float64
+	var jobs []runJob
+	for _, m := range []media{hdd, ssd} {
 		for _, name := range order {
 			var pol policy.Policy
 			switch name {
@@ -258,18 +240,23 @@ func CompareMedia(w *workload.Workload) (*Table, error) {
 				}
 				pol = esm
 			}
-			res, err := replay.Execute(replay.Run{
-				Catalog:    w.Catalog,
-				Records:    w.Records,
-				Placement:  w.Placement,
-				Storage:    m.cfg,
-				Policy:     pol,
-				Duration:   w.Duration,
-				ClosedLoop: w.ClosedLoop,
+			jobs = append(jobs, runJob{
+				label: fmt.Sprintf("%s/media %s/%s", w.Name, m.name, name),
+				run:   runFor(w, m.cfg, pol),
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	results, err := executeJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	type row struct{ w, saving [2]float64 }
+	rows := map[string]*row{}
+	for mi := range 2 {
+		var baseW float64
+		for ni, name := range order {
+			res := results[mi*len(order)+ni]
 			if rows[name] == nil {
 				rows[name] = &row{}
 			}

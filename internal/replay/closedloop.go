@@ -1,4 +1,5 @@
-// Closed-loop replay: per-data-item streams with queue depth one.
+// Closed-loop replay: per-data-item streams with queue depth one,
+// demultiplexed incrementally from a streaming source.
 
 package replay
 
@@ -14,52 +15,117 @@ import (
 // itemCursor walks one data item's records through the shifted timeline.
 type itemCursor struct {
 	item trace.ItemID
-	// recs are indices into the global record slice, in time order.
-	recs []int32
-	pos  int
+	// queue holds the item's demuxed, not-yet-issued records in time
+	// order. Only records the demuxer has had to read ahead of the
+	// current issue point are buffered, so live memory stays O(items)
+	// plus the read-ahead horizon, not O(records).
+	queue []trace.LogicalRecord
 	// delay is how far the item's timeline has been pushed back by
 	// stalls; notBefore is the completion time of the item's last I/O.
 	delay     time.Duration
 	notBefore time.Duration
 	// eff is the effective issue time of the next record.
 	eff   time.Duration
-	index int // heap index
+	index int // heap index; -1 while the cursor has no queued records
 }
 
 type cursorHeap []*itemCursor
 
-func (h cursorHeap) Len() int           { return len(h) }
-func (h cursorHeap) Less(i, j int) bool { return h[i].eff < h[j].eff }
-func (h cursorHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
-func (h *cursorHeap) Push(x any)        { c := x.(*itemCursor); c.index = len(*h); *h = append(*h, c) }
-func (h *cursorHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	// The item tie-break makes simultaneous activations issue in a fixed
+	// order, so replays are reproducible run to run.
+	if h[i].eff != h[j].eff {
+		return h[i].eff < h[j].eff
+	}
+	return h[i].item < h[j].item
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *cursorHeap) Push(x any)   { c := x.(*itemCursor); c.index = len(*h); *h = append(*h, c) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	c.index = -1
+	*h = old[:n-1]
+	return c
+}
 
-// runClosedLoop replays the records item by item: each item issues its
+// runClosedLoop replays the stream item by item: each item issues its
 // next I/O at its original spacing, but never before its previous I/O
 // completed. Stalls (queueing, spin-up waits) push the item's remaining
 // records back in time, as a blocked application thread would be.
-func runClosedLoop(r Run, clk *simclock.Clock, evq *simclock.EventQueue, submit func(rec trace.LogicalRecord, origTime time.Duration) time.Duration) error {
-	perItem := make(map[trace.ItemID][]int32)
-	var prev time.Duration
-	for i := range r.Records {
-		rec := &r.Records[i]
-		if rec.Time < prev {
-			return fmt.Errorf("replay: record %d out of order", i)
-		}
-		prev = rec.Time
-		perItem[rec.Item] = append(perItem[rec.Item], int32(i))
-	}
-	h := make(cursorHeap, 0, len(perItem))
-	for item, recs := range perItem {
-		c := &itemCursor{item: item, recs: recs}
-		c.eff = r.Records[recs[0]].Time
-		h = append(h, c)
-	}
-	heap.Init(&h)
+//
+// The source is demultiplexed lazily: records are pulled only until the
+// next arrival provably cannot issue before the earliest queued cursor
+// (delays are non-negative, so a record arriving at T activates at or
+// after T).
+func runClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQueue, submit func(rec trace.LogicalRecord, origTime time.Duration) time.Duration) error {
+	cursors := make(map[trace.ItemID]*itemCursor)
+	var h cursorHeap
+	var (
+		pending     trace.LogicalRecord
+		havePending bool
+		eof         bool
+		prev        time.Duration
+		n           int64
+	)
 
-	for h.Len() > 0 {
+	// demux pulls records into per-item queues until the heap's root is
+	// provably the globally next effective issue.
+	demux := func() error {
+		for {
+			if !havePending {
+				if eof {
+					return nil
+				}
+				rec, ok := src.Next()
+				if !ok {
+					eof = true
+					if err := src.Err(); err != nil {
+						return fmt.Errorf("replay: %w", err)
+					}
+					return nil
+				}
+				if rec.Time < prev {
+					return fmt.Errorf("replay: record %d out of order", n)
+				}
+				prev = rec.Time
+				n++
+				pending = rec
+				havePending = true
+			}
+			if len(h) > 0 && pending.Time > h[0].eff {
+				return nil
+			}
+			c := cursors[pending.Item]
+			if c == nil {
+				c = &itemCursor{item: pending.Item, index: -1}
+				cursors[pending.Item] = c
+			}
+			c.queue = append(c.queue, pending)
+			havePending = false
+			if c.index < 0 {
+				eff := pending.Time + c.delay
+				if eff < c.notBefore {
+					eff = c.notBefore
+				}
+				c.eff = eff
+				heap.Push(&h, c)
+			}
+		}
+	}
+
+	for {
+		if err := demux(); err != nil {
+			return err
+		}
+		if len(h) == 0 {
+			// Source drained and every queued record issued.
+			return nil
+		}
 		c := h[0]
-		rec := r.Records[c.recs[c.pos]]
+		rec := c.queue[0]
 		issueAt := c.eff
 		if issueAt < clk.Now() {
 			// Another item's stall moved the global clock past this
@@ -72,18 +138,18 @@ func runClosedLoop(r Run, clk *simclock.Clock, evq *simclock.EventQueue, submit 
 		resp := submit(shifted, rec.Time)
 		c.notBefore = issueAt + resp
 		c.delay = issueAt - rec.Time
-		c.pos++
-		if c.pos >= len(c.recs) {
+		c.queue = c.queue[1:]
+		if len(c.queue) == 0 {
 			heap.Pop(&h)
-			continue
+			c.queue = nil
+		} else {
+			next := c.queue[0]
+			eff := next.Time + c.delay
+			if eff < c.notBefore {
+				eff = c.notBefore
+			}
+			c.eff = eff
+			heap.Fix(&h, 0)
 		}
-		next := r.Records[c.recs[c.pos]]
-		eff := next.Time + c.delay
-		if eff < c.notBefore {
-			eff = c.notBefore
-		}
-		c.eff = eff
-		heap.Fix(&h, 0)
 	}
-	return nil
 }

@@ -24,7 +24,18 @@ import (
 type Run struct {
 	// Catalog names the data items of the trace.
 	Catalog *trace.Catalog
-	// Records is the logical trace, sorted by time.
+	// Source streams the logical trace in time order. This is the
+	// preferred input: the engines consume it incrementally, so a trace
+	// far larger than memory replays in O(items) space. A Source is
+	// single-use; give every Execute call its own. Requires an explicit
+	// Duration (a stream's end is unknown up front, and policies need
+	// the measurement span).
+	Source trace.Source
+	// Records is the materialized logical trace, sorted by time.
+	//
+	// Deprecated: kept as a convenience adapter for small traces and
+	// older callers; it is wrapped in a SliceSource internally. Ignored
+	// when Source is set.
 	Records []trace.LogicalRecord
 	// Placement is the initial enclosure of every item, indexed by ItemID.
 	Placement []int
@@ -113,9 +124,16 @@ func Execute(r Run) (*Result, error) {
 	if len(r.Placement) != r.Catalog.Len() {
 		return nil, fmt.Errorf("replay: placement covers %d of %d items", len(r.Placement), r.Catalog.Len())
 	}
+	src := r.Source
 	end := r.Duration
-	if n := len(r.Records); n > 0 && r.Records[n-1].Time > end {
-		end = r.Records[n-1].Time
+	if src == nil {
+		// Slice adapter: the span can still be derived from the data.
+		if n := len(r.Records); n > 0 && r.Records[n-1].Time > end {
+			end = r.Records[n-1].Time
+		}
+		src = trace.NewSliceSource(r.Records)
+	} else if end == 0 {
+		return nil, fmt.Errorf("replay: a streaming Source needs an explicit Duration")
 	}
 
 	var clk simclock.Clock
@@ -198,19 +216,27 @@ func Execute(r Run) (*Result, error) {
 	}
 
 	if r.ClosedLoop {
-		if err := runClosedLoop(r, &clk, &evq, submit); err != nil {
+		if err := runClosedLoop(src, &clk, &evq, submit); err != nil {
 			return nil, err
 		}
 	} else {
 		var prev time.Duration
-		for i := range r.Records {
-			rec := r.Records[i]
+		var i int64
+		for {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
 			if rec.Time < prev {
 				return nil, fmt.Errorf("replay: record %d out of order", i)
 			}
 			prev = rec.Time
+			i++
 			evq.RunUntil(&clk, rec.Time)
 			submit(rec, rec.Time)
+		}
+		if err := src.Err(); err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
 		}
 	}
 	if clk.Now() > end {

@@ -20,6 +20,10 @@ import (
 // binaryMagic identifies the binary logical-trace format, version 1.
 const binaryMagic = "ESMTRC1\n"
 
+// maxRecords bounds the record count a binary header may claim, so a
+// corrupt header cannot trigger an enormous allocation.
+const maxRecords = 1 << 31
+
 // WriteBinary encodes recs to w in the compact binary format. Records must
 // already be sorted by time; WriteBinary returns an error otherwise so a
 // corrupt trace is never produced silently.
@@ -78,46 +82,55 @@ func ReadBinary(r io.Reader) ([]LogicalRecord, error) {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
 	n := binary.LittleEndian.Uint64(hdr[:])
-	const maxRecords = 1 << 31
 	if n > maxRecords {
 		return nil, fmt.Errorf("trace: implausible record count %d", n)
 	}
 	recs := make([]LogicalRecord, 0, n)
 	var prev time.Duration
 	for i := uint64(0); i < n; i++ {
-		dt, err := binary.ReadUvarint(br)
+		rec, err := readBinaryRecord(br, &prev, i)
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d time: %w", i, err)
+			return nil, err
 		}
-		item, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d item: %w", i, err)
-		}
-		off, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d offset: %w", i, err)
-		}
-		size, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d size: %w", i, err)
-		}
-		op, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d op: %w", i, err)
-		}
-		if op > uint8(OpWrite) {
-			return nil, fmt.Errorf("trace: record %d has invalid op %d", i, op)
-		}
-		prev += time.Duration(dt)
-		recs = append(recs, LogicalRecord{
-			Time:   prev,
-			Item:   ItemID(item),
-			Offset: int64(off),
-			Size:   int32(size),
-			Op:     Op(op),
-		})
+		recs = append(recs, rec)
 	}
 	return recs, nil
+}
+
+// readBinaryRecord decodes one delta/varint record from br, advancing
+// *prev to the record's absolute time. i is only used in error messages.
+func readBinaryRecord(br *bufio.Reader, prev *time.Duration, i uint64) (LogicalRecord, error) {
+	dt, err := binary.ReadUvarint(br)
+	if err != nil {
+		return LogicalRecord{}, fmt.Errorf("trace: record %d time: %w", i, err)
+	}
+	item, err := binary.ReadUvarint(br)
+	if err != nil {
+		return LogicalRecord{}, fmt.Errorf("trace: record %d item: %w", i, err)
+	}
+	off, err := binary.ReadUvarint(br)
+	if err != nil {
+		return LogicalRecord{}, fmt.Errorf("trace: record %d offset: %w", i, err)
+	}
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return LogicalRecord{}, fmt.Errorf("trace: record %d size: %w", i, err)
+	}
+	op, err := br.ReadByte()
+	if err != nil {
+		return LogicalRecord{}, fmt.Errorf("trace: record %d op: %w", i, err)
+	}
+	if op > uint8(OpWrite) {
+		return LogicalRecord{}, fmt.Errorf("trace: record %d has invalid op %d", i, op)
+	}
+	*prev += time.Duration(dt)
+	return LogicalRecord{
+		Time:   *prev,
+		Item:   ItemID(item),
+		Offset: int64(off),
+		Size:   int32(size),
+		Op:     Op(op),
+	}, nil
 }
 
 // WriteCSV encodes recs as "time_ns,item,offset,size,op" lines with a
@@ -151,47 +164,57 @@ func ReadCSV(r io.Reader) ([]LogicalRecord, error) {
 		if text == "" {
 			continue
 		}
-		fields := strings.Split(text, ",")
-		if len(fields) != 5 {
-			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(fields))
-		}
-		t, err := strconv.ParseInt(fields[0], 10, 64)
+		rec, err := parseCSVLine(text, line)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d time: %w", line, err)
+			return nil, err
 		}
-		item, err := strconv.ParseInt(fields[1], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d item: %w", line, err)
-		}
-		off, err := strconv.ParseInt(fields[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d offset: %w", line, err)
-		}
-		size, err := strconv.ParseInt(fields[3], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d size: %w", line, err)
-		}
-		var op Op
-		switch fields[4] {
-		case "R":
-			op = OpRead
-		case "W":
-			op = OpWrite
-		default:
-			return nil, fmt.Errorf("trace: line %d: invalid op %q", line, fields[4])
-		}
-		recs = append(recs, LogicalRecord{
-			Time:   time.Duration(t),
-			Item:   ItemID(item),
-			Offset: off,
-			Size:   int32(size),
-			Op:     op,
-		})
+		recs = append(recs, rec)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return recs, nil
+}
+
+// parseCSVLine decodes one non-empty "time_ns,item,offset,size,op" data
+// line. line is the 1-based line number, used in error messages.
+func parseCSVLine(text string, line int) (LogicalRecord, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 5 {
+		return LogicalRecord{}, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(fields))
+	}
+	t, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return LogicalRecord{}, fmt.Errorf("trace: line %d time: %w", line, err)
+	}
+	item, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return LogicalRecord{}, fmt.Errorf("trace: line %d item: %w", line, err)
+	}
+	off, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return LogicalRecord{}, fmt.Errorf("trace: line %d offset: %w", line, err)
+	}
+	size, err := strconv.ParseInt(fields[3], 10, 32)
+	if err != nil {
+		return LogicalRecord{}, fmt.Errorf("trace: line %d size: %w", line, err)
+	}
+	var op Op
+	switch fields[4] {
+	case "R":
+		op = OpRead
+	case "W":
+		op = OpWrite
+	default:
+		return LogicalRecord{}, fmt.Errorf("trace: line %d: invalid op %q", line, fields[4])
+	}
+	return LogicalRecord{
+		Time:   time.Duration(t),
+		Item:   ItemID(item),
+		Offset: off,
+		Size:   int32(size),
+		Op:     op,
+	}, nil
 }
 
 // WriteCatalog encodes a catalog as "id,size,name" lines.

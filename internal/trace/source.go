@@ -1,0 +1,415 @@
+// Streaming record sources: the iterator side of the trace model. A
+// Source yields logical records in time order without materializing the
+// whole trace; replay, the workload generators and the trace tools
+// compose sources (merge, truncate, collect) so peak memory stays
+// proportional to the number of live streams and items, not records.
+
+package trace
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+	"strings"
+	"time"
+)
+
+// Source streams logical records in non-decreasing time order.
+//
+// Next returns the next record; ok is false when the stream is done.
+// After Next returns ok=false, Err distinguishes a clean end (nil) from
+// a decoding or ordering failure. Sources are single-use and not safe
+// for concurrent use: every replay needs its own.
+type Source interface {
+	Next() (rec LogicalRecord, ok bool)
+	Err() error
+}
+
+// closeSource releases a source's resources if it has any.
+func closeSource(s Source) {
+	if c, ok := s.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// SliceSource adapts a materialized record slice to a Source. The slice
+// is only read, so several SliceSources may share one backing slice
+// (concurrent replays of a materialized workload do exactly that).
+type SliceSource struct {
+	recs []LogicalRecord
+	pos  int
+}
+
+// NewSliceSource returns a Source over recs.
+func NewSliceSource(recs []LogicalRecord) *SliceSource {
+	return &SliceSource{recs: recs}
+}
+
+// Next returns the next record of the slice.
+func (s *SliceSource) Next() (LogicalRecord, bool) {
+	if s.pos >= len(s.recs) {
+		return LogicalRecord{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Err always returns nil: a slice cannot fail.
+func (s *SliceSource) Err() error { return nil }
+
+// SeqSource adapts a push iterator (iter.Seq) to a Source. The workload
+// generators describe each data item's records as a Seq; SeqSource is
+// the pull-side cursor a merge holds per item.
+type SeqSource struct {
+	next func() (LogicalRecord, bool)
+	stop func()
+}
+
+// NewSeqSource returns a Source over seq.
+func NewSeqSource(seq iter.Seq[LogicalRecord]) *SeqSource {
+	next, stop := iter.Pull(seq)
+	return &SeqSource{next: next, stop: stop}
+}
+
+// Next returns the iterator's next record.
+func (s *SeqSource) Next() (LogicalRecord, bool) { return s.next() }
+
+// Err always returns nil: generator sequences cannot fail.
+func (s *SeqSource) Err() error { return nil }
+
+// Close releases the underlying iterator; it is safe to call more than
+// once and after exhaustion.
+func (s *SeqSource) Close() error {
+	s.stop()
+	return nil
+}
+
+// mergeItem is one source's buffered head record.
+type mergeItem struct {
+	rec LogicalRecord
+	src int
+}
+
+// mergeHeap orders heads by (time, source index): among simultaneous
+// records the lowest-numbered source wins, which reproduces the order
+// the old linear-scan MergeLogical produced.
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].rec.Time != h[j].rec.Time {
+		return h[i].rec.Time < h[j].rec.Time
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Merged is a k-way heap merge of already-sorted sources. Only one head
+// record per live source is buffered, so merging k streams costs O(k)
+// memory and O(log k) per record. Merged validates that its output is
+// non-decreasing and fails (Err) when an input turns out unsorted.
+type Merged struct {
+	srcs []Source
+	h    mergeHeap
+	prev time.Duration
+	err  error
+	init bool
+}
+
+// MergeSources merges sorted sources into one time-ordered stream.
+// Simultaneous records are ordered by source index.
+func MergeSources(srcs ...Source) *Merged {
+	return &Merged{srcs: srcs}
+}
+
+// pull buffers the head of source k, dropping exhausted sources.
+func (m *Merged) pull(k int) {
+	rec, ok := m.srcs[k].Next()
+	if !ok {
+		if err := m.srcs[k].Err(); err != nil {
+			m.err = fmt.Errorf("trace: merge source %d: %w", k, err)
+		}
+		closeSource(m.srcs[k])
+		return
+	}
+	m.h = append(m.h, mergeItem{rec: rec, src: k})
+}
+
+// Next returns the merged stream's next record.
+func (m *Merged) Next() (LogicalRecord, bool) {
+	if m.err != nil {
+		return LogicalRecord{}, false
+	}
+	if !m.init {
+		m.init = true
+		for k := range m.srcs {
+			m.pull(k)
+			if m.err != nil {
+				return LogicalRecord{}, false
+			}
+		}
+		heap.Init(&m.h)
+	}
+	if len(m.h) == 0 {
+		return LogicalRecord{}, false
+	}
+	top := m.h[0]
+	if top.rec.Time < m.prev {
+		m.err = fmt.Errorf("trace: merge source %d out of order (%v after %v)", top.src, top.rec.Time, m.prev)
+		return LogicalRecord{}, false
+	}
+	m.prev = top.rec.Time
+	if rec, ok := m.srcs[top.src].Next(); ok {
+		m.h[0] = mergeItem{rec: rec, src: top.src}
+		heap.Fix(&m.h, 0)
+	} else {
+		if err := m.srcs[top.src].Err(); err != nil {
+			// Surface the failure on the next call; top is still valid.
+			m.err = fmt.Errorf("trace: merge source %d: %w", top.src, err)
+		}
+		heap.Pop(&m.h)
+		closeSource(m.srcs[top.src])
+	}
+	return top.rec, true
+}
+
+// Err returns the first input failure, or nil.
+func (m *Merged) Err() error { return m.err }
+
+// Close releases every underlying source.
+func (m *Merged) Close() error {
+	for _, s := range m.srcs {
+		closeSource(s)
+	}
+	return nil
+}
+
+// Truncated ends a stream at the first record past a time limit,
+// releasing the upstream source early. It mirrors the generators'
+// contract that a workload's trace span matches its configured
+// duration exactly.
+type Truncated struct {
+	src   Source
+	limit time.Duration
+	done  bool
+}
+
+// TruncateSource drops every record with Time > limit.
+func TruncateSource(src Source, limit time.Duration) *Truncated {
+	return &Truncated{src: src, limit: limit}
+}
+
+// Next returns the next record at or before the limit.
+func (t *Truncated) Next() (LogicalRecord, bool) {
+	if t.done {
+		return LogicalRecord{}, false
+	}
+	rec, ok := t.src.Next()
+	if !ok {
+		t.done = true
+		return LogicalRecord{}, false
+	}
+	if rec.Time > t.limit {
+		t.done = true
+		closeSource(t.src)
+		return LogicalRecord{}, false
+	}
+	return rec, true
+}
+
+// Err returns the upstream failure, or nil.
+func (t *Truncated) Err() error { return t.src.Err() }
+
+// Close releases the upstream source.
+func (t *Truncated) Close() error {
+	closeSource(t.src)
+	return nil
+}
+
+// CollectSource drains src into a slice.
+func CollectSource(src Source) ([]LogicalRecord, error) {
+	var recs []LogicalRecord
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// SummarizeSource computes a Summary by streaming src.
+func SummarizeSource(src Source) (Summary, error) {
+	var s Summary
+	seen := make(map[ItemID]struct{})
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if s.Records == 0 {
+			s.Start = r.Time
+			s.End = r.Time
+		}
+		s.Records++
+		if r.Op == OpRead {
+			s.Reads++
+		} else {
+			s.Writes++
+		}
+		s.Bytes += int64(r.Size)
+		if r.Time < s.Start {
+			s.Start = r.Time
+		}
+		if r.Time > s.End {
+			s.End = r.Time
+		}
+		if r.Item > s.MaxItem {
+			s.MaxItem = r.Item
+		}
+		seen[r.Item] = struct{}{}
+	}
+	if err := src.Err(); err != nil {
+		return Summary{}, err
+	}
+	s.Items = len(seen)
+	if s.Records > 0 {
+		s.ReadFrac = float64(s.Reads) / float64(s.Records)
+	}
+	return s, nil
+}
+
+// FileSource incrementally decodes a trace file in any of the three
+// on-disk formats — binary (ESMTRC1), streaming binary (ESMSTR1) or CSV
+// — detected from the leading bytes. Decoding is incremental: a
+// multi-gigabyte trace replays in O(items) memory, never holding more
+// than one record and the decoder's fixed buffers.
+type FileSource struct {
+	f     *os.File
+	next  func() (LogicalRecord, error)
+	err   error
+	done  bool
+	count int64
+}
+
+// OpenFile opens path as a FileSource. The caller must Close it.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := NewFileSource(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fs.f = f
+	return fs, nil
+}
+
+// NewFileSource returns a FileSource decoding r. Close is a no-op for
+// sources built over a plain reader.
+func NewFileSource(r io.Reader) (*FileSource, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	fs := &FileSource{}
+	head, _ := br.Peek(len(binaryMagic))
+	switch {
+	case string(head) == binaryMagic:
+		if _, err := br.Discard(len(binaryMagic)); err != nil {
+			return nil, err
+		}
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		n := binary.LittleEndian.Uint64(hdr[:])
+		if n > maxRecords {
+			return nil, fmt.Errorf("trace: implausible record count %d", n)
+		}
+		var prev time.Duration
+		var i uint64
+		fs.next = func() (LogicalRecord, error) {
+			if i >= n {
+				return LogicalRecord{}, io.EOF
+			}
+			rec, err := readBinaryRecord(br, &prev, i)
+			if err != nil {
+				return LogicalRecord{}, err
+			}
+			i++
+			return rec, nil
+		}
+	case string(head) == streamMagic:
+		sr := NewStreamReader(br)
+		fs.next = sr.Next
+	default:
+		sc := bufio.NewScanner(br)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		line := 0
+		fs.next = func() (LogicalRecord, error) {
+			for sc.Scan() {
+				line++
+				text := strings.TrimSpace(sc.Text())
+				if text == "" || (line == 1 && strings.HasPrefix(text, "time_ns")) {
+					continue
+				}
+				return parseCSVLine(text, line)
+			}
+			if err := sc.Err(); err != nil {
+				return LogicalRecord{}, err
+			}
+			return LogicalRecord{}, io.EOF
+		}
+	}
+	return fs, nil
+}
+
+// Next returns the next decoded record.
+func (s *FileSource) Next() (LogicalRecord, bool) {
+	if s.done {
+		return LogicalRecord{}, false
+	}
+	rec, err := s.next()
+	if err != nil {
+		s.done = true
+		// A bare io.EOF is the clean end of the data; wrapped EOFs from
+		// a truncated record are real corruption.
+		if err != io.EOF {
+			s.err = err
+		}
+		return LogicalRecord{}, false
+	}
+	s.count++
+	return rec, true
+}
+
+// Err returns the decoding failure that ended the stream, or nil.
+func (s *FileSource) Err() error { return s.err }
+
+// Count returns how many records have been decoded so far.
+func (s *FileSource) Count() int64 { return s.count }
+
+// Close closes the underlying file, if any.
+func (s *FileSource) Close() error {
+	if s.f != nil {
+		return s.f.Close()
+	}
+	return nil
+}

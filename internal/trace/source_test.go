@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sortedRecs builds n sorted records with random gaps and payloads.
+func sortedRecs(rng *rand.Rand, n int, item ItemID) []LogicalRecord {
+	recs := make([]LogicalRecord, n)
+	var t time.Duration
+	for i := range recs {
+		t += time.Duration(rng.Int63n(int64(5 * time.Millisecond)))
+		op := OpRead
+		if rng.Intn(3) == 0 {
+			op = OpWrite
+		}
+		recs[i] = LogicalRecord{
+			Time:   t,
+			Item:   item,
+			Offset: int64(rng.Intn(1<<20) * 4096),
+			Size:   int32(4096 * (1 + rng.Intn(16))),
+			Op:     op,
+		}
+	}
+	return recs
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := sortedRecs(rand.New(rand.NewSource(1)), 100, 0)
+	got, err := CollectSource(NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	// Exhausted source stays exhausted.
+	s := NewSliceSource(recs[:1])
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next returned ok after exhaustion")
+	}
+}
+
+func TestSeqSource(t *testing.T) {
+	want := sortedRecs(rand.New(rand.NewSource(2)), 50, 3)
+	src := NewSeqSource(func(yield func(LogicalRecord) bool) {
+		for _, r := range want {
+			if !yield(r) {
+				return
+			}
+		}
+	})
+	defer src.Close()
+	got, err := CollectSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	// Close mid-stream must be safe and idempotent.
+	src2 := NewSeqSource(func(yield func(LogicalRecord) bool) {
+		for _, r := range want {
+			if !yield(r) {
+				return
+			}
+		}
+	})
+	src2.Next()
+	src2.Close()
+	src2.Close()
+	if _, ok := src2.Next(); ok {
+		t.Fatal("Next returned ok after Close")
+	}
+}
+
+func TestMergeSourcesMatchesMergeLogical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var traces [][]LogicalRecord
+	var srcs []Source
+	for k := 0; k < 7; k++ {
+		recs := sortedRecs(rng, 200+rng.Intn(200), ItemID(k))
+		traces = append(traces, recs)
+		srcs = append(srcs, NewSliceSource(recs))
+	}
+	want := MergeLogical(traces...)
+	m := MergeSources(srcs...)
+	got, err := CollectSource(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeSourcesTieOrder(t *testing.T) {
+	// Simultaneous records must come out in source-index order, matching
+	// the old linear-scan MergeLogical.
+	a := []LogicalRecord{{Time: 10, Item: 5, Size: 1, Op: OpRead}}
+	b := []LogicalRecord{{Time: 10, Item: 1, Size: 1, Op: OpRead}}
+	got, err := CollectSource(MergeSources(NewSliceSource(a), NewSliceSource(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Item != 5 || got[1].Item != 1 {
+		t.Fatalf("tie broke to items %d,%d; want 5,1 (source order)", got[0].Item, got[1].Item)
+	}
+}
+
+func TestMergeSourcesEmpty(t *testing.T) {
+	if got, err := CollectSource(MergeSources()); err != nil || len(got) != 0 {
+		t.Fatalf("empty merge: got %d records, err %v", len(got), err)
+	}
+	if got, err := CollectSource(MergeSources(NewSliceSource(nil), NewSliceSource(nil))); err != nil || len(got) != 0 {
+		t.Fatalf("merge of empties: got %d records, err %v", len(got), err)
+	}
+}
+
+func TestMergeSourcesUnsortedInput(t *testing.T) {
+	bad := []LogicalRecord{
+		{Time: 20, Item: 0, Size: 1, Op: OpRead},
+		{Time: 10, Item: 0, Size: 1, Op: OpRead},
+	}
+	m := MergeSources(NewSliceSource(bad))
+	_, err := CollectSource(m)
+	if err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("want out-of-order error, got %v", err)
+	}
+}
+
+func TestTruncateSource(t *testing.T) {
+	recs := []LogicalRecord{
+		{Time: 1 * time.Second, Item: 0, Size: 1, Op: OpRead},
+		{Time: 2 * time.Second, Item: 0, Size: 1, Op: OpRead},
+		{Time: 3 * time.Second, Item: 0, Size: 1, Op: OpRead},
+	}
+	got, err := CollectSource(TruncateSource(NewSliceSource(recs), 2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2 (limit is inclusive)", len(got))
+	}
+}
+
+func TestSummarizeSourceMatchesSummarize(t *testing.T) {
+	recs := sortedRecs(rand.New(rand.NewSource(4)), 500, 7)
+	want := Summarize(recs)
+	got, err := SummarizeSource(NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("streaming summary %+v != slice summary %+v", got, want)
+	}
+}
+
+func TestFileSourceAllFormats(t *testing.T) {
+	recs := sortedRecs(rand.New(rand.NewSource(5)), 1000, 2)
+	dir := t.TempDir()
+
+	write := func(name string, enc func(*os.File) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	paths := map[string]string{
+		"binary": write("t.bin", func(f *os.File) error { return WriteBinary(f, recs) }),
+		"csv":    write("t.csv", func(f *os.File) error { return WriteCSV(f, recs) }),
+		"stream": write("t.str", func(f *os.File) error {
+			w := NewStreamWriter(f)
+			for _, r := range recs {
+				if err := w.Append(r); err != nil {
+					return err
+				}
+			}
+			return w.Close()
+		}),
+	}
+
+	for format, path := range paths {
+		src, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		got, err := CollectSource(src)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if src.Count() != int64(len(recs)) {
+			t.Errorf("%s: Count = %d, want %d", format, src.Count(), len(recs))
+		}
+		if err := src.Close(); err != nil {
+			t.Fatalf("%s: close: %v", format, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%s: got %d records, want %d", format, len(got), len(recs))
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("%s: record %d: got %+v, want %+v", format, i, got[i], recs[i])
+			}
+		}
+	}
+}
+
+func TestFileSourceTruncatedBinary(t *testing.T) {
+	recs := sortedRecs(rand.New(rand.NewSource(6)), 100, 0)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	src, err := NewFileSource(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+	}
+	if src.Err() == nil {
+		t.Fatal("truncated binary trace decoded without error")
+	}
+}
+
+func TestFileSourceEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewFileSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectSource(src)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream: got %d records, err %v", len(got), err)
+	}
+}

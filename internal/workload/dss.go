@@ -132,7 +132,7 @@ func GenerateDSS(cfg DSSConfig) (*Workload, error) {
 		Enclosures: cfg.DBEnclosures + 1,
 		Duration:   cfg.Duration,
 	}
-	var s stream
+	var ss streams
 	var placement []int
 	sizeScale := cfg.ScaleFactor / 100
 
@@ -193,6 +193,7 @@ func GenerateDSS(cfg DSSConfig) (*Workload, error) {
 
 	const ioSize = 256 << 10
 	start := time.Duration(0)
+	var logRecs []trace.LogicalRecord
 	for q, tables := range dssQueryTables {
 		end := start + time.Duration(weights[q]/wsum*float64(cfg.Duration))
 		w.Windows = append(w.Windows, Window{Name: fmt.Sprintf("Q%d", q+1), Start: start, End: end})
@@ -204,7 +205,7 @@ func GenerateDSS(cfg DSSConfig) (*Workload, error) {
 			// the largest partition takes.
 			var phase time.Duration
 			for _, p := range parts[tbl] {
-				d := genScan(rng, &s, p.id, p.size, t, cfg.ScanBps, ioSize)
+				d := scanStream(&ss, p.id, p.size, t, cfg.ScanBps, ioSize)
 				if d > phase {
 					phase = d
 				}
@@ -219,55 +220,73 @@ func GenerateDSS(cfg DSSConfig) (*Workload, error) {
 		if spill > workSize {
 			spill = workSize
 		}
-		t = genBulk(rng, &s, workItems[q], workSize, t, spill, cfg.ScanBps, ioSize, trace.OpWrite)
+		t = bulkStream(&ss, rng, workItems[q], workSize, t, spill, cfg.ScanBps, ioSize, trace.OpWrite)
 		tmp := tempItems[q%len(tempItems)]
-		t = genBulk(rng, &s, tmp, workSize/2, t, spill/3, cfg.ScanBps, ioSize, trace.OpWrite)
-		genBulk(rng, &s, workItems[q], workSize, t, int64(float64(spill)*0.6), cfg.ScanBps, ioSize, trace.OpRead)
+		t = bulkStream(&ss, rng, tmp, workSize/2, t, spill/3, cfg.ScanBps, ioSize, trace.OpWrite)
+		bulkStream(&ss, rng, workItems[q], workSize, t, int64(float64(spill)*0.6), cfg.ScanBps, ioSize, trace.OpRead)
 
 		// One query-completion log write.
-		s.add(end-time.Second, logItem, 0, 64<<10, trace.OpWrite)
+		logRecs = append(logRecs, trace.LogicalRecord{
+			Time: end - time.Second, Item: logItem, Offset: 0, Size: 64 << 10, Op: trace.OpWrite,
+		})
 		start = end
 	}
+	ss.fixed(logItem, logRecs)
 	w.Placement = placement
-	return finish(w, s.recs), nil
+	w.Streams = ss.list
+	return w, nil
 }
 
-// genScan emits a full sequential scan of the item starting at t and
-// returns how long the scan takes at the given rate.
-func genScan(rng *rand.Rand, s *stream, id trace.ItemID, size int64, t time.Duration, bps float64, ioSize int32) time.Duration {
+// scanStream registers a lazy full sequential scan of the item starting
+// at t and returns how long the scan takes at the given rate. The
+// records follow entirely from the plan, so nothing is drawn or stored.
+func scanStream(ss *streams, id trace.ItemID, size int64, t time.Duration, bps float64, ioSize int32) time.Duration {
 	gap := time.Duration(float64(ioSize) / bps * float64(time.Second))
-	var off int64
-	d := time.Duration(0)
-	for off < size {
-		n := ioSize
-		if size-off < int64(n) {
-			n = int32(size - off)
+	ss.pure(id, func(emit emitFunc) {
+		var off int64
+		d := time.Duration(0)
+		for off < size {
+			n := ioSize
+			if size-off < int64(n) {
+				n = int32(size - off)
+			}
+			if !emit(t+d, off, n, trace.OpRead) {
+				return
+			}
+			off += int64(n)
+			d += gap
 		}
-		s.add(t+d, id, off, n, trace.OpRead)
-		off += int64(n)
-		d += gap
-	}
-	return d
+	})
+	ios := (size + int64(ioSize) - 1) / int64(ioSize)
+	return time.Duration(ios) * gap
 }
 
-// genBulk emits total bytes of sequential I/O to the item starting at t,
-// beginning at a random aligned offset, and returns the finish time.
-func genBulk(rng *rand.Rand, s *stream, id trace.ItemID, size int64, t time.Duration, total int64, bps float64, ioSize int32, op trace.Op) time.Duration {
+// bulkStream registers total bytes of lazy sequential I/O to the item
+// starting at t, beginning at a random aligned offset drawn at planning
+// time, and returns the finish time.
+func bulkStream(ss *streams, rng *rand.Rand, id trace.ItemID, size int64, t time.Duration, total int64, bps float64, ioSize int32, op trace.Op) time.Duration {
 	if total <= 0 {
 		return t
 	}
 	gap := time.Duration(float64(ioSize) / bps * float64(time.Second))
-	off := randOffset(rng, size-total, ioSize)
-	var done int64
-	for done < total {
-		n := ioSize
-		if total-done < int64(n) {
-			n = int32(total - done)
+	start := randOffset(rng, size-total, ioSize)
+	ss.pure(id, func(emit emitFunc) {
+		off := start
+		tt := t
+		var done int64
+		for done < total {
+			n := ioSize
+			if total-done < int64(n) {
+				n = int32(total - done)
+			}
+			if !emit(tt, off, n, op) {
+				return
+			}
+			off = (off + int64(n)) % size
+			done += int64(n)
+			tt += gap
 		}
-		s.add(t, id, off, n, op)
-		off = (off + int64(n)) % size
-		done += int64(n)
-		t += gap
-	}
-	return t
+	})
+	ios := (total + int64(ioSize) - 1) / int64(ioSize)
+	return t + time.Duration(ios)*gap
 }

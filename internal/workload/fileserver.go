@@ -99,7 +99,7 @@ func GenerateFileServer(cfg FileServerConfig) (*Workload, error) {
 		Enclosures: cfg.Enclosures,
 		Duration:   cfg.Duration,
 	}
-	var s stream
+	var ss streams
 	var placement []int
 
 	for v := 0; v < cfg.Volumes; v++ {
@@ -107,21 +107,26 @@ func GenerateFileServer(cfg FileServerConfig) (*Workload, error) {
 		hotVolume := v%5 == 0
 		vol := fmt.Sprintf("vol%02d", v)
 
-		// Volume activity windows, shared by the volume's items.
+		// Volume activity windows, shared read-only by the volume's
+		// streams; drawn eagerly from the master RNG at planning time.
 		light, deep := volumeWindows(rng, cfg)
 
 		// Metadata noise item: small, steadily touched.
 		meta := cat.Add(vol+"/meta", 50<<20)
 		placement = append(placement, enc)
-		genNoise(rng, &s, meta, 50<<20, cfg.Duration)
+		ss.lazy(meta, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+			genNoise(rng, emit, 50<<20, cfg.Duration)
+		})
 
 		// Five small hot-read items per volume: preload candidates.
 		for f := 0; f < 5; f++ {
 			size := 1500<<10 + rng.Int63n(2<<20)
 			id := cat.Add(fmt.Sprintf("%s/hotread%02d", vol, f), size)
 			placement = append(placement, enc)
-			genWindowBursts(rng, &s, id, size, light, burstProfile{
-				prob: 0.9, minN: 150, maxN: 350, spacing: 400 * time.Millisecond, readFrac: 0.98, ioSize: 8 << 10,
+			ss.lazy(id, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+				genWindowBursts(rng, emit, size, light, burstProfile{
+					prob: 0.9, minN: 150, maxN: 350, spacing: 400 * time.Millisecond, readFrac: 0.98, ioSize: 8 << 10,
+				})
 			})
 		}
 
@@ -137,32 +142,40 @@ func GenerateFileServer(cfg FileServerConfig) (*Workload, error) {
 				size := lognormBytes(rng, 256<<20, 0.8, 32<<20, 1<<30)
 				id := cat.Add(fmt.Sprintf("%s/hot%02d", vol, f), size)
 				placement = append(placement, enc)
-				genSteady(rng, &s, id, size, cfg.Duration, steadyProfile{
+				p := steadyProfile{
 					meanGap:  800*time.Millisecond + time.Duration(rng.Int63n(int64(2*time.Second))),
 					maxGap:   45 * time.Second,
 					readFrac: 0.75, ioSize: 8 << 10,
+				}
+				ss.lazy(id, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+					genSteady(rng, emit, size, cfg.Duration, p)
 				})
 			case f == rest-1 && v%4 == 1:
 				// Write-burst item: P2.
 				size := lognormBytes(rng, 1<<30, 1.0, 128<<20, 8<<30)
 				id := cat.Add(fmt.Sprintf("%s/wburst", vol), size)
 				placement = append(placement, enc)
-				genWindowBursts(rng, &s, id, size, deep, burstProfile{
-					prob: 0.8, minN: 30, maxN: 100, spacing: 2 * time.Second, readFrac: 0.10, ioSize: 1 << 20,
+				ss.lazy(id, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+					genWindowBursts(rng, emit, size, deep, burstProfile{
+						prob: 0.8, minN: 30, maxN: 100, spacing: 2 * time.Second, readFrac: 0.10, ioSize: 1 << 20,
+					})
 				})
 			default:
 				// Large cold read-burst item: P1, too big to preload.
 				size := lognormBytes(rng, 4<<30, 1.2, 256<<20, 30<<30)
 				id := cat.Add(fmt.Sprintf("%s/file%03d", vol, f), size)
 				placement = append(placement, enc)
-				genWindowBursts(rng, &s, id, size, deep, burstProfile{
-					prob: 0.6, minN: 10, maxN: 30, spacing: 5 * time.Second, readFrac: 0.90, ioSize: 1 << 20,
+				ss.lazy(id, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+					genWindowBursts(rng, emit, size, deep, burstProfile{
+						prob: 0.6, minN: 10, maxN: 30, spacing: 5 * time.Second, readFrac: 0.90, ioSize: 1 << 20,
+					})
 				})
 			}
 		}
 	}
 	w.Placement = placement
-	return finish(w, s.recs), nil
+	w.Streams = ss.list
+	return w, nil
 }
 
 // window is one activity span of a volume.
@@ -194,14 +207,16 @@ func volumeWindows(rng *rand.Rand, cfg FileServerConfig) (light, deep []window) 
 // genNoise emits the background metadata accesses: a read (sometimes a
 // small write) every ~15–30 s for the whole trace, so no gap ever
 // exceeds the break-even time.
-func genNoise(rng *rand.Rand, s *stream, id trace.ItemID, size int64, dur time.Duration) {
+func genNoise(rng *rand.Rand, emit emitFunc, size int64, dur time.Duration) {
 	t := time.Duration(rng.Int63n(int64(10 * time.Second)))
 	for t < dur {
 		op := trace.OpRead
 		if rng.Float64() < 0.2 {
 			op = trace.OpWrite
 		}
-		s.add(t, id, randOffset(rng, size, 4<<10), 4<<10, op)
+		if !emit(t, randOffset(rng, size, 4<<10), 4<<10, op) {
+			return
+		}
 		t += 15*time.Second + time.Duration(rng.Int63n(int64(15*time.Second)))
 	}
 }
@@ -215,14 +230,16 @@ type steadyProfile struct {
 
 // genSteady emits a continuously accessed item: exponential gaps clamped
 // below the break-even time so the item classifies P3.
-func genSteady(rng *rand.Rand, s *stream, id trace.ItemID, size int64, dur time.Duration, p steadyProfile) {
+func genSteady(rng *rand.Rand, emit emitFunc, size int64, dur time.Duration, p steadyProfile) {
 	t := time.Duration(rng.Int63n(int64(5 * time.Second)))
 	for t < dur {
 		op := trace.OpRead
 		if rng.Float64() >= p.readFrac {
 			op = trace.OpWrite
 		}
-		s.add(t, id, randOffset(rng, size, p.ioSize), p.ioSize, op)
+		if !emit(t, randOffset(rng, size, p.ioSize), p.ioSize, op) {
+			return
+		}
 		t += clampDur(expDur(rng, p.meanGap), time.Millisecond, p.maxGap)
 	}
 }
@@ -237,7 +254,7 @@ type burstProfile struct {
 }
 
 // genWindowBursts emits bursts aligned to the volume's activity windows.
-func genWindowBursts(rng *rand.Rand, s *stream, id trace.ItemID, size int64, wins []window, p burstProfile) {
+func genWindowBursts(rng *rand.Rand, emit emitFunc, size int64, wins []window, p burstProfile) {
 	for _, w := range wins {
 		if rng.Float64() >= p.prob {
 			continue
@@ -250,7 +267,9 @@ func genWindowBursts(rng *rand.Rand, s *stream, id trace.ItemID, size int64, win
 			if rng.Float64() >= p.readFrac {
 				op = trace.OpWrite
 			}
-			s.add(t, id, randOffset(rng, size, p.ioSize), p.ioSize, op)
+			if !emit(t, randOffset(rng, size, p.ioSize), p.ioSize, op) {
+				return
+			}
 			t += expDur(rng, p.spacing)
 		}
 	}

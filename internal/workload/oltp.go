@@ -114,13 +114,15 @@ func GenerateOLTP(cfg OLTPConfig) (*Workload, error) {
 		Duration:       cfg.Duration,
 		BaseThroughput: cfg.BaseTpmC,
 	}
-	var s stream
+	var ss streams
 	var placement []int
 
 	// Log device on enclosure 0: continuous synchronous writes.
 	logItem := cat.Add("tpcc/log", 10<<30)
 	placement = append(placement, 0)
-	genContinuous(rng, &s, logItem, 10<<30, cfg.Duration, cfg.LogIOPS*cfg.RateScale, 0.0, 16<<10)
+	ss.lazy(logItem, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+		genContinuous(rng, emit, 10<<30, cfg.Duration, cfg.LogIOPS*cfg.RateScale, 0.0, 16<<10)
+	})
 
 	// Hash-distributed table partitions on enclosures 1..DBEnclosures.
 	for _, tbl := range oltpTables {
@@ -129,20 +131,25 @@ func GenerateOLTP(cfg OLTPConfig) (*Workload, error) {
 			id := cat.Add(fmt.Sprintf("tpcc/%s.p%d", tbl.name, p), tbl.size)
 			placement = append(placement, enc)
 			if tbl.p1 {
-				genMasterBursts(rng, &s, id, tbl.size, cfg.Duration, tbl.readFrac)
+				ss.lazy(id, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+					genMasterBursts(rng, emit, tbl.size, cfg.Duration, tbl.readFrac)
+				})
 			} else {
-				genContinuous(rng, &s, id, tbl.size, cfg.Duration, tbl.iops*cfg.RateScale, tbl.readFrac, 8<<10)
+				ss.lazy(id, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+					genContinuous(rng, emit, tbl.size, cfg.Duration, tbl.iops*cfg.RateScale, tbl.readFrac, 8<<10)
+				})
 			}
 		}
 	}
 	w.Placement = placement
-	return finish(w, s.recs), nil
+	w.Streams = ss.list
+	return w, nil
 }
 
 // genContinuous emits exponential-gap random I/O at the given rate for
 // the whole duration. Gaps are clamped below the break-even time so the
 // item always classifies P3, matching continuously hit OLTP tables.
-func genContinuous(rng *rand.Rand, s *stream, id trace.ItemID, size int64, dur time.Duration, iops, readFrac float64, ioSize int32) {
+func genContinuous(rng *rand.Rand, emit emitFunc, size int64, dur time.Duration, iops, readFrac float64, ioSize int32) {
 	if iops <= 0 {
 		return
 	}
@@ -153,7 +160,9 @@ func genContinuous(rng *rand.Rand, s *stream, id trace.ItemID, size int64, dur t
 		if rng.Float64() >= readFrac {
 			op = trace.OpWrite
 		}
-		s.add(t, id, randOffset(rng, size, ioSize), ioSize, op)
+		if !emit(t, randOffset(rng, size, ioSize), ioSize, op) {
+			return
+		}
 		t += clampDur(expDur(rng, mean), 0, 45*time.Second)
 	}
 }
@@ -161,7 +170,7 @@ func genContinuous(rng *rand.Rand, s *stream, id trace.ItemID, size int64, dur t
 // genMasterBursts emits the buffer-pool-miss bursts of the master-data
 // tables: every few minutes (always beyond the break-even time) a run of
 // a couple dozen reads, which classifies the item P1.
-func genMasterBursts(rng *rand.Rand, s *stream, id trace.ItemID, size int64, dur time.Duration, readFrac float64) {
+func genMasterBursts(rng *rand.Rand, emit emitFunc, size int64, dur time.Duration, readFrac float64) {
 	t := expDur(rng, 4*time.Minute)
 	for t < dur {
 		n := 10 + rng.Intn(21)
@@ -170,7 +179,9 @@ func genMasterBursts(rng *rand.Rand, s *stream, id trace.ItemID, size int64, dur
 			if rng.Float64() >= readFrac {
 				op = trace.OpWrite
 			}
-			s.add(t, id, randOffset(rng, size, 8<<10), 8<<10, op)
+			if !emit(t, randOffset(rng, size, 8<<10), 8<<10, op) {
+				return
+			}
 			t += expDur(rng, 200*time.Millisecond)
 		}
 		t += 70*time.Second + expDur(rng, 4*time.Minute)

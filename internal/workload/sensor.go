@@ -97,7 +97,7 @@ func GenerateSensorArchive(cfg SensorConfig) (*Workload, error) {
 		Enclosures: cfg.Enclosures,
 		Duration:   cfg.Duration,
 	}
-	var s stream
+	var ss streams
 	var placement []int
 	next := 0
 	place := func() int {
@@ -114,7 +114,9 @@ func GenerateSensorArchive(cfg SensorConfig) (*Workload, error) {
 		// Active segment: continuous small appends.
 		active := cat.Add(fmt.Sprintf("sensor%03d/active", st), 512<<20)
 		placement = append(placement, place())
-		genAppends(rng, &s, active, 512<<20, cfg.Duration, cfg.AppendEvery)
+		ss.lazy(active, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+			genAppends(rng, emit, 512<<20, cfg.Duration, cfg.AppendEvery)
+		})
 
 		for seg := 0; seg < cfg.SealedPerStream; seg++ {
 			size := lognormBytes(rng, 1<<30, 0.7, 128<<20, 6<<30)
@@ -132,7 +134,9 @@ func GenerateSensorArchive(cfg SensorConfig) (*Workload, error) {
 				continue
 			}
 			// Analytics: whole-segment scans at long intervals (P1).
-			genAnalyticsScans(rng, &s, id, size, cfg)
+			ss.lazy(id, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+				genAnalyticsScans(rng, emit, size, cfg)
+			})
 		}
 	}
 
@@ -142,16 +146,17 @@ func GenerateSensorArchive(cfg SensorConfig) (*Workload, error) {
 	for t := expDur(rng, cfg.CompactEvery); t < cfg.Duration && len(compactable) > 0; t += 70*time.Second + expDur(rng, cfg.CompactEvery) {
 		seg := compactable[ci%len(compactable)]
 		ci++
-		t = genCompaction(rng, &s, seg.id, seg.size, t, cfg.Duration)
+		t = compactionStream(&ss, rng, seg.id, seg.size, t, cfg.Duration)
 	}
 
 	w.Placement = placement
-	return finish(w, s.recs), nil
+	w.Streams = ss.list
+	return w, nil
 }
 
 // genAppends emits a continuous append stream; gaps never reach the
 // break-even time, so the item classifies P3.
-func genAppends(rng *rand.Rand, s *stream, id trace.ItemID, size int64, dur time.Duration, every time.Duration) {
+func genAppends(rng *rand.Rand, emit emitFunc, size int64, dur time.Duration, every time.Duration) {
 	var off int64
 	t := expDur(rng, every)
 	for t < dur {
@@ -159,14 +164,16 @@ func genAppends(rng *rand.Rand, s *stream, id trace.ItemID, size int64, dur time
 		if off+int64(n) > size {
 			off = 0
 		}
-		s.add(t, id, off, n, trace.OpWrite)
+		if !emit(t, off, n, trace.OpWrite) {
+			return
+		}
 		off += int64(n)
 		t += clampDur(expDur(rng, every), time.Millisecond, 45*time.Second)
 	}
 }
 
 // genAnalyticsScans emits occasional partial scans of a sealed segment.
-func genAnalyticsScans(rng *rand.Rand, s *stream, id trace.ItemID, size int64, cfg SensorConfig) {
+func genAnalyticsScans(rng *rand.Rand, emit emitFunc, size int64, cfg SensorConfig) {
 	for t := expDur(rng, cfg.ScanEvery); t < cfg.Duration; t += 70*time.Second + expDur(rng, cfg.ScanEvery) {
 		// Scan a random slice of the segment sequentially.
 		span := size / int64(4+rng.Intn(8))
@@ -177,29 +184,45 @@ func genAnalyticsScans(rng *rand.Rand, s *stream, id trace.ItemID, size int64, c
 			if end-o < int64(n) {
 				n = int32(end - o)
 			}
-			s.add(t, id, o, n, trace.OpRead)
+			if !emit(t, o, n, trace.OpRead) {
+				return
+			}
 			t += 25 * time.Millisecond
 		}
 	}
 }
 
-// genCompaction reads a slice of the segment and rewrites it in place,
-// write-heavy overall, returning the finish time.
-func genCompaction(rng *rand.Rand, s *stream, id trace.ItemID, size int64, t, dur time.Duration) time.Duration {
+// compactionStream registers a lazy compaction pass — read a slice of
+// the segment, rewrite it in place, write-heavy overall — and returns
+// the job's finish time. The slice offset is drawn at planning time so
+// the schedule stays on the master RNG.
+func compactionStream(ss *streams, rng *rand.Rand, id trace.ItemID, size int64, t, dur time.Duration) time.Duration {
 	span := size / 8
 	off := randOffset(rng, size-span, 1<<20)
 	end := off + span
-	for o := off; o < end && t < dur; o += 4 << 20 {
-		s.add(t, id, o, 1<<20, trace.OpRead)
-		t += 30 * time.Millisecond
-	}
-	for o := off; o < end && t < dur; o += 1 << 20 {
-		n := int32(1 << 20)
-		if end-o < int64(n) {
-			n = int32(end - o)
+	ss.pure(id, func(emit emitFunc) {
+		tt := t
+		for o := off; o < end && tt < dur; o += 4 << 20 {
+			if !emit(tt, o, 1<<20, trace.OpRead) {
+				return
+			}
+			tt += 30 * time.Millisecond
 		}
-		s.add(t, id, o, n, trace.OpWrite)
-		t += 25 * time.Millisecond
-	}
-	return t
+		for o := off; o < end && tt < dur; o += 1 << 20 {
+			n := int32(1 << 20)
+			if end-o < int64(n) {
+				n = int32(end - o)
+			}
+			if !emit(tt, o, n, trace.OpWrite) {
+				return
+			}
+			tt += 25 * time.Millisecond
+		}
+	})
+	// Analytic finish time: it matches the emitted records exactly while
+	// the job fits inside dur; past dur both the stream and the schedule
+	// loop stop, so any difference is unobservable.
+	reads := (span + (4 << 20) - 1) / (4 << 20)
+	writes := (span + (1 << 20) - 1) / (1 << 20)
+	return t + time.Duration(reads)*30*time.Millisecond + time.Duration(writes)*25*time.Millisecond
 }

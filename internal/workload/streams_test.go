@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"testing"
+
+	"esm/internal/trace"
+)
+
+// TestWorkloadsAreLazy pins the streaming contract: generators plan
+// streams without materializing records, Source re-yields the identical
+// trace on every call, and EnsureRecords matches the streamed order.
+func TestWorkloadsAreLazy(t *testing.T) {
+	w, err := GenerateSynthetic(DefaultSyntheticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Records != nil {
+		t.Fatal("generator materialized Records eagerly")
+	}
+	if len(w.Streams) == 0 {
+		t.Fatal("generator registered no streams")
+	}
+
+	first, err := trace.CollectSource(w.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := trace.CollectSource(w.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 || len(first) != len(second) {
+		t.Fatalf("re-iterated stream sizes differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("record %d differs between iterations", i)
+		}
+	}
+
+	recs := w.EnsureRecords()
+	if len(recs) != len(first) {
+		t.Fatalf("EnsureRecords has %d records, stream had %d", len(recs), len(first))
+	}
+	for i := range recs {
+		if recs[i] != first[i] {
+			t.Fatalf("record %d differs between EnsureRecords and stream", i)
+		}
+	}
+
+	// After materialization, Source must serve the cached slice.
+	again, err := trace.CollectSource(w.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(recs) {
+		t.Fatalf("post-materialization source has %d records, want %d", len(again), len(recs))
+	}
+}
+
+// TestSourceStopsAtDuration checks the merged stream honors the
+// workload's nominal span exactly, like the old post-sort truncation.
+func TestSourceStopsAtDuration(t *testing.T) {
+	w, err := GenerateFileServer(DefaultFileServerConfig().Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := w.Source()
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if rec.Time > w.Duration {
+			t.Fatalf("record at %v beyond duration %v", rec.Time, w.Duration)
+		}
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -82,7 +82,7 @@ func GenerateSynthetic(cfg SyntheticConfig) (*Workload, error) {
 		Enclosures: cfg.Enclosures,
 		Duration:   cfg.Duration,
 	}
-	var s stream
+	var ss streams
 	var placement []int
 	next := 0
 	place := func() int {
@@ -94,28 +94,35 @@ func GenerateSynthetic(cfg SyntheticConfig) (*Workload, error) {
 	for i := 0; i < cfg.SteadyItems; i++ {
 		id := cat.Add(fmt.Sprintf("steady%03d", i), cfg.ItemBytes)
 		placement = append(placement, place())
-		genContinuous(rng, &s, id, cfg.ItemBytes, cfg.Duration, cfg.SteadyIOPS, 0.6, 8<<10)
+		ss.lazy(id, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+			genContinuous(rng, emit, cfg.ItemBytes, cfg.Duration, cfg.SteadyIOPS, 0.6, 8<<10)
+		})
 	}
 	for i := 0; i < cfg.BurstItems; i++ {
 		id := cat.Add(fmt.Sprintf("burst%03d", i), cfg.ItemBytes)
 		placement = append(placement, place())
-		t := expDur(rng, cfg.BurstEvery)
-		for t < cfg.Duration {
-			for j := 0; j < cfg.BurstLen && t < cfg.Duration; j++ {
-				op := trace.OpRead
-				if rng.Float64() >= cfg.BurstReadFrac {
-					op = trace.OpWrite
+		ss.lazy(id, rng.Int63(), func(rng *rand.Rand, emit emitFunc) {
+			t := expDur(rng, cfg.BurstEvery)
+			for t < cfg.Duration {
+				for j := 0; j < cfg.BurstLen && t < cfg.Duration; j++ {
+					op := trace.OpRead
+					if rng.Float64() >= cfg.BurstReadFrac {
+						op = trace.OpWrite
+					}
+					if !emit(t, randOffset(rng, cfg.ItemBytes, 8<<10), 8<<10, op) {
+						return
+					}
+					t += expDur(rng, 300*time.Millisecond)
 				}
-				s.add(t, id, randOffset(rng, cfg.ItemBytes, 8<<10), 8<<10, op)
-				t += expDur(rng, 300*time.Millisecond)
+				t += 70*time.Second + expDur(rng, cfg.BurstEvery)
 			}
-			t += 70*time.Second + expDur(rng, cfg.BurstEvery)
-		}
+		})
 	}
 	for i := 0; i < cfg.IdleItems; i++ {
 		cat.Add(fmt.Sprintf("idle%03d", i), cfg.ItemBytes)
 		placement = append(placement, place())
 	}
 	w.Placement = placement
-	return finish(w, s.recs), nil
+	w.Streams = ss.list
+	return w, nil
 }

@@ -10,12 +10,22 @@ import (
 
 const breakEven = 52 * time.Second
 
-// classify runs the full-trace pattern classification used by Fig. 6.
+// classify runs the full-trace pattern classification used by Fig. 6,
+// consuming the workload as a stream so no test materializes a
+// paper-scale trace just to count patterns.
 func classify(t *testing.T, w *Workload) core.PatternMix {
 	t.Helper()
 	mon := monitor.NewAppMonitor(w.Catalog.Len(), breakEven)
-	for _, rec := range w.Records {
+	src := w.Source()
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
 		mon.Record(rec)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
 	}
 	return core.MixOf(mon.EndPeriod(w.Duration))
 }
@@ -32,7 +42,7 @@ func checkBasics(t *testing.T, w *Workload) {
 		}
 	}
 	var prev time.Duration
-	for i, rec := range w.Records {
+	for i, rec := range w.EnsureRecords() {
 		if rec.Time < prev {
 			t.Fatalf("record %d out of order", i)
 		}
@@ -101,6 +111,8 @@ func TestFileServerDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	a.EnsureRecords()
+	b.EnsureRecords()
 	if len(a.Records) != len(b.Records) {
 		t.Fatalf("lengths differ: %d vs %d", len(a.Records), len(b.Records))
 	}
@@ -114,6 +126,7 @@ func TestFileServerDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	c.EnsureRecords()
 	same := len(c.Records) == len(a.Records)
 	if same {
 		for i := range a.Records {
@@ -192,7 +205,7 @@ func TestOLTPLoadLevel(t *testing.T) {
 	// Aggregate IOPS must exceed DDR's LowTH on every DB enclosure — the
 	// paper's reason DDR cannot find cold enclosures on OLTP.
 	perEnc := make([]float64, w.Enclosures)
-	for _, rec := range w.Records {
+	for _, rec := range w.EnsureRecords() {
 		perEnc[w.Placement[rec.Item]]++
 	}
 	secs := w.Duration.Seconds()
@@ -261,7 +274,7 @@ func TestDSSScansAreSequential(t *testing.T) {
 	}
 	var lastOff int64 = -1
 	drops := 0
-	for _, rec := range w.Records {
+	for _, rec := range w.EnsureRecords() {
 		if rec.Item != id {
 			continue
 		}
@@ -368,7 +381,7 @@ func TestOLTPRateScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ratio := float64(len(half.Records)) / float64(len(full.Records))
+	ratio := float64(len(half.EnsureRecords())) / float64(len(full.EnsureRecords()))
 	if ratio < 0.4 || ratio > 0.6 {
 		t.Fatalf("RateScale 0.5 produced %.2f of the records", ratio)
 	}
