@@ -25,6 +25,7 @@ import (
 
 	"esm/internal/core"
 	"esm/internal/experiments"
+	"esm/internal/faults"
 	"esm/internal/obs"
 	"esm/internal/powermodel"
 	"esm/internal/storage"
@@ -41,7 +42,18 @@ func main() {
 	events := flag.String("events", "", "append every replay's telemetry event stream to this JSONL file")
 	parallel := flag.Int("parallel", 0, "max concurrent replays (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "also write per-figure results as JSON to this file")
+	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m (see README)")
 	flag.Parse()
+
+	var fc *faults.Config
+	if *faultSpec != "" {
+		c, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esmbench: -faults:", err)
+			os.Exit(1)
+		}
+		fc = c
+	}
 
 	experiments.SetParallelism(*parallel)
 	if *list {
@@ -55,7 +67,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scale, *kind, *fig, *extended, *events, *jsonPath); err != nil {
+	if err := run(*scale, *kind, *fig, *extended, *events, *jsonPath, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "esmbench:", err)
 		os.Exit(1)
 	}
@@ -96,7 +108,7 @@ func runSweeps(scale float64, kindFlag string) error {
 	return nil
 }
 
-func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, jsonPath string) error {
+func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, jsonPath string, fc *faults.Config) error {
 	kinds := experiments.Kinds()
 	if kindFlag != "all" {
 		kinds = []experiments.Kind{experiments.Kind(kindFlag)}
@@ -178,12 +190,15 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, jso
 				return obs.New(obs.Options{Sink: sink, Label: name + "/" + policy})
 			}
 		}
-		ev, err := experiments.EvaluateWithRecorder(w, pols, recFor)
+		ev, err := experiments.EvaluateWithFaults(w, pols, recFor, fc)
 		if err != nil {
 			return err
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("   (replayed %d policies in %v)\n", len(pols), elapsed.Round(time.Millisecond))
+		if fc != nil {
+			experiments.FaultTable(fmt.Sprintf("Fault injection (%s) — %s", fc, w.Name), ev).Fprint(os.Stdout)
+		}
 		if report != nil {
 			report.AddEval(ev, ks, elapsed.Seconds())
 		}

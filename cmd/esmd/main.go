@@ -25,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ import (
 
 	"esm/internal/config"
 	"esm/internal/core"
+	"esm/internal/faults"
 	"esm/internal/obs"
 	"esm/internal/policy"
 	"esm/internal/simclock"
@@ -53,6 +55,7 @@ func main() {
 	configPath := flag.String("config", "", "optional JSON config for storage and ESM parameters")
 	listen := flag.String("listen", "", "serve /metrics, /status and /debug/pprof on this address")
 	events := flag.String("events", "", "append the telemetry event stream to this JSONL file")
+	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m")
 	flag.Parse()
 
 	if *catalogPath == "" || *placementPath == "" {
@@ -68,6 +71,14 @@ func main() {
 		listen:        *listen,
 		eventsPath:    *events,
 	}
+	if *faultSpec != "" {
+		fc, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esmd: -faults:", err)
+			os.Exit(2)
+		}
+		opts.faults = fc
+	}
 	if err := run(opts, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "esmd:", err)
 		os.Exit(1)
@@ -82,6 +93,7 @@ type daemonOpts struct {
 	quiet         bool
 	listen        string
 	eventsPath    string
+	faults        *faults.Config
 }
 
 // daemon bundles the simulated storage unit, the policy and the
@@ -94,6 +106,7 @@ type daemon struct {
 	evq *simclock.EventQueue
 	arr *storage.Array
 	esm *core.ESM
+	inj *faults.Injector
 
 	enclosures int
 	rec        *obs.Recorder
@@ -120,6 +133,10 @@ type statusSnapshot struct {
 	CacheHits      int64                  `json:"cache_hits"`
 	AvgEnclosureW  float64                `json:"avg_enclosure_w"`
 	Cache          storage.CacheOccupancy `json:"cache"`
+	Faults         int64                  `json:"faults,omitempty"`
+	FailedIOs      int64                  `json:"failed_ios,omitempty"`
+	Degraded       bool                   `json:"degraded,omitempty"`
+	Degradations   int64                  `json:"degradations,omitempty"`
 }
 
 func run(opts daemonOpts, in io.Reader, out io.Writer) error {
@@ -234,6 +251,15 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 		arr.SetRecorder(rec)
 		esm.SetRecorder(rec)
 	}
+	var inj *faults.Injector
+	if opts.faults != nil {
+		inj, err = faults.NewInjector(*opts.faults)
+		if err != nil {
+			return nil, err
+		}
+		arr.SetFaultInjector(inj)
+		arr.SetFaultObserver(esm.OnFault)
+	}
 	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) { esm.OnPhysical(rec) })
 	arr.SetPowerObserver(func(e int, at time.Duration, on bool) { esm.OnPower(e, at, on) })
 	// The stream length is unknown; give the policy a generous horizon.
@@ -246,6 +272,7 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 		evq:        evq,
 		arr:        arr,
 		esm:        esm,
+		inj:        inj,
 		enclosures: enclosures,
 		rec:        rec,
 	}
@@ -278,7 +305,14 @@ func (d *daemon) processStream(in io.Reader) error {
 		now = rec.Time
 		d.evq.RunUntil(d.clk, now)
 		d.esm.OnLogical(rec)
-		d.arr.Submit(rec)
+		if _, err := d.arr.Submit(rec); err != nil {
+			// Injected faults kill the individual I/O, not the daemon;
+			// anything else is a real error and aborts the stream.
+			var fe *storage.FaultError
+			if !errors.As(err, &fe) {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+		}
 		d.records++
 		d.status(now)
 	}
@@ -341,6 +375,13 @@ func (d *daemon) updateSnapshot(now time.Duration) {
 	st := d.arr.Stats()
 	snap.MigratedBytes = st.MigratedBytes
 	snap.CacheHits = st.CacheHits
+	if d.inj != nil {
+		c := d.inj.Counters()
+		snap.Faults = c.Total()
+		snap.FailedIOs = c.FailedAppIOs
+		snap.Degraded = d.esm.Degraded()
+		snap.Degradations = d.esm.Degradations()
+	}
 	if plan := d.esm.LastPlan(); plan != nil {
 		snap.PatternMix = map[string]int{}
 		for _, p := range plan.Patterns {
@@ -372,6 +413,12 @@ func (d *daemon) report() {
 	fmt.Fprintf(d.out, "migrated           %.2f GB\n", float64(st.MigratedBytes)/(1<<30))
 	fmt.Fprintf(d.out, "cache hits         %d\n", st.CacheHits)
 	fmt.Fprintf(d.out, "delayed writes     %d\n", st.DelayedWrites)
+	if d.inj != nil {
+		c := d.inj.Counters()
+		fmt.Fprintf(d.out, "injected faults    %d (%d failed app I/Os, %d failed migrations)\n",
+			c.Total(), c.FailedAppIOs, c.FailedMigrations)
+		fmt.Fprintf(d.out, "degradations       %d\n", d.esm.Degradations())
+	}
 }
 
 func parseRecord(text string) (trace.LogicalRecord, error) {

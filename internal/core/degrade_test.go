@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"esm/internal/faults"
+	"esm/internal/policy"
+	"esm/internal/simclock"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+func TestESMDegradedModeSlidingWindow(t *testing.T) {
+	cat := trace.NewCatalog()
+	item := cat.Add("a", 64<<20)
+	clk := &simclock.Clock{}
+	evq := &simclock.EventQueue{}
+	arr, err := storage.New(storage.DefaultConfig(2), clk, evq, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.Place(item, 0)
+
+	p := DefaultParams()
+	p.FaultDegradeThreshold = 3
+	p.FaultWindow = time.Minute
+	d, err := NewESM(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Init(&policy.Context{Array: arr, Catalog: cat, Clock: clk, Queue: evq, End: 2 * time.Hour})
+	arr.SetSpinDownEnabled(1, true)
+
+	fault := func(at time.Duration) {
+		evq.RunUntil(clk, at)
+		d.OnFault(faults.Event{T: at, Kind: faults.KindSpinUpFail, Enclosure: 1, Attempt: 1})
+	}
+
+	// Faults spread wider than the window never accumulate.
+	fault(0)
+	fault(2 * time.Minute)
+	fault(4 * time.Minute)
+	if d.Degraded() {
+		t.Fatal("degraded on faults spread wider than the window")
+	}
+
+	// Three faults inside one window trip the threshold — but not two.
+	fault(10 * time.Minute)
+	fault(10*time.Minute + time.Second)
+	if d.Degraded() {
+		t.Fatal("degraded below the threshold")
+	}
+	fault(10*time.Minute + 2*time.Second)
+	if !d.Degraded() {
+		t.Fatal("threshold reached inside the window but not degraded")
+	}
+	if d.Degradations() != 1 {
+		t.Fatalf("degradations %d, want 1", d.Degradations())
+	}
+	// Degraded mode keeps every enclosure spinning.
+	if arr.SpinDownEnabled(0) || arr.SpinDownEnabled(1) {
+		t.Fatal("spin-down still enabled in degraded mode")
+	}
+	// Further faults while degraded do not re-enter.
+	fault(11 * time.Minute)
+	if d.Degradations() != 1 {
+		t.Fatalf("re-entered degraded mode: %d transitions", d.Degradations())
+	}
+}
+
+func TestESMFaultHandlingDisabledByThreshold(t *testing.T) {
+	cat := trace.NewCatalog()
+	item := cat.Add("a", 64<<20)
+	clk := &simclock.Clock{}
+	evq := &simclock.EventQueue{}
+	arr, err := storage.New(storage.DefaultConfig(1), clk, evq, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.Place(item, 0)
+	p := DefaultParams()
+	p.FaultDegradeThreshold = 0
+	d, err := NewESM(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Init(&policy.Context{Array: arr, Catalog: cat, Clock: clk, Queue: evq, End: time.Hour})
+	for i := 0; i < 100; i++ {
+		d.OnFault(faults.Event{T: time.Duration(i), Kind: faults.KindSpinUpFail, Enclosure: 0})
+	}
+	if d.Degraded() || d.Degradations() != 0 {
+		t.Fatal("threshold 0 should disable degraded mode entirely")
+	}
+}

@@ -6,6 +6,7 @@ package core
 import (
 	"time"
 
+	"esm/internal/faults"
 	"esm/internal/monitor"
 	"esm/internal/obs"
 	"esm/internal/policy"
@@ -39,6 +40,16 @@ type ESM struct {
 	lastPhys    []time.Duration
 	hasPhys     []bool
 	coldSpinUps int
+
+	// Graceful degradation: when injected storage faults inside the
+	// sliding FaultWindow reach FaultDegradeThreshold, the policy treats
+	// every enclosure as hot (no spin-down, no migration) until the
+	// array has been fault-free for a full window.
+	degraded     bool
+	degradations int64
+	faultTimes   []time.Duration
+	lastFault    time.Duration
+	planErrors   int64
 
 	rec  *obs.Recorder
 	wake *simclock.Event
@@ -140,6 +151,56 @@ func (d *ESM) OnPower(enc int, at time.Duration, on bool) {
 	}
 }
 
+// OnFault observes one injected storage fault. When the count inside
+// the sliding FaultWindow reaches FaultDegradeThreshold, the policy
+// enters degraded mode immediately: every enclosure is kept spinning,
+// queued migrations are dropped, and the hot/cold split is suspended
+// until runManagement observes a full fault-free window.
+func (d *ESM) OnFault(ev faults.Event) {
+	if d.params.FaultDegradeThreshold <= 0 || d.ctx == nil {
+		return
+	}
+	d.lastFault = ev.T
+	if d.degraded {
+		return
+	}
+	cutoff := ev.T - d.params.FaultWindow
+	times := d.faultTimes[:0]
+	for _, t := range d.faultTimes {
+		if t > cutoff {
+			times = append(times, t)
+		}
+	}
+	d.faultTimes = append(times, ev.T)
+	if len(d.faultTimes) >= d.params.FaultDegradeThreshold {
+		d.enterDegraded(ev.T)
+	}
+}
+
+func (d *ESM) enterDegraded(now time.Duration) {
+	d.degraded = true
+	d.degradations++
+	arr := d.ctx.Array
+	for e := 0; e < arr.Enclosures(); e++ {
+		arr.SetSpinDownEnabled(e, false)
+	}
+	arr.DropQueuedMigrations()
+	d.rec.Degradation(now, obs.DegradeEvent{
+		Entered:  true,
+		Faults:   len(d.faultTimes),
+		WindowNS: int64(d.params.FaultWindow),
+	})
+}
+
+// Degraded reports whether the policy is currently in degraded mode.
+func (d *ESM) Degraded() bool { return d.degraded }
+
+// Degradations returns how many times the policy entered degraded mode.
+func (d *ESM) Degradations() int64 { return d.degradations }
+
+// PlanErrors returns how many planned migrations the array rejected.
+func (d *ESM) PlanErrors() int64 { return d.planErrors }
+
 // maybeReplan runs the management function now unless one ran within the
 // cooldown window (the paper leaves the anti-thrash guard implicit).
 // The trigger event is emitted only when the replan actually fires, so a
@@ -166,6 +227,18 @@ func (d *ESM) runManagement(now time.Duration, cause obs.Cause) {
 	d.rec.DeterminationStart(now, d.determinations+1, cause)
 	stats := d.appMon.EndPeriod(now)
 	arr := d.ctx.Array
+
+	// Degraded-mode recovery: once the array has been fault-free for a
+	// full window, resume power saving; the hot/cold split below then
+	// re-enables spin-down for the cold enclosures.
+	if d.degraded && now-d.lastFault >= d.params.FaultWindow {
+		d.degraded = false
+		d.faultTimes = d.faultTimes[:0]
+		d.rec.Degradation(now, obs.DegradeEvent{
+			Entered:  false,
+			WindowNS: int64(d.params.FaultWindow),
+		})
+	}
 
 	// Determine logical I/O patterns, hot and cold enclosures, and data
 	// placement (Algorithms 2 and 3).
@@ -215,19 +288,24 @@ func (d *ESM) runManagement(now time.Duration, cause obs.Cause) {
 	arr.SetPreload(pre)
 
 	// Determine the power control method: power-off only for the cold
-	// disk enclosures (§IV-G).
+	// disk enclosures (§IV-G). In degraded mode everything stays hot.
 	for e := 0; e < arr.Enclosures(); e++ {
-		arr.SetSpinDownEnabled(e, !plan.Hot[e])
+		arr.SetSpinDownEnabled(e, !d.degraded && !plan.Hot[e])
 	}
 
 	// Movement of data items (§V-A): spills first, then P3 consolidation;
-	// the array executes them one by one at the throttled rate.
+	// the array executes them one by one at the throttled rate. Degraded
+	// mode suspends migration — the check repeats per move because a
+	// fault during one migration can flip the mode mid-loop.
 	if !d.params.DisableMigration {
 		for _, mv := range plan.Moves {
+			if d.degraded {
+				break
+			}
 			if err := arr.MigrateItem(mv.Item, mv.Dst, nil); err != nil {
-				// Validation failures indicate a planner bug; surface
-				// loudly in development, tolerate in long runs.
-				panic(err)
+				// A rejected move means the plan and the array disagree;
+				// skip it and keep serving rather than killing the run.
+				d.planErrors++
 			}
 		}
 	}

@@ -43,6 +43,16 @@ type Params struct {
 	// replanning storms without delaying a genuine pattern change.
 	ReplanCooldown time.Duration
 
+	// FaultDegradeThreshold is how many injected storage faults within
+	// FaultWindow push the policy into degraded mode: every enclosure is
+	// treated as hot (no spin-down) and migrations stop until the array
+	// has been fault-free for a full window. Zero or negative disables
+	// degradation.
+	FaultDegradeThreshold int
+	// FaultWindow is the sliding window the fault count is taken over,
+	// and the fault-free span required before recovery.
+	FaultWindow time.Duration
+
 	// Ablation switches: each disables one of the method's three levers
 	// (§II-E), for the design-choice studies in bench_test.go. All false
 	// reproduces the full proposed method.
@@ -69,6 +79,11 @@ func DefaultParams() Params {
 		WriteDelayCacheBytes: 500 << 20,
 		DirtyBlockRate:       0.5,
 		ReplanCooldown:       5 * be,
+		// A handful of faults inside ten break-even times means spin-ups
+		// are failing faster than the power-saving gains can amortise;
+		// serve everything hot until the array calms down.
+		FaultDegradeThreshold: 5,
+		FaultWindow:           10 * be,
 	}
 }
 
@@ -91,6 +106,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("core: DirtyBlockRate %v out of (0,1]", p.DirtyBlockRate)
 	case p.ReplanCooldown < 0:
 		return fmt.Errorf("core: ReplanCooldown %v < 0", p.ReplanCooldown)
+	case p.FaultDegradeThreshold > 0 && p.FaultWindow <= 0:
+		return fmt.Errorf("core: FaultWindow %v <= 0 with degradation enabled", p.FaultWindow)
 	}
 	return nil
 }

@@ -105,7 +105,7 @@ func TestDDRPromotesAccessedColdExtent(t *testing.T) {
 		t.Fatal("no extent promoted on cold access")
 	}
 	// The extent now serves from the hot enclosure.
-	r := arr.Submit(trace.LogicalRecord{Time: 22 * time.Second, Item: ids[1], Offset: 4 << 10, Size: 8 << 10, Op: trace.OpWrite})
+	r, _ := arr.Submit(trace.LogicalRecord{Time: 22 * time.Second, Item: ids[1], Offset: 4 << 10, Size: 8 << 10, Op: trace.OpWrite})
 	if r.Enclosure != 0 {
 		t.Fatalf("promoted extent served by enclosure %d", r.Enclosure)
 	}

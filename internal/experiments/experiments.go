@@ -13,6 +13,7 @@ import (
 
 	"esm/internal/core"
 	"esm/internal/ddr"
+	"esm/internal/faults"
 	"esm/internal/maid"
 	"esm/internal/metrics"
 	"esm/internal/monitor"
@@ -143,6 +144,15 @@ func Evaluate(w *workload.Workload, factories []PolicyFactory) (*Eval, error) {
 // back in factory order. Jobs are constructed — including the rec
 // callbacks — serially, before any worker starts.
 func EvaluateWithRecorder(w *workload.Workload, factories []PolicyFactory, rec func(policy string) *obs.Recorder) (*Eval, error) {
+	return EvaluateWithFaults(w, factories, rec, nil)
+}
+
+// EvaluateWithFaults replays w under every policy with the fault
+// scenario fc injected into each run. Every replay builds its own
+// injector from fc, so each policy sees the same seeded fault sequence
+// and the comparison isolates the policies' degraded-mode behaviour.
+// fc may be nil (fault-free).
+func EvaluateWithFaults(w *workload.Workload, factories []PolicyFactory, rec func(policy string) *obs.Recorder, fc *faults.Config) (*Eval, error) {
 	ev := &Eval{Workload: w, Policies: factories}
 	jobs := make([]runJob, 0, len(factories))
 	for _, f := range factories {
@@ -154,6 +164,7 @@ func EvaluateWithRecorder(w *workload.Workload, factories []PolicyFactory, rec f
 			Policy:     f.New(),
 			Duration:   w.Duration,
 			ClosedLoop: w.ClosedLoop,
+			Faults:     fc,
 		}
 		if rec != nil {
 			run.Recorder = rec(f.Name)
@@ -277,6 +288,30 @@ func PowerTable(title string, ev *Eval) *Table {
 			saving,
 			fmt.Sprintf("%d", r.Determinations),
 			fmt.Sprintf("%d", r.SpinUps),
+		})
+	}
+	return t
+}
+
+// FaultTable summarises each policy's behaviour under an injected fault
+// scenario: the injected fault load, the operations it killed, and how
+// often the policy fell back to degraded mode.
+func FaultTable(title string, ev *Eval) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"policy", "spinup fails", "exhausted", "io errors", "failed app I/O", "failed migr", "degradations"},
+	}
+	for i, f := range ev.Policies {
+		r := ev.Results[i]
+		c := r.Faults
+		t.Rows = append(t.Rows, []string{
+			f.Name,
+			fmt.Sprintf("%d", c.SpinUpFailures),
+			fmt.Sprintf("%d", c.SpinUpExhausted),
+			fmt.Sprintf("%d", c.TransientIOErrors),
+			fmt.Sprintf("%d", c.FailedAppIOs),
+			fmt.Sprintf("%d", c.FailedMigrations),
+			fmt.Sprintf("%d", r.Degradations),
 		})
 	}
 	return t

@@ -71,7 +71,7 @@ func TestMAIDPromotesAccessedExtent(t *testing.T) {
 	if arr.Stats().MigratedBytes == 0 {
 		t.Fatal("no promotion to the cache tier")
 	}
-	r := arr.Submit(trace.LogicalRecord{Time: time.Minute + time.Second, Item: ids[0], Offset: 4 << 10, Size: 8 << 10, Op: trace.OpWrite})
+	r, _ := arr.Submit(trace.LogicalRecord{Time: time.Minute + time.Second, Item: ids[0], Offset: 4 << 10, Size: 8 << 10, Op: trace.OpWrite})
 	if r.Enclosure != 0 {
 		t.Fatalf("promoted extent served by enclosure %d, want cache tier", r.Enclosure)
 	}

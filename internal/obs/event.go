@@ -28,6 +28,9 @@ const (
 	EvPowerOff           EventType = "power_off"
 	EvReplanTrigger      EventType = "replan_trigger"
 	EvPeriodAdapt        EventType = "period_adapt"
+	EvFault              EventType = "fault"
+	EvDegrade            EventType = "degrade"
+	EvMigrationFail      EventType = "migration_fail"
 )
 
 // Event is the envelope every transition is reported in. Exactly one
@@ -49,6 +52,8 @@ type Event struct {
 	Power         *PowerEvent         `json:"power,omitempty"`
 	Replan        *ReplanEvent        `json:"replan,omitempty"`
 	Period        *PeriodEvent        `json:"period,omitempty"`
+	Fault         *FaultEvent         `json:"fault,omitempty"`
+	Degrade       *DegradeEvent       `json:"degrade,omitempty"`
 }
 
 // DeterminationEvent describes one run of the power management
@@ -118,6 +123,27 @@ type ReplanEvent struct {
 type PeriodEvent struct {
 	OldNS int64 `json:"old_ns"`
 	NewNS int64 `json:"new_ns"`
+}
+
+// FaultEvent describes one injected fault (see internal/faults for the
+// kind vocabulary). Enclosure is -1 for battery faults; Attempt is the
+// 1-based spin-up attempt for spin-up faults.
+type FaultEvent struct {
+	Kind      string `json:"kind"`
+	Enclosure int    `json:"enclosure"`
+	Attempt   int    `json:"attempt,omitempty"`
+}
+
+// DegradeEvent describes the ESM policy entering or leaving degraded
+// mode (all enclosures treated hot, no spin-down, no migration).
+type DegradeEvent struct {
+	// Entered is true on the transition into degraded mode.
+	Entered bool `json:"entered"`
+	// Faults is the fault count inside the sliding window that crossed
+	// the threshold (entry) or remained at recovery (exit).
+	Faults int `json:"faults"`
+	// WindowNS is the sliding-window span the count was taken over.
+	WindowNS int64 `json:"window_ns,omitempty"`
 }
 
 // Sink consumes events. Implementations must be safe for concurrent

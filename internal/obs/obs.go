@@ -67,8 +67,11 @@ type Recorder struct {
 	cPowerOffs      *Counter
 	cDeterminations *Counter
 	cReplanTriggers *Counter
+	cFaults         *Counter
+	cDegradations   *Counter
 	gPeriodSeconds  *Gauge
 	gHotEnclosures  *Gauge
+	gDegraded       *Gauge
 }
 
 // Options configures a Recorder. All fields are optional; a zero
@@ -98,8 +101,11 @@ func New(opts Options) *Recorder {
 		r.cPowerOffs = reg.Counter("esm_power_offs_total", "Enclosure power-off transitions.")
 		r.cDeterminations = reg.Counter("esm_determinations_total", "Runs of the power management function.")
 		r.cReplanTriggers = reg.Counter("esm_replan_triggers_total", "Pattern-change triggers that forced an immediate replan.")
+		r.cFaults = reg.Counter("esm_faults_total", "Injected storage faults (spin-up failures, transient I/O errors, battery transitions).")
+		r.cDegradations = reg.Counter("esm_degradations_total", "Transitions of the policy into degraded mode.")
 		r.gPeriodSeconds = reg.Gauge("esm_monitoring_period_seconds", "Current monitoring-period length.")
 		r.gHotEnclosures = reg.Gauge("esm_hot_enclosures", "Enclosures classified hot by the last determination.")
+		r.gDegraded = reg.Gauge("esm_degraded", "1 while the policy is in degraded mode, else 0.")
 	}
 	return r
 }
@@ -321,6 +327,42 @@ func (r *Recorder) ReplanTrigger(t time.Duration, ev ReplanEvent) {
 		r.cReplanTriggers.Inc()
 	}
 	r.emit(t, Event{Type: EvReplanTrigger, Replan: &ev})
+}
+
+// Fault records one injected storage fault.
+func (r *Recorder) Fault(t time.Duration, ev FaultEvent) {
+	if r == nil {
+		return
+	}
+	if r.reg != nil {
+		r.cFaults.Inc()
+	}
+	r.emit(t, Event{Type: EvFault, Fault: &ev})
+}
+
+// Degradation records the policy entering or leaving degraded mode.
+func (r *Recorder) Degradation(t time.Duration, ev DegradeEvent) {
+	if r == nil {
+		return
+	}
+	if r.reg != nil {
+		if ev.Entered {
+			r.cDegradations.Inc()
+			r.gDegraded.Set(1)
+		} else {
+			r.gDegraded.Set(0)
+		}
+	}
+	r.emit(t, Event{Type: EvDegrade, Degrade: &ev})
+}
+
+// MigrationFailed records a migration abandoned because its source or
+// destination enclosure was unavailable.
+func (r *Recorder) MigrationFailed(t time.Duration, item int64, src, dst int) {
+	if r == nil {
+		return
+	}
+	r.emit(t, Event{Type: EvMigrationFail, Migration: &MigrationEvent{Item: item, Src: src, Dst: dst}})
 }
 
 // PeriodAdapt records a monitoring-period change (§IV-H).

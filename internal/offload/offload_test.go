@@ -63,7 +63,7 @@ func TestOffloadDefersWritesToSleepingEnclosure(t *testing.T) {
 	}
 	// A write to the sleeping enclosure's item is absorbed; the
 	// enclosure stays asleep.
-	r := arr.Submit(trace.LogicalRecord{Time: ctx.Clock.Now(), Item: ids[1], Size: 8 << 10, Op: trace.OpWrite})
+	r, _ := arr.Submit(trace.LogicalRecord{Time: ctx.Clock.Now(), Item: ids[1], Size: 8 << 10, Op: trace.OpWrite})
 	if !r.CacheHit {
 		t.Fatal("off-loaded write went to the sleeping disk")
 	}
@@ -97,7 +97,7 @@ func TestOffloadReadsOfDeferredDataHitCache(t *testing.T) {
 	_, arr, ctx, ids := buildRun(t)
 	feed(arr, ctx, ids[0], 5*time.Minute)
 	arr.Submit(trace.LogicalRecord{Time: ctx.Clock.Now(), Item: ids[1], Offset: 0, Size: 8 << 10, Op: trace.OpWrite})
-	r := arr.Submit(trace.LogicalRecord{Time: ctx.Clock.Now(), Item: ids[1], Offset: 0, Size: 8 << 10, Op: trace.OpRead})
+	r, _ := arr.Submit(trace.LogicalRecord{Time: ctx.Clock.Now(), Item: ids[1], Offset: 0, Size: 8 << 10, Op: trace.OpRead})
 	if !r.CacheHit {
 		t.Fatal("read of off-loaded data missed the cache")
 	}

@@ -176,9 +176,9 @@ func (p *PDC) reorganize(now time.Duration) {
 		filled += size
 		load += iops
 		if arr.ItemEnclosure(item) != enc {
-			if err := arr.MigrateItem(item, enc, nil); err != nil {
-				panic(err)
-			}
+			// A rejected move leaves the item where it is; the next
+			// reorganisation retries with fresh popularity data.
+			_ = arr.MigrateItem(item, enc, nil)
 		}
 	}
 	p.periodStart = now

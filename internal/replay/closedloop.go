@@ -60,7 +60,7 @@ func (h *cursorHeap) Pop() any {
 // next arrival provably cannot issue before the earliest queued cursor
 // (delays are non-negative, so a record arriving at T activates at or
 // after T).
-func runClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQueue, submit func(rec trace.LogicalRecord, origTime time.Duration) time.Duration) error {
+func runClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQueue, submit func(rec trace.LogicalRecord, origTime time.Duration) (time.Duration, error)) error {
 	cursors := make(map[trace.ItemID]*itemCursor)
 	var h cursorHeap
 	var (
@@ -135,7 +135,10 @@ func runClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQue
 		evq.RunUntil(clk, issueAt)
 		shifted := rec
 		shifted.Time = issueAt
-		resp := submit(shifted, rec.Time)
+		resp, err := submit(shifted, rec.Time)
+		if err != nil {
+			return err
+		}
 		c.notBefore = issueAt + resp
 		c.delay = issueAt - rec.Time
 		c.queue = c.queue[1:]

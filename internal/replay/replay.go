@@ -7,9 +7,11 @@
 package replay
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"esm/internal/faults"
 	"esm/internal/metrics"
 	"esm/internal/monitor"
 	"esm/internal/obs"
@@ -60,6 +62,9 @@ type Run struct {
 	// Recorder, when non-nil, receives the telemetry event stream from
 	// the array and (if the policy supports it) the policy itself.
 	Recorder *obs.Recorder
+	// Faults, when non-nil, is the fault scenario injected into the run.
+	// The same scenario (same seed) reproduces the same fault sequence.
+	Faults *faults.Config
 }
 
 // Window is a named measurement sub-span.
@@ -108,6 +113,12 @@ type Result struct {
 	Monitor *monitor.StorageMonitor
 	// StateMix is each enclosure's power-state residency over the run.
 	StateMix []StateResidency
+	// Faults counts the injected faults and failed operations of the run
+	// (all zero without a fault scenario).
+	Faults faults.Counters
+	// Degradations counts the policy's transitions into degraded mode
+	// (zero for policies without one).
+	Degradations int64
 }
 
 // StateResidency is the fraction of the run one enclosure spent in each
@@ -156,6 +167,19 @@ func Execute(r Run) (*Result, error) {
 			p.SetRecorder(r.Recorder)
 		}
 	}
+	var inj *faults.Injector
+	if r.Faults != nil {
+		inj, err = faults.NewInjector(*r.Faults)
+		if err != nil {
+			return nil, err
+		}
+		arr.SetFaultInjector(inj)
+		// A policy that reacts to fault load (ESM's degraded mode)
+		// observes every injected fault.
+		if p, ok := pol.(interface{ OnFault(faults.Event) }); ok {
+			arr.SetFaultObserver(p.OnFault)
+		}
+	}
 	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) {
 		stMon.RecordPhysical(rec)
 		pol.OnPhysical(rec)
@@ -200,9 +224,19 @@ func Execute(r Run) (*Result, error) {
 		res.Windows[i].Name = w.Name
 	}
 
-	submit := func(rec trace.LogicalRecord, origTime time.Duration) time.Duration {
+	submit := func(rec trace.LogicalRecord, origTime time.Duration) (time.Duration, error) {
 		pol.OnLogical(rec)
-		out := arr.Submit(rec)
+		out, err := arr.Submit(rec)
+		if err != nil {
+			var fe *storage.FaultError
+			if errors.As(err, &fe) {
+				// The I/O failed on an injected fault: it consumed no
+				// service and has no response time, so it is excluded from
+				// the latency aggregates. The injector counted it.
+				return 0, nil
+			}
+			return 0, fmt.Errorf("replay: %w", err)
+		}
 		res.Resp.Add(rec.Op, out.Response)
 		if rec.Op == trace.OpRead {
 			for wi, w := range r.Windows {
@@ -212,7 +246,7 @@ func Execute(r Run) (*Result, error) {
 				}
 			}
 		}
-		return out.Response
+		return out.Response, nil
 	}
 
 	if r.ClosedLoop {
@@ -233,7 +267,9 @@ func Execute(r Run) (*Result, error) {
 			prev = rec.Time
 			i++
 			evq.RunUntil(&clk, rec.Time)
-			submit(rec, rec.Time)
+			if _, err := submit(rec, rec.Time); err != nil {
+				return nil, err
+			}
 		}
 		if err := src.Err(); err != nil {
 			return nil, fmt.Errorf("replay: %w", err)
@@ -251,6 +287,10 @@ func Execute(r Run) (*Result, error) {
 
 	res.Storage = arr.Stats()
 	res.Determinations = pol.Determinations()
+	res.Faults = inj.Counters()
+	if p, ok := pol.(interface{ Degradations() int64 }); ok {
+		res.Degradations = p.Degradations()
+	}
 	res.SpinUps = arr.Meter().SpinUps()
 	res.AvgEnclosureW = arr.Meter().AverageEnclosureW(end)
 	res.AvgTotalW = arr.Meter().AverageTotalW(end)

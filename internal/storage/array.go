@@ -8,11 +8,25 @@ import (
 	"sort"
 	"time"
 
+	"esm/internal/faults"
 	"esm/internal/obs"
 	"esm/internal/powermodel"
 	"esm/internal/simclock"
 	"esm/internal/trace"
 )
+
+// FaultError reports an I/O or migration abandoned because an injected
+// fault left its enclosure unavailable.
+type FaultError struct {
+	// Enclosure is the enclosure that could not be reached.
+	Enclosure int
+	// Op is the operation the fault interrupted ("spin-up").
+	Op string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("storage: enclosure %d unavailable (%s failed)", e.Enclosure, e.Op)
+}
 
 // Result describes the outcome of one application I/O.
 type Result struct {
@@ -34,6 +48,7 @@ type Stats struct {
 	MigratedBytes     int64
 	Migrations        int64
 	MigrationsSkipped int64
+	MigrationsFailed  int64
 	FlushedBytes      int64
 	PreloadedBytes    int64
 }
@@ -66,10 +81,16 @@ type segment struct {
 }
 
 type migration struct {
-	item   trace.ItemID
-	dst    int
+	item trace.ItemID
+	dst  int
+	// base is the destination block address, reserved when the copy
+	// starts so interleaved allocations cannot shift it under the
+	// in-flight chunks.
+	base   int64
 	offset int64
-	done   func()
+	// done, if non-nil, runs exactly once: when the copy completes, or
+	// when the migration is skipped, dropped or abandoned on a fault.
+	done func()
 }
 
 // Array simulates the storage unit.
@@ -97,6 +118,14 @@ type Array struct {
 	// emission at the cost of one nil check per call site.
 	rec *obs.Recorder
 
+	// inj injects faults; nil (the default) injects nothing. faultObs,
+	// when non-nil, observes every injected fault (policies hook it to
+	// react to fault load). batteryOK is false while the cache battery
+	// is lost: the write-delay and preload functions are disabled.
+	inj       *faults.Injector
+	faultObs  func(ev faults.Event)
+	batteryOK bool
+
 	migQueue  []*migration
 	migActive bool
 }
@@ -109,18 +138,19 @@ func New(cfg Config, clk *simclock.Clock, evq *simclock.EventQueue, cat *trace.C
 		return nil, err
 	}
 	a := &Array{
-		cfg:     cfg,
-		clk:     clk,
-		evq:     evq,
-		cat:     cat,
-		mtr:     powermodel.NewMeter(cfg.Power, cfg.Enclosures),
-		enc:     make([]*enclosure, cfg.Enclosures),
-		segs:    make([][]segment, cfg.Enclosures),
-		items:   make([]itemState, cat.Len()),
-		extents: make(map[ExtentRef]extentLoc),
-		general: newLRU(cfg.generalCacheBytes(), cfg.CachePageBytes),
-		preload: newPreloadState(cfg.PreloadCacheBytes),
-		wdelay:  newWriteDelayState(cfg.WriteDelayCacheBytes, cfg.DirtyBlockRate),
+		cfg:       cfg,
+		clk:       clk,
+		evq:       evq,
+		cat:       cat,
+		mtr:       powermodel.NewMeter(cfg.Power, cfg.Enclosures),
+		enc:       make([]*enclosure, cfg.Enclosures),
+		segs:      make([][]segment, cfg.Enclosures),
+		items:     make([]itemState, cat.Len()),
+		extents:   make(map[ExtentRef]extentLoc),
+		general:   newLRU(cfg.generalCacheBytes(), cfg.CachePageBytes),
+		preload:   newPreloadState(cfg.PreloadCacheBytes),
+		wdelay:    newWriteDelayState(cfg.WriteDelayCacheBytes, cfg.DirtyBlockRate),
+		batteryOK: true,
 	}
 	for i := range a.enc {
 		a.enc[i] = newEnclosure(i, &a.cfg)
@@ -162,6 +192,92 @@ func (a *Array) SetRecorder(rec *obs.Recorder) { a.rec = rec }
 
 // Recorder returns the attached telemetry recorder (nil when off).
 func (a *Array) Recorder() *obs.Recorder { return a.rec }
+
+// SetFaultInjector attaches a fault injector. A nil injector (the
+// default) keeps every path fault-free. The array reports each injected
+// fault to the telemetry recorder and the fault observer, and schedules
+// the injector's cache-battery loss window on the event queue. Call it
+// once, before replay starts.
+func (a *Array) SetFaultInjector(inj *faults.Injector) {
+	a.inj = inj
+	for _, e := range a.enc {
+		e.inj = inj
+	}
+	if inj == nil {
+		return
+	}
+	inj.SetObserver(func(ev faults.Event) {
+		a.rec.Fault(ev.T, obs.FaultEvent{
+			Kind:      string(ev.Kind),
+			Enclosure: ev.Enclosure,
+			Attempt:   ev.Attempt,
+		})
+		if a.faultObs != nil {
+			a.faultObs(ev)
+		}
+	})
+	if fail, recover, ok := inj.BatteryWindow(); ok {
+		a.evq.Schedule(fail, a.batteryFail)
+		if recover > 0 {
+			a.evq.Schedule(recover, a.batteryRecover)
+		}
+	}
+}
+
+// FaultInjector returns the attached injector (nil when off).
+func (a *Array) FaultInjector() *faults.Injector { return a.inj }
+
+// SetFaultObserver installs a callback invoked for every injected
+// fault, in simulation order. Policies hook it to count fault load.
+func (a *Array) SetFaultObserver(fn func(ev faults.Event)) { a.faultObs = fn }
+
+// BatteryOK reports whether the cache battery is healthy. While it is
+// not, the write-delay and preload functions are disabled.
+func (a *Array) BatteryOK() bool { return a.batteryOK }
+
+// batteryFail loses the cache battery: dirty delayed writes destage
+// immediately, preloaded copies are dropped, and the cache functions
+// stay disabled until batteryRecover.
+func (a *Array) batteryFail(now time.Duration) {
+	if !a.batteryOK {
+		return
+	}
+	a.batteryOK = false
+	a.inj.BatteryFailed(now)
+	a.flushWriteDelay(now)
+	if len(a.wdelay.selected) > 0 {
+		if a.rec.Enabled() {
+			ids := make([]int64, 0, len(a.wdelay.selected))
+			for it := range a.wdelay.selected {
+				ids = append(ids, int64(it))
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			a.rec.CacheEvict(now, "write-delay", ids)
+		}
+		a.wdelay.selected = make(map[trace.ItemID]bool)
+	}
+	if len(a.preload.loadedAt) > 0 {
+		ids := make([]int64, 0, len(a.preload.loadedAt))
+		for it := range a.preload.loadedAt {
+			ids = append(ids, int64(it))
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			a.preload.evict(trace.ItemID(id), a.items[id].size)
+		}
+		a.rec.CacheEvict(now, "preload", ids)
+	}
+}
+
+// batteryRecover restores the cache battery. The cache functions come
+// back at the policy's next determination, which re-selects items.
+func (a *Array) batteryRecover(now time.Duration) {
+	if a.batteryOK {
+		return
+	}
+	a.batteryOK = true
+	a.inj.BatteryRecovered(now)
+}
 
 // PowerTimeline returns enclosure e's recorded power-state segments
 // (nil without a recorder).
@@ -291,11 +407,15 @@ func (a *Array) ResolveExtent(e int, block int64) (ExtentRef, bool) {
 }
 
 // physical issues one physical I/O and returns its completion time.
-// kind attributes any spin-up the I/O provokes.
-func (a *Array) physical(now time.Duration, e int, block int64, size int32, op trace.Op, forceSeq bool, kind ioKind) time.Duration {
+// kind attributes any spin-up the I/O provokes. On a *FaultError the
+// I/O never ran: nothing is counted or observed.
+func (a *Array) physical(now time.Duration, e int, block int64, size int32, op trace.Op, forceSeq bool, kind ioKind) (time.Duration, error) {
 	encl := a.enc[e]
 	seq := encl.isSequential(block, size) || forceSeq
-	end := encl.arrival(now, block, size, seq, kind)
+	end, err := encl.arrival(now, block, size, seq, kind)
+	if err != nil {
+		return 0, err
+	}
 	if op == trace.OpRead {
 		a.stats.PhysicalReads++
 	} else {
@@ -311,15 +431,18 @@ func (a *Array) physical(now time.Duration, e int, block int64, size int32, op t
 			Op:        op,
 		})
 	}
-	return end
+	return end, nil
 }
 
-// Submit executes one application I/O at the current virtual time.
-func (a *Array) Submit(rec trace.LogicalRecord) Result {
+// Submit executes one application I/O at the current virtual time. An
+// I/O to an unplaced item is an error; a *FaultError means an injected
+// fault left the item's enclosure unavailable and the I/O failed (it
+// consumed no service capacity and must not enter response metrics).
+func (a *Array) Submit(rec trace.LogicalRecord) (Result, error) {
 	now := a.clk.Now()
 	item := rec.Item
-	if !a.items[item].placed {
-		panic(fmt.Sprintf("storage: I/O to unplaced item %d", item))
+	if int(item) < 0 || int(item) >= len(a.items) || !a.items[item].placed {
+		return Result{Enclosure: -1}, fmt.Errorf("storage: I/O to unplaced item %d", item)
 	}
 	firstPage := rec.Offset / a.cfg.CachePageBytes
 	lastPage := (rec.Offset + int64(rec.Size) - 1) / a.cfg.CachePageBytes
@@ -331,40 +454,61 @@ func (a *Array) Submit(rec trace.LogicalRecord) Result {
 		if a.preload.hit(item, now) {
 			a.stats.CacheHits++
 			a.rec.CacheHit()
-			return Result{Response: a.cfg.CacheHitTime, CacheHit: true, Enclosure: -1}
+			return Result{Response: a.cfg.CacheHitTime, CacheHit: true, Enclosure: -1}, nil
 		}
 		if a.readCached(item, firstPage, lastPage) {
 			a.stats.CacheHits++
 			a.rec.CacheHit()
-			return Result{Response: a.cfg.CacheHitTime, CacheHit: true, Enclosure: -1}
+			return Result{Response: a.cfg.CacheHitTime, CacheHit: true, Enclosure: -1}, nil
 		}
 		e, block := a.locate(item, rec.Offset)
-		end := a.physical(now, e, block, rec.Size, trace.OpRead, false, kindApp)
+		end, err := a.physical(now, e, block, rec.Size, trace.OpRead, false, kindApp)
+		if err != nil {
+			a.inj.CountFailedAppIO()
+			return Result{Enclosure: e}, err
+		}
 		if !a.preload.pinned(item) {
 			for p := firstPage; p <= lastPage; p++ {
 				a.general.insert(pageKey{item, p})
 			}
 		}
-		return Result{Response: end - now, Enclosure: e}
+		return Result{Response: end - now, Enclosure: e}, nil
 	}
 
-	// Write path.
-	if a.wdelay.selected[item] {
+	// Write path. A write invalidates any pinned preload copy first: the
+	// fresh data lands on disk or in the write-delay partition, and the
+	// stale pinned copy must not serve later reads.
+	a.evictPreload(now, item)
+	if a.batteryOK && a.wdelay.selected[item] {
 		a.stats.DelayedWrites++
 		a.rec.DelayedWrite()
 		if a.wdelay.absorb(item, firstPage, lastPage, rec.Size) {
 			a.flushWriteDelay(now)
 		}
-		return Result{Response: a.cfg.CacheAckTime, CacheHit: true, Enclosure: -1}
+		return Result{Response: a.cfg.CacheAckTime, CacheHit: true, Enclosure: -1}, nil
 	}
 	e, block := a.locate(item, rec.Offset)
-	end := a.physical(now, e, block, rec.Size, trace.OpWrite, false, kindApp)
+	end, err := a.physical(now, e, block, rec.Size, trace.OpWrite, false, kindApp)
+	if err != nil {
+		a.inj.CountFailedAppIO()
+		return Result{Enclosure: e}, err
+	}
 	for p := firstPage; p <= lastPage; p++ {
 		if a.general.contains(pageKey{item, p}) {
 			a.general.insert(pageKey{item, p})
 		}
 	}
-	return Result{Response: end - now, Enclosure: e}
+	return Result{Response: end - now, Enclosure: e}, nil
+}
+
+// evictPreload drops item's pinned preload copy, if any, releasing its
+// partition budget.
+func (a *Array) evictPreload(now time.Duration, item trace.ItemID) {
+	if !a.preload.pinned(item) {
+		return
+	}
+	a.preload.evict(item, a.items[item].size)
+	a.rec.CacheEvict(now, "preload", []int64{int64(item)})
 }
 
 // readCached reports whether every page of the read is available in the
@@ -385,17 +529,24 @@ func (a *Array) readCached(item trace.ItemID, firstPage, lastPage int64) bool {
 
 // chunked issues a bulk transfer as a series of physical I/Os of at most
 // chunk bytes, all submitted at time now (they serialise in the enclosure
-// queue). It returns the completion time of the last chunk.
-func (a *Array) chunked(now time.Duration, e int, base, size int64, chunk int64, op trace.Op, kind ioKind) time.Duration {
+// queue). It returns the completion time of the last chunk. The transfer
+// aborts on the first faulted chunk (in practice only the first can
+// fault: once the enclosure is up, later chunks cannot hit a spin-up
+// failure).
+func (a *Array) chunked(now time.Duration, e int, base, size int64, chunk int64, op trace.Op, kind ioKind) (time.Duration, error) {
 	var end time.Duration
 	for off := int64(0); off < size; off += chunk {
 		n := chunk
 		if size-off < n {
 			n = size - off
 		}
-		end = a.physical(now, e, base+off, int32(n), op, true, kind)
+		var err error
+		end, err = a.physical(now, e, base+off, int32(n), op, true, kind)
+		if err != nil {
+			return 0, err
+		}
 	}
-	return end
+	return end, nil
 }
 
 // flushWriteDelay destages every dirty item in one go (the paper's bulk
@@ -412,19 +563,30 @@ func (a *Array) flushWriteDelay(now time.Duration) {
 }
 
 // flushItem destages the dirty bytes of one item to its home enclosure.
+// When the enclosure is unavailable the data stays dirty in the cache;
+// a later destage retries it.
 func (a *Array) flushItem(now time.Duration, item trace.ItemID) {
-	n := a.wdelay.clearItem(item)
+	n := a.wdelay.dirtyOf(item)
 	if n == 0 {
 		return
 	}
 	st := &a.items[item]
-	a.chunked(now, st.enc, st.base, n, 256<<20, trace.OpWrite, kindFlush)
+	if _, err := a.chunked(now, st.enc, st.base, n, 256<<20, trace.OpWrite, kindFlush); err != nil {
+		a.inj.CountFailedFlush()
+		return
+	}
+	a.wdelay.clearItem(item)
 	a.stats.FlushedBytes += n
 }
 
 // SetWriteDelay replaces the set of write-delay-applied items. Items that
-// leave the set have their dirty data destaged immediately (§V-B).
+// leave the set have their dirty data destaged immediately (§V-B). While
+// the cache battery is lost the selection is forced empty: delaying
+// writes without battery backing would risk data loss.
 func (a *Array) SetWriteDelay(items []trace.ItemID) {
+	if !a.batteryOK {
+		items = nil
+	}
 	now := a.clk.Now()
 	next := make(map[trace.ItemID]bool, len(items))
 	for _, it := range items {
@@ -462,8 +624,12 @@ func (a *Array) WriteDelayed(item trace.ItemID) bool { return a.wdelay.selected[
 // kept. The list is priority-ordered: the partition budget is granted in
 // list order, so a previously pinned item that no longer fits behind
 // higher-priority selections is evicted rather than squatting on the
-// budget forever.
+// budget forever. While the cache battery is lost the selection is
+// forced empty.
 func (a *Array) SetPreload(items []trace.ItemID) {
+	if !a.batteryOK {
+		items = nil
+	}
 	now := a.clk.Now()
 	keep := make(map[trace.ItemID]bool, len(items))
 	var used int64
@@ -494,19 +660,26 @@ func (a *Array) SetPreload(items []trace.ItemID) {
 	if a.rec.Enabled() {
 		sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
 		a.rec.CacheEvict(now, "preload", evicted)
-		loaded := make([]int64, len(toLoad))
-		for i, it := range toLoad {
-			loaded[i] = int64(it)
-		}
-		a.rec.CacheSelect(now, "preload", loaded)
 	}
 	a.preload.usedBytes = used
+	var loaded []int64
 	for _, it := range toLoad {
 		st := &a.items[it]
-		end := a.chunked(now, st.enc, st.base, st.size, 256<<20, trace.OpRead, kindPreload)
+		end, err := a.chunked(now, st.enc, st.base, st.size, 256<<20, trace.OpRead, kindPreload)
+		if err != nil {
+			// The bulk read could not run; the item is not pinned and its
+			// budget is released.
+			a.inj.CountFailedPreload()
+			a.preload.usedBytes -= st.size
+			continue
+		}
 		a.preload.loadedAt[it] = end
 		a.stats.PreloadedBytes += st.size
+		if a.rec.Enabled() {
+			loaded = append(loaded, int64(it))
+		}
 	}
+	a.rec.CacheSelect(now, "preload", loaded)
 }
 
 // Preloaded reports whether item is pinned in the preload partition.
@@ -555,21 +728,25 @@ func (a *Array) kickMigration() {
 		if a.enc[m.dst].used+st.size > a.cfg.EnclosureCapacity {
 			a.stats.MigrationsSkipped++
 			a.rec.MigrationSkipped(a.clk.Now(), int64(m.item), m.dst)
+			if m.done != nil {
+				m.done()
+			}
 			continue
 		}
-		// Reserve destination space for the duration of the copy.
-		a.enc[m.dst].used += st.size
+		// Reserve the destination space and block range up front: the
+		// chunks land at a fixed base that interleaved allocations on the
+		// destination cannot shift.
+		m.base = a.enc[m.dst].alloc(st.size)
 		a.migActive = true
 		// Destage any delayed writes so the copy is complete.
 		a.flushItem(a.clk.Now(), m.item)
-		a.stats.Migrations++
 		a.rec.MigrationStart(a.clk.Now(), int64(m.item), st.enc, m.dst, st.size)
 		a.migrateChunk(a.clk.Now(), m)
 	}
 }
 
 // migrateChunk copies the next chunk of m and schedules the following one
-// at the throttled rate.
+// at the throttled rate. A faulted copy abandons the migration.
 func (a *Array) migrateChunk(now time.Duration, m *migration) {
 	st := &a.items[m.item]
 	size := st.size
@@ -578,11 +755,14 @@ func (a *Array) migrateChunk(now time.Duration, m *migration) {
 		n = size - m.offset
 	}
 	if n > 0 {
-		src, block := st.enc, st.base+m.offset
-		a.physical(now, src, block, int32(n), trace.OpRead, true, kindMigration)
-		// The destination base is assigned on completion; chunk writes land
-		// at the current allocation cursor so sequential detection holds.
-		a.physical(now, m.dst, a.enc[m.dst].allocCursor+m.offset, int32(n), trace.OpWrite, true, kindMigration)
+		if err := a.readMigrationSpan(now, m.item, m.offset, n); err != nil {
+			a.failMigration(now, m)
+			return
+		}
+		if _, err := a.physical(now, m.dst, m.base+m.offset, int32(n), trace.OpWrite, true, kindMigration); err != nil {
+			a.failMigration(now, m)
+			return
+		}
 		a.stats.MigratedBytes += n
 		m.offset += n
 	}
@@ -594,27 +774,69 @@ func (a *Array) migrateChunk(now time.Duration, m *migration) {
 	a.evq.Schedule(now+delay, func(t time.Duration) { a.migrateChunk(t, m) })
 }
 
+// readMigrationSpan reads n bytes of item starting at byte offset off
+// for a migration copy, splitting the read at extent boundaries so a
+// remapped extent is read from its override location rather than the
+// item's original home.
+func (a *Array) readMigrationSpan(now time.Duration, item trace.ItemID, off, n int64) error {
+	if len(a.extents) == 0 {
+		st := &a.items[item]
+		_, err := a.physical(now, st.enc, st.base+off, int32(n), trace.OpRead, true, kindMigration)
+		return err
+	}
+	for n > 0 {
+		span := a.cfg.ExtentBytes - off%a.cfg.ExtentBytes
+		if span > n {
+			span = n
+		}
+		e, block := a.locate(item, off)
+		if _, err := a.physical(now, e, block, int32(span), trace.OpRead, true, kindMigration); err != nil {
+			return err
+		}
+		off += span
+		n -= span
+	}
+	return nil
+}
+
+// failMigration abandons an in-flight migration on a fault: the item
+// stays at its source, the destination's space reservation is released
+// (the reserved block range is not reused — a harmless address-space
+// hole), and the next queued migration starts.
+func (a *Array) failMigration(now time.Duration, m *migration) {
+	st := &a.items[m.item]
+	a.enc[m.dst].used -= st.size
+	a.stats.MigrationsFailed++
+	a.inj.CountFailedMigration()
+	a.rec.MigrationFailed(now, int64(m.item), st.enc, m.dst)
+	a.migActive = false
+	if m.done != nil {
+		m.done()
+	}
+	a.kickMigration()
+}
+
 func (a *Array) finishMigration(m *migration) {
 	st := &a.items[m.item]
 	src := st.enc
-	// Drop source segments (whole-item and extent overrides alike).
+	// Drop source segments (whole-item and extent overrides alike), and
+	// release each override's allocation on its own enclosure.
 	a.removeItemSegments(src, m.item)
 	for ref, loc := range a.extents {
 		if ref.Item == m.item {
-			a.removeItemSegments(loc.enc, m.item)
+			a.removeExtentSegment(loc.enc, ref)
 			a.enc[loc.enc].used -= a.extentSize(m.item, ref.Extent)
 			delete(a.extents, ref)
 		}
 	}
 	a.enc[src].used -= st.size
-	// The destination reservation made in MigrateItem becomes the real
-	// allocation; alloc would double count, so only advance the cursor.
-	base := a.enc[m.dst].allocCursor
-	a.enc[m.dst].allocCursor += st.size
+	// The block range was reserved when the copy started; it now becomes
+	// the item's home.
 	st.enc = m.dst
-	st.base = base
-	a.segs[m.dst] = append(a.segs[m.dst], segment{base: base, size: st.size, item: m.item, extent: -1})
+	st.base = m.base
+	a.segs[m.dst] = append(a.segs[m.dst], segment{base: m.base, size: st.size, item: m.item, extent: -1})
 	a.migActive = false
+	a.stats.Migrations++
 	a.rec.MigrationDone(a.clk.Now(), int64(m.item), src, m.dst, st.size)
 	if m.done != nil {
 		m.done()
@@ -664,9 +886,19 @@ func (a *Array) MigrateExtent(ref ExtentRef, dst int) error {
 	if a.enc[dst].used+n > a.cfg.EnclosureCapacity {
 		return fmt.Errorf("storage: enclosure %d lacks space for extent %v", dst, ref)
 	}
-	a.physical(now, srcEnc, srcBlock, int32(n), trace.OpRead, true, kindMigration)
+	if _, err := a.physical(now, srcEnc, srcBlock, int32(n), trace.OpRead, true, kindMigration); err != nil {
+		a.stats.MigrationsFailed++
+		a.inj.CountFailedMigration()
+		return err
+	}
 	base := a.enc[dst].alloc(n)
-	a.physical(now, dst, base, int32(n), trace.OpWrite, true, kindMigration)
+	if _, err := a.physical(now, dst, base, int32(n), trace.OpWrite, true, kindMigration); err != nil {
+		// Release the reservation; the cursor hole is harmless.
+		a.enc[dst].used -= n
+		a.stats.MigrationsFailed++
+		a.inj.CountFailedMigration()
+		return err
+	}
 	if loc, ok := a.extents[ref]; ok {
 		// The extent had already been remapped once; release its previous
 		// override allocation.
@@ -696,8 +928,18 @@ func (a *Array) MigrationsPending() bool { return a.migActive || len(a.migQueue)
 
 // DropQueuedMigrations discards every migration that has not started yet.
 // A policy calls this when a new placement plan supersedes the previous
-// one; the in-flight copy, if any, still completes.
-func (a *Array) DropQueuedMigrations() { a.migQueue = nil }
+// one; the in-flight copy, if any, still completes. Each dropped
+// migration's done callback runs, so no caller waits forever on a copy
+// that will never happen.
+func (a *Array) DropQueuedMigrations() {
+	q := a.migQueue
+	a.migQueue = nil
+	for _, m := range q {
+		if m.done != nil {
+			m.done()
+		}
+	}
+}
 
 // FlushAll destages every dirty write-delayed item, as at end of run.
 func (a *Array) FlushAll() { a.flushWriteDelay(a.clk.Now()) }

@@ -80,14 +80,14 @@ func TestPlaceOverCapacityFails(t *testing.T) {
 func TestSubmitReadMissAndHit(t *testing.T) {
 	arr, _, _, ids := testArray(t, 1, 64<<20)
 	rec := trace.LogicalRecord{Item: ids[0], Offset: 0, Size: 8 << 10, Op: trace.OpRead}
-	r1 := arr.Submit(rec)
+	r1, _ := arr.Submit(rec)
 	if r1.CacheHit {
 		t.Fatal("first read should miss")
 	}
 	if r1.Response <= 0 || r1.Enclosure != 0 {
 		t.Fatalf("miss result %+v", r1)
 	}
-	r2 := arr.Submit(rec)
+	r2, _ := arr.Submit(rec)
 	if !r2.CacheHit {
 		t.Fatal("repeat read should hit the general LRU")
 	}
@@ -101,7 +101,7 @@ func TestSubmitReadMissAndHit(t *testing.T) {
 
 func TestSubmitWriteIsPhysicalWhenNotDelayed(t *testing.T) {
 	arr, _, _, ids := testArray(t, 1, 64<<20)
-	r := arr.Submit(trace.LogicalRecord{Item: ids[0], Size: 8 << 10, Op: trace.OpWrite})
+	r, _ := arr.Submit(trace.LogicalRecord{Item: ids[0], Size: 8 << 10, Op: trace.OpWrite})
 	if r.CacheHit {
 		t.Fatal("undelayed write should be physical")
 	}
@@ -116,7 +116,7 @@ func TestWriteDelayAbsorbsWrites(t *testing.T) {
 	if !arr.WriteDelayed(ids[0]) {
 		t.Fatal("item not write-delayed")
 	}
-	r := arr.Submit(trace.LogicalRecord{Item: ids[0], Size: 8 << 10, Op: trace.OpWrite})
+	r, _ := arr.Submit(trace.LogicalRecord{Item: ids[0], Size: 8 << 10, Op: trace.OpWrite})
 	if !r.CacheHit || r.Response != arr.Config().CacheAckTime {
 		t.Fatalf("delayed write result %+v", r)
 	}
@@ -124,7 +124,7 @@ func TestWriteDelayAbsorbsWrites(t *testing.T) {
 		t.Fatalf("stats %+v", arr.Stats())
 	}
 	// A read of the freshly written page is served from cache.
-	rr := arr.Submit(trace.LogicalRecord{Item: ids[0], Size: 8 << 10, Op: trace.OpRead})
+	rr, _ := arr.Submit(trace.LogicalRecord{Item: ids[0], Size: 8 << 10, Op: trace.OpRead})
 	if !rr.CacheHit {
 		t.Fatal("read of dirty page should hit")
 	}
@@ -178,12 +178,12 @@ func TestPreloadServesReads(t *testing.T) {
 		t.Fatalf("preloaded %d bytes", arr.Stats().PreloadedBytes)
 	}
 	// Before the load completes, reads still go to the enclosure.
-	r := arr.Submit(trace.LogicalRecord{Item: ids[0], Size: 8 << 10, Op: trace.OpRead})
+	r, _ := arr.Submit(trace.LogicalRecord{Item: ids[0], Size: 8 << 10, Op: trace.OpRead})
 	if r.CacheHit {
 		t.Fatal("read before load completion should miss")
 	}
 	clk.Advance(time.Minute)
-	r = arr.Submit(trace.LogicalRecord{Time: time.Minute, Item: ids[0], Offset: 4 << 20, Size: 8 << 10, Op: trace.OpRead})
+	r, _ = arr.Submit(trace.LogicalRecord{Time: time.Minute, Item: ids[0], Offset: 4 << 20, Size: 8 << 10, Op: trace.OpRead})
 	if !r.CacheHit {
 		t.Fatal("read after load completion should hit")
 	}
@@ -344,12 +344,12 @@ func TestMigrateExtentAndResolve(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Subsequent I/O to extent 1 lands on enclosure 1.
-	r := arr.Submit(trace.LogicalRecord{Item: item, Offset: cfg.ExtentBytes + 1024, Size: 8 << 10, Op: trace.OpRead})
+	r, _ := arr.Submit(trace.LogicalRecord{Item: item, Offset: cfg.ExtentBytes + 1024, Size: 8 << 10, Op: trace.OpRead})
 	if r.Enclosure != 1 {
 		t.Fatalf("extent I/O served by enclosure %d", r.Enclosure)
 	}
 	// Extent 0 stays on the home enclosure.
-	r = arr.Submit(trace.LogicalRecord{Item: item, Offset: 0, Size: 8 << 10, Op: trace.OpRead})
+	r, _ = arr.Submit(trace.LogicalRecord{Item: item, Offset: 0, Size: 8 << 10, Op: trace.OpRead})
 	if r.Enclosure != 0 {
 		t.Fatalf("home extent served by enclosure %d", r.Enclosure)
 	}
@@ -373,7 +373,7 @@ func TestMigrateItemClearsExtentOverrides(t *testing.T) {
 		t.Fatal(err)
 	}
 	evq.RunUntil(clk, time.Hour)
-	r := arr.Submit(trace.LogicalRecord{Item: ids[0], Offset: cfg.ExtentBytes + 5, Size: 8 << 10, Op: trace.OpRead})
+	r, _ := arr.Submit(trace.LogicalRecord{Item: ids[0], Offset: cfg.ExtentBytes + 5, Size: 8 << 10, Op: trace.OpRead})
 	if r.Enclosure != 2 {
 		t.Fatalf("extent override survived item migration: enclosure %d", r.Enclosure)
 	}
@@ -414,16 +414,16 @@ func TestSpinDownControlAndMeter(t *testing.T) {
 	}
 }
 
-func TestSubmitToUnplacedItemPanics(t *testing.T) {
+func TestSubmitToUnplacedItemErrors(t *testing.T) {
 	cat := trace.NewCatalog()
 	id := cat.Add("x", 1<<20)
 	clk := &simclock.Clock{}
 	evq := &simclock.EventQueue{}
 	arr, _ := New(DefaultConfig(1), clk, evq, cat)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	arr.Submit(trace.LogicalRecord{Item: id, Size: 1, Op: trace.OpRead})
+	if _, err := arr.Submit(trace.LogicalRecord{Item: id, Size: 1, Op: trace.OpRead}); err == nil {
+		t.Fatal("I/O to unplaced item accepted")
+	}
+	if arr.Stats().PhysicalReads != 0 {
+		t.Fatal("failed submit issued a physical I/O")
+	}
 }

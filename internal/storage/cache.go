@@ -92,6 +92,19 @@ func (p *preloadState) pinned(item trace.ItemID) bool {
 	return ok
 }
 
+// evict unpins item, releasing size bytes of the partition budget. A
+// no-op when the item is not pinned.
+func (p *preloadState) evict(item trace.ItemID, size int64) {
+	if _, ok := p.loadedAt[item]; !ok {
+		return
+	}
+	delete(p.loadedAt, item)
+	p.usedBytes -= size
+	if p.usedBytes < 0 {
+		p.usedBytes = 0
+	}
+}
+
 // writeDelayState tracks the write-delay partition: selected items, dirty
 // bytes per item, and the dirty page set (so reads of freshly written data
 // hit the cache).

@@ -6,6 +6,7 @@ package storage
 import (
 	"time"
 
+	"esm/internal/faults"
 	"esm/internal/obs"
 	"esm/internal/powermodel"
 )
@@ -75,6 +76,9 @@ type enclosure struct {
 	// powerEvent, when non-nil, observes power-state transitions with
 	// the cause that provoked them.
 	powerEvent func(enc int, at time.Duration, on bool, cause obs.Cause)
+
+	// inj injects spin-up and transient I/O faults; nil injects nothing.
+	inj *faults.Injector
 }
 
 func newEnclosure(id int, cfg *Config) *enclosure {
@@ -175,18 +179,37 @@ func (e *enclosure) serviceTime(size int32, sequential bool) time.Duration {
 }
 
 // arrival submits one physical I/O at time now and returns its completion
-// time. The completion includes any spin-up wait and queueing delay.
-// kind attributes any spin-up the arrival provokes.
-func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequential bool, kind ioKind) time.Duration {
+// time. The completion includes any spin-up wait, retry backoff and
+// queueing delay. kind attributes any spin-up the arrival provokes. A
+// *FaultError is returned when an injected fault exhausts the spin-up
+// retries; the enclosure then stays off and the I/O never runs.
+func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequential bool, kind ioKind) (time.Duration, error) {
 	e.sync(now)
 	start := now
 	if !e.on {
-		spinEnd := now + e.cfg.Power.SpinUpTime
+		// Spin up, retrying failed attempts with exponential backoff on
+		// the simulated clock. Each failed attempt still burns spin-up
+		// energy (the motor turned); the backoff is spent powered off.
+		attempt := 1
+		for e.inj.SpinUpAttemptFails(start, e.id, attempt) {
+			e.acc.Add(powermodel.SpinUp, e.cfg.Power.SpinUpTime)
+			start += e.cfg.Power.SpinUpTime
+			if attempt >= e.inj.MaxSpinUpAttempts() {
+				e.lastSync = start
+				e.inj.SpinUpExhausted(start, e.id)
+				return 0, &FaultError{Enclosure: e.id, Op: "spin-up"}
+			}
+			backoff := e.inj.SpinUpBackoff(attempt)
+			e.acc.Add(powermodel.Off, backoff)
+			start += backoff
+			attempt++
+		}
+		spinEnd := start + e.cfg.Power.SpinUpTime
 		e.acc.Add(powermodel.SpinUp, e.cfg.Power.SpinUpTime)
 		e.acc.CountSpinUp()
 		e.on = true
 		if e.powerEvent != nil {
-			e.powerEvent(e.id, now, true, kind.cause())
+			e.powerEvent(e.id, start, true, kind.cause())
 		}
 		for i := range e.servers {
 			if e.servers[i] < spinEnd {
@@ -202,6 +225,11 @@ func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequenti
 		start = spinEnd
 	}
 	svc := e.serviceTime(size, sequential)
+	if e.inj.TransientIO(start, e.id) {
+		// A transient error: the enclosure retries the I/O internally, so
+		// it occupies its server twice plus the retry delay.
+		svc = svc*2 + e.inj.TransientIODelay()
+	}
 	k := 0
 	for i := 1; i < len(e.servers); i++ {
 		if e.servers[i] < e.servers[k] {
@@ -217,7 +245,7 @@ func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequenti
 	if end > e.busyUntil {
 		e.busyUntil = end
 	}
-	return end
+	return end, nil
 }
 
 // idleSince returns the start of the current idle period, or false when

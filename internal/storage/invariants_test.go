@@ -107,7 +107,7 @@ func TestArrayRandomOperationInvariants(t *testing.T) {
 					Size:   size,
 					Op:     trace.Op(rng.Intn(2)),
 				}
-				if out := arr.Submit(rec); out.Response < 0 {
+				if out, err := arr.Submit(rec); err != nil || out.Response < 0 {
 					return false
 				}
 			}
