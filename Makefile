@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json clean
+.PHONY: all build vet test race check bench bench-json trace-smoke clean
 
 all: build
 
@@ -28,6 +28,18 @@ bench:
 # writes the per-figure numbers to a dated JSON file for diffing runs.
 bench-json:
 	$(GO) run ./cmd/esmbench -json BENCH_$$(date +%F).json
+
+# trace-smoke runs a small traced replay and validates the emitted
+# Perfetto files through the in-repo validator (the CI contract:
+# parses, holds spans, monotonic timestamps).
+trace-smoke:
+	rm -rf /tmp/esm-trace-smoke && mkdir -p /tmp/esm-trace-smoke
+	$(GO) run ./cmd/esmbench -workload fileserver -scale 0.1 -fig 8 \
+		-trace /tmp/esm-trace-smoke/run.json
+	for f in /tmp/esm-trace-smoke/run-*.json; do \
+		echo "validating $$f"; \
+		ESM_TRACE_FILE=$$f $(GO) test -run TestTraceSmoke -count=1 ./internal/obs/ || exit 1; \
+	done
 
 clean:
 	$(GO) clean ./...

@@ -288,16 +288,18 @@ func BenchmarkTableIIParameters(b *testing.B) {
 }
 
 // BenchmarkTelemetryOverhead measures the cost of the obs layer on the
-// replay hot path. "off" replays with a nil recorder — every
-// instrumented call site must reduce to one nil check — while "sink"
-// adds a JSONL sink and registry. Compare the two ns/op figures: the
-// off case must not regress against a pre-telemetry baseline.
+// replay hot path. "off" replays with a nil recorder and nil tracer —
+// every instrumented call site must reduce to one nil check — while
+// "sink" adds a JSONL event sink and registry and "trace" a live
+// per-I/O span tracer (histograms and energy ledger, no span sink).
+// Compare the ns/op figures: the off case must not regress against a
+// pre-telemetry baseline.
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	w, err := experiments.Build(experiments.FileServer, 0.1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	replayOnce := func(b *testing.B, rec *obs.Recorder) {
+	replayOnce := func(b *testing.B, rec *obs.Recorder, trc *obs.Tracer) {
 		b.Helper()
 		esm, err := core.NewESM(core.DefaultParams())
 		if err != nil {
@@ -312,6 +314,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			Duration:   w.Duration,
 			ClosedLoop: w.ClosedLoop,
 			Recorder:   rec,
+			Tracer:     trc,
 		}
 		if _, err := replay.Execute(run); err != nil {
 			b.Fatal(err)
@@ -319,7 +322,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			replayOnce(b, nil)
+			replayOnce(b, nil, nil)
 		}
 	})
 	b.Run("sink", func(b *testing.B) {
@@ -328,8 +331,17 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				Sink:     obs.NewJSONLSink(io.Discard),
 				Registry: obs.NewRegistry(),
 			})
-			replayOnce(b, rec)
+			replayOnce(b, rec, nil)
 			if err := rec.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			trc := obs.NewTracer(obs.TracerOptions{Enclosures: experiments.StorageFor(w).Enclosures})
+			replayOnce(b, nil, trc)
+			if err := trc.Close(); err != nil {
 				b.Fatal(err)
 			}
 		}

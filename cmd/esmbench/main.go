@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"esm/internal/core"
@@ -40,6 +41,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run the sensitivity sweeps instead of the figures")
 	extended := flag.Bool("extended", false, "also evaluate the extended baselines (timeout, MAID, write off-loading)")
 	events := flag.String("events", "", "append every replay's telemetry event stream to this JSONL file")
+	tracePath := flag.String("trace", "", "write a Perfetto trace-event file per replay (policy and workload are inserted into the name)")
 	parallel := flag.Int("parallel", 0, "max concurrent replays (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "also write per-figure results as JSON to this file")
 	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m (see README)")
@@ -67,10 +69,17 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scale, *kind, *fig, *extended, *events, *jsonPath, fc); err != nil {
+	if err := run(*scale, *kind, *fig, *extended, *events, *tracePath, *jsonPath, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "esmbench:", err)
 		os.Exit(1)
 	}
+}
+
+// traceFileFor derives the per-run trace path from the -trace flag:
+// "out.json" becomes "out-fileserver-esm.json".
+func traceFileFor(path, workload, policy string) string {
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "-" + workload + "-" + policy + ext
 }
 
 // figsOf maps each application to its figure numbers in the paper.
@@ -108,7 +117,7 @@ func runSweeps(scale float64, kindFlag string) error {
 	return nil
 }
 
-func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, jsonPath string, fc *faults.Config) error {
+func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tracePath, jsonPath string, fc *faults.Config) error {
 	kinds := experiments.Kinds()
 	if kindFlag != "all" {
 		kinds = []experiments.Kind{experiments.Kind(kindFlag)}
@@ -190,12 +199,45 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, jso
 				return obs.New(obs.Options{Sink: sink, Label: name + "/" + policy})
 			}
 		}
-		ev, err := experiments.EvaluateWithFaults(w, pols, recFor, fc)
+		// With -trace, each replay writes its own Perfetto file: spans of
+		// concurrent runs cannot share one trace without colliding tracks.
+		var trcFor func(policy string) *obs.Tracer
+		var tracers []*obs.Tracer
+		var traceFiles []string
+		if tracePath != "" {
+			name := w.Name
+			trcFor = func(policy string) *obs.Tracer {
+				file := traceFileFor(tracePath, name, policy)
+				f, err := os.Create(file)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "esmbench: -trace:", err)
+					return nil
+				}
+				t := obs.NewTracer(obs.TracerOptions{
+					Sink:       obs.NewPerfettoSink(f, name+"/"+policy),
+					Enclosures: w.Enclosures,
+				})
+				tracers = append(tracers, t)
+				traceFiles = append(traceFiles, file)
+				return t
+			}
+		}
+		ev, err := experiments.EvaluateWithObservers(w, pols, recFor, trcFor, fc)
+		for _, t := range tracers {
+			if cerr := t.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
 			return err
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("   (replayed %d policies in %v)\n", len(pols), elapsed.Round(time.Millisecond))
+		if len(traceFiles) > 0 {
+			fmt.Printf("   (wrote %d Perfetto traces: %s ...)\n", len(traceFiles), traceFiles[0])
+			experiments.LatencyTable("Traced latency breakdown — "+w.Name, ev).Fprint(os.Stdout)
+			experiments.AttributionTable("Traced energy attribution — "+w.Name, ev).Fprint(os.Stdout)
+		}
 		if fc != nil {
 			experiments.FaultTable(fmt.Sprintf("Fault injection (%s) — %s", fc, w.Name), ev).Fprint(os.Stdout)
 		}

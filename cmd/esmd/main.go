@@ -13,7 +13,11 @@
 // /metrics (Prometheus text format), /status (JSON snapshot of the
 // current period, hot mask, pattern mix and cache occupancy) and
 // /debug/pprof. With -events it appends the typed telemetry event
-// stream as JSON lines; esmstat -events renders a saved log.
+// stream as JSON lines; esmstat -events renders a saved log. With
+// -trace it records a per-I/O span trace and writes it as a
+// Chrome/Perfetto trace-event JSON file on exit; the live latency
+// breakdown and energy attribution then also appear in /status and
+// /metrics, and esmstat latency/attrib render the saved file.
 //
 // Usage:
 //
@@ -55,6 +59,7 @@ func main() {
 	configPath := flag.String("config", "", "optional JSON config for storage and ESM parameters")
 	listen := flag.String("listen", "", "serve /metrics, /status and /debug/pprof on this address")
 	events := flag.String("events", "", "append the telemetry event stream to this JSONL file")
+	tracePath := flag.String("trace", "", "write a Perfetto trace-event JSON file of every I/O and management span")
 	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m")
 	flag.Parse()
 
@@ -70,6 +75,7 @@ func main() {
 		quiet:         *quiet,
 		listen:        *listen,
 		eventsPath:    *events,
+		tracePath:     *tracePath,
 	}
 	if *faultSpec != "" {
 		fc, err := faults.ParseSpec(*faultSpec)
@@ -93,6 +99,7 @@ type daemonOpts struct {
 	quiet         bool
 	listen        string
 	eventsPath    string
+	tracePath     string
 	faults        *faults.Config
 }
 
@@ -110,6 +117,7 @@ type daemon struct {
 
 	enclosures int
 	rec        *obs.Recorder
+	trc        *obs.Tracer
 
 	// mu guards snap against concurrent /status scrapes.
 	mu   sync.Mutex
@@ -137,6 +145,8 @@ type statusSnapshot struct {
 	FailedIOs      int64                  `json:"failed_ios,omitempty"`
 	Degraded       bool                   `json:"degraded,omitempty"`
 	Degradations   int64                  `json:"degradations,omitempty"`
+	Latency        *obs.LatencySummary    `json:"latency,omitempty"`
+	Attribution    *obs.Attribution       `json:"attribution,omitempty"`
 }
 
 func run(opts daemonOpts, in io.Reader, out io.Writer) error {
@@ -147,6 +157,7 @@ func run(opts daemonOpts, in io.Reader, out io.Writer) error {
 	if d.rec != nil {
 		defer d.rec.Close()
 	}
+	defer d.trc.Close()
 
 	if opts.listen != "" {
 		ln, err := net.Listen("tcp", opts.listen)
@@ -163,6 +174,12 @@ func run(opts daemonOpts, in io.Reader, out io.Writer) error {
 		return err
 	}
 	d.report()
+	if err := d.trc.Close(); err != nil {
+		return err
+	}
+	if d.opts.tracePath != "" {
+		fmt.Fprintf(out, "trace written to %s\n", d.opts.tracePath)
+	}
 	if d.rec != nil {
 		return d.rec.Close()
 	}
@@ -227,12 +244,34 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 		}
 		rec = obs.New(recOpts)
 	}
+	var trc *obs.Tracer
+	if opts.tracePath != "" {
+		f, err := os.Create(opts.tracePath)
+		if err != nil {
+			return nil, err
+		}
+		trcOpts := obs.TracerOptions{
+			Sink:       obs.NewPerfettoSink(f, "esmd"),
+			Enclosures: enclosures,
+		}
+		if rec != nil {
+			// Share the HTTP registry so the latency-percentile and
+			// attribution gauges show up in /metrics scrapes.
+			trcOpts.Registry = rec.Registry()
+		}
+		trc = obs.NewTracer(trcOpts)
+	}
 
 	clk := &simclock.Clock{}
 	evq := &simclock.EventQueue{}
 	arr, err := storage.New(storageCfg, clk, evq, cat)
 	if err != nil {
 		return nil, err
+	}
+	// The tracer attaches before placement so the energy ledger's
+	// residency accounting sees every item land on its home enclosure.
+	if trc != nil {
+		arr.SetTracer(trc)
 	}
 	for item, enc := range placement {
 		if err := arr.Place(trace.ItemID(item), enc); err != nil {
@@ -250,6 +289,9 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 	if rec != nil {
 		arr.SetRecorder(rec)
 		esm.SetRecorder(rec)
+	}
+	if trc != nil {
+		esm.SetTracer(trc)
 	}
 	var inj *faults.Injector
 	if opts.faults != nil {
@@ -275,6 +317,7 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 		inj:        inj,
 		enclosures: enclosures,
 		rec:        rec,
+		trc:        trc,
 	}
 	d.updateSnapshot(0)
 	return d, nil
@@ -387,6 +430,14 @@ func (d *daemon) updateSnapshot(now time.Duration) {
 		for _, p := range plan.Patterns {
 			snap.PatternMix[p.String()]++
 		}
+	}
+	if d.trc != nil {
+		// Settle the power-state accumulators to now so the attribution
+		// reflects energy actually drawn; the ledger accepts repeated
+		// attribution at non-decreasing times.
+		d.arr.Finish()
+		snap.Latency = d.trc.LatencySummary()
+		snap.Attribution = d.trc.Attribute(now, d.arr.EnclosureEnergy)
 	}
 	d.mu.Lock()
 	d.snap = snap

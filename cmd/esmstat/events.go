@@ -15,6 +15,30 @@ import (
 	"esm/internal/obs"
 )
 
+// coveredEventKinds records the renderer's decision for every telemetry
+// event kind: true means the kind is rendered below (chronicle line,
+// aggregate count or timeline); false means it is deliberately folded
+// into a richer sibling event (a start event whose end event carries
+// the full story). TestRendererCoversAllEventKinds fails when obs grows
+// a kind with no entry here, so new telemetry cannot silently vanish
+// from the renderer.
+var coveredEventKinds = map[obs.EventType]bool{
+	obs.EvDeterminationStart: false, // determination (end) carries the decision
+	obs.EvDetermination:      true,
+	obs.EvMigrationStart:     false, // migration_done carries src/dst/bytes
+	obs.EvMigrationDone:      true,
+	obs.EvMigrationSkip:      true,
+	obs.EvMigrationFail:      true,
+	obs.EvCacheSelect:        true,
+	obs.EvCacheEvict:         false, // occupancy is visible in cache_select deltas
+	obs.EvPowerOn:            true,
+	obs.EvPowerOff:           true,
+	obs.EvReplanTrigger:      true,
+	obs.EvPeriodAdapt:        true,
+	obs.EvFault:              true,
+	obs.EvDegrade:            true,
+}
+
 func runEvents(out io.Writer, path, runLabel string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -100,13 +124,24 @@ func renderRun(out io.Writer, run string, events []obs.Event) {
 			fmt.Fprintf(out, "  [%8v] period %v -> %v\n",
 				time.Duration(ev.T).Round(time.Second),
 				time.Duration(p.OldNS).Round(time.Second), time.Duration(p.NewNS).Round(time.Second))
+		case obs.EvDegrade:
+			d := ev.Degrade
+			if d.Entered {
+				fmt.Fprintf(out, "  [%8v] degraded mode entered: %d faults in %v window\n",
+					time.Duration(ev.T).Round(time.Second), d.Faults,
+					time.Duration(d.WindowNS).Round(time.Second))
+			} else {
+				fmt.Fprintf(out, "  [%8v] degraded mode left: %d faults in window\n",
+					time.Duration(ev.T).Round(time.Second), d.Faults)
+			}
 		}
 	}
 
 	// Aggregate counts.
-	var migDone, migSkip int
+	var migDone, migSkip, migFail int
 	var migBytes int64
 	spinupsBy := map[obs.Cause]int{}
+	faultsBy := map[string]int{}
 	offs := 0
 	cacheSel := map[string]int{}
 	for _, ev := range events {
@@ -116,15 +151,20 @@ func renderRun(out io.Writer, run string, events []obs.Event) {
 			migBytes += ev.Migration.Bytes
 		case obs.EvMigrationSkip:
 			migSkip++
+		case obs.EvMigrationFail:
+			migFail++
 		case obs.EvPowerOn:
 			spinupsBy[ev.Power.Cause]++
 		case obs.EvPowerOff:
 			offs++
 		case obs.EvCacheSelect:
 			cacheSel[ev.Cache.Function] += len(ev.Cache.Items)
+		case obs.EvFault:
+			faultsBy[ev.Fault.Kind]++
 		}
 	}
-	fmt.Fprintf(out, "\nmigrations: %d done (%.2f GB), %d skipped\n", migDone, float64(migBytes)/(1<<30), migSkip)
+	fmt.Fprintf(out, "\nmigrations: %d done (%.2f GB), %d skipped, %d failed\n",
+		migDone, float64(migBytes)/(1<<30), migSkip, migFail)
 	fmt.Fprintf(out, "power-offs: %d\n", offs)
 	if len(spinupsBy) > 0 {
 		var causes []string
@@ -140,6 +180,18 @@ func renderRun(out io.Writer, run string, events []obs.Event) {
 	}
 	if n := cacheSel["write-delay"] + cacheSel["preload"]; n > 0 {
 		fmt.Fprintf(out, "cache selections: write-delay=%d preload=%d\n", cacheSel["write-delay"], cacheSel["preload"])
+	}
+	if len(faultsBy) > 0 {
+		var kinds []string
+		for k := range faultsBy {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprint(out, "injected faults:")
+		for _, k := range kinds {
+			fmt.Fprintf(out, " %s=%d", k, faultsBy[k])
+		}
+		fmt.Fprintln(out)
 	}
 
 	renderTimelines(out, events, span)

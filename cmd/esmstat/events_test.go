@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"esm/internal/obs"
+)
+
+// TestRendererCoversAllEventKinds pins the renderer's coverage to the
+// full telemetry vocabulary: every event kind obs can emit needs an
+// explicit decision in coveredEventKinds (rendered, or deliberately
+// folded into a sibling). Adding a kind to obs without deciding how
+// esmstat shows it fails here.
+func TestRendererCoversAllEventKinds(t *testing.T) {
+	for _, kind := range obs.AllEventTypes() {
+		if _, ok := coveredEventKinds[kind]; !ok {
+			t.Errorf("event kind %q has no rendering decision in coveredEventKinds", kind)
+		}
+	}
+	for kind := range coveredEventKinds {
+		found := false
+		for _, k := range obs.AllEventTypes() {
+			if k == kind {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("coveredEventKinds lists %q, which obs no longer emits", kind)
+		}
+	}
+}
+
+// TestRenderRunShowsEveryRenderedKind feeds one event of every kind
+// through the renderer and checks each kind marked rendered leaves a
+// visible mark in the output.
+func TestRenderRunShowsEveryRenderedKind(t *testing.T) {
+	events := []obs.Event{
+		{T: 1e9, Type: obs.EvDeterminationStart, Determination: &obs.DeterminationEvent{N: 1, Cause: "period-end"}},
+		{T: 2e9, Type: obs.EvDetermination, Determination: &obs.DeterminationEvent{
+			N: 1, Cause: "period-end", PatternCounts: [4]int{3, 2, 1, 0},
+			Hot: []bool{true, false}, Moves: 2, WriteDelay: 1, Preload: 1, NextPeriodNS: 60e9,
+		}},
+		{T: 3e9, Type: obs.EvMigrationStart, Migration: &obs.MigrationEvent{Item: 7, Src: 0, Dst: 1}},
+		{T: 4e9, Type: obs.EvMigrationDone, Migration: &obs.MigrationEvent{Item: 7, Src: 0, Dst: 1, Bytes: 1 << 30}},
+		{T: 5e9, Type: obs.EvMigrationSkip, Migration: &obs.MigrationEvent{Item: 8, Src: -1, Dst: 1}},
+		{T: 6e9, Type: obs.EvMigrationFail, Migration: &obs.MigrationEvent{Item: 9, Src: 0, Dst: 1}},
+		{T: 7e9, Type: obs.EvCacheSelect, Cache: &obs.CacheEvent{Function: "preload", Items: []int64{1, 2}}},
+		{T: 8e9, Type: obs.EvCacheEvict, Cache: &obs.CacheEvent{Function: "preload", Items: []int64{1}}},
+		{T: 9e9, Type: obs.EvPowerOn, Power: &obs.PowerEvent{Enclosure: 1, State: "spinup", Cause: "app-io"}},
+		{T: 10e9, Type: obs.EvPowerOff, Power: &obs.PowerEvent{Enclosure: 1, State: "off", Cause: "policy"}},
+		{T: 11e9, Type: obs.EvReplanTrigger, Replan: &obs.ReplanEvent{Trigger: obs.CauseTriggerInterval, Enclosure: 0, IntervalNS: 90e9, Threshold: 52e9}},
+		{T: 12e9, Type: obs.EvPeriodAdapt, Period: &obs.PeriodEvent{OldNS: 60e9, NewNS: 120e9}},
+		{T: 13e9, Type: obs.EvFault, Fault: &obs.FaultEvent{Kind: "spinup", Enclosure: 1, Attempt: 1}},
+		{T: 14e9, Type: obs.EvDegrade, Degrade: &obs.DegradeEvent{Entered: true, Faults: 5, WindowNS: 300e9}},
+	}
+	// The fixture must exercise the full vocabulary, or the coverage
+	// claim below is hollow.
+	have := map[obs.EventType]bool{}
+	for _, ev := range events {
+		have[ev.Type] = true
+	}
+	for _, kind := range obs.AllEventTypes() {
+		if !have[kind] {
+			t.Fatalf("fixture is missing an event of kind %q", kind)
+		}
+	}
+
+	var sb strings.Builder
+	renderRun(&sb, "test", events)
+	out := sb.String()
+	for want, why := range map[string]string{
+		"#1":                    "determination line",
+		"1 done (1.00 GB)":      "migration aggregate",
+		"1 skipped, 1 failed":   "migration skip/fail aggregate",
+		"preload=2":             "cache selection aggregate",
+		"app-io=1":              "spin-up cause aggregate",
+		"power-offs: 1":         "power-off aggregate",
+		"trigger i)":            "replan trigger line",
+		"period 1m0s -> 2m0s":   "period adaptation line",
+		"spinup=1":              "fault aggregate",
+		"degraded mode entered": "degrade chronicle line",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s (%q):\n%s", why, want, out)
+		}
+	}
+}

@@ -6,10 +6,17 @@
 // by esmd -events and esmbench -events): a determination-by-
 // determination summary plus per-enclosure power-state timelines.
 //
+// The latency and attrib subcommands render the span traces written by
+// esmbench -trace and esmd -trace (Perfetto trace-event JSON): the
+// per-phase/per-cause latency breakdown and the per-class/per-function
+// energy attribution embedded in the file.
+//
 // Usage:
 //
 //	esmstat -trace fs.trace -catalog fs.items [-break-even 52s] [-top 5]
 //	esmstat -events events.jsonl [-run fileserver/esm]
+//	esmstat latency run.trace.json
+//	esmstat attrib [-top 3] run.trace.json
 package main
 
 import (
@@ -25,6 +32,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "latency", "attrib":
+			if err := runSpanCommand(os.Args[1], os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "esmstat:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	tracePath := flag.String("trace", "", "binary trace path")
 	catalogPath := flag.String("catalog", "", "catalog path")
 	breakEven := flag.Duration("break-even", 52*time.Second, "break-even time for Long Intervals")
@@ -48,6 +65,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "esmstat:", err)
 		os.Exit(1)
 	}
+}
+
+// runSpanCommand dispatches the latency/attrib subcommands over a
+// Perfetto span-trace file.
+func runSpanCommand(cmd string, args []string) error {
+	fs := flag.NewFlagSet("esmstat "+cmd, flag.ExitOnError)
+	top := fs.Int("top", 3, "items to list per enclosure (attrib only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: esmstat %s [-top N] <trace.json>", cmd)
+	}
+	path := fs.Arg(0)
+	if cmd == "latency" {
+		return runLatency(os.Stdout, path)
+	}
+	return runAttrib(os.Stdout, path, *top)
 }
 
 func run(tracePath, catalogPath string, breakEven time.Duration, top int) error {

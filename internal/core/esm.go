@@ -52,6 +52,7 @@ type ESM struct {
 	planErrors   int64
 
 	rec  *obs.Recorder
+	trc  *obs.Tracer
 	wake *simclock.Event
 }
 
@@ -69,6 +70,11 @@ func (d *ESM) Name() string { return "esm" }
 // SetRecorder attaches a telemetry recorder. A nil recorder (the
 // default) keeps the policy observation-free.
 func (d *ESM) SetRecorder(rec *obs.Recorder) { d.rec = rec }
+
+// SetTracer attaches a span tracer. Each determination then emits a
+// management span and refreshes the tracer's item → pattern-class
+// table, so I/O spans and energy attribution carry P0–P3 labels.
+func (d *ESM) SetTracer(trc *obs.Tracer) { d.trc = trc }
 
 // Params returns the policy parameters.
 func (d *ESM) Params() Params { return d.params }
@@ -343,6 +349,18 @@ func (d *ESM) runManagement(now time.Duration, cause obs.Cause) {
 			NextPeriodNS:  int64(d.period),
 		})
 		d.rec.PeriodAdapt(now, oldPeriod, d.period)
+	}
+	if d.trc != nil {
+		classes := make([]uint8, len(plan.Patterns))
+		for i, p := range plan.Patterns {
+			classes[i] = uint8(p)
+		}
+		d.trc.SetClasses(classes)
+		d.trc.Management(obs.ManagementSpan{
+			Kind: "determination", Start: now, End: now,
+			Item: -1, Enclosure: -1, Dst: -1,
+			Cause: string(cause), N: d.determinations,
+		})
 	}
 	d.scheduleWake(d.period)
 }

@@ -153,6 +153,17 @@ func EvaluateWithRecorder(w *workload.Workload, factories []PolicyFactory, rec f
 // and the comparison isolates the policies' degraded-mode behaviour.
 // fc may be nil (fault-free).
 func EvaluateWithFaults(w *workload.Workload, factories []PolicyFactory, rec func(policy string) *obs.Recorder, fc *faults.Config) (*Eval, error) {
+	return EvaluateWithObservers(w, factories, rec, nil, fc)
+}
+
+// EvaluateWithObservers replays w under every policy with both
+// observers attached: the telemetry recorder and the span tracer
+// returned by rec and trc for each policy name. Either callback may be
+// nil, and may return nil for individual policies. Each policy must
+// get its own tracer (its latency breakdown, attribution ledger and
+// sink describe exactly one run); esmbench hands out one Perfetto file
+// per policy. Tracers are not closed here — the caller owns the sinks.
+func EvaluateWithObservers(w *workload.Workload, factories []PolicyFactory, rec func(policy string) *obs.Recorder, trc func(policy string) *obs.Tracer, fc *faults.Config) (*Eval, error) {
 	ev := &Eval{Workload: w, Policies: factories}
 	jobs := make([]runJob, 0, len(factories))
 	for _, f := range factories {
@@ -168,6 +179,9 @@ func EvaluateWithFaults(w *workload.Workload, factories []PolicyFactory, rec fun
 		}
 		if rec != nil {
 			run.Recorder = rec(f.Name)
+		}
+		if trc != nil {
+			run.Tracer = trc(f.Name)
 		}
 		for _, win := range w.Windows {
 			run.Windows = append(run.Windows, replay.Window{Name: win.Name, Start: win.Start, End: win.End})
@@ -289,6 +303,67 @@ func PowerTable(title string, ev *Eval) *Table {
 			fmt.Sprintf("%d", r.Determinations),
 			fmt.Sprintf("%d", r.SpinUps),
 		})
+	}
+	return t
+}
+
+// LatencyTable renders each policy's traced latency breakdown: one row
+// per serve cause and per I/O phase, with the histogram percentiles.
+// Policies whose run carried no tracer are skipped.
+func LatencyTable(title string, ev *Eval) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"policy", "segment", "count", "mean", "p50", "p95", "p99", "max"},
+	}
+	row := func(policy, kind string, r obs.LatencyRow) []string {
+		return []string{
+			policy, kind + ":" + r.Name,
+			fmt.Sprintf("%d", r.Count),
+			r.Mean.String(), r.P50.String(), r.P95.String(), r.P99.String(), r.Max.String(),
+		}
+	}
+	for i, f := range ev.Policies {
+		sum := ev.Results[i].Latency
+		if sum == nil {
+			continue
+		}
+		t.Rows = append(t.Rows, row(f.Name, "all", sum.Total))
+		for _, r := range sum.ByCause {
+			t.Rows = append(t.Rows, row(f.Name, "cause", r))
+		}
+		for _, r := range sum.ByPhase {
+			t.Rows = append(t.Rows, row(f.Name, "phase", r))
+		}
+	}
+	return t
+}
+
+// AttributionTable renders each policy's traced energy attribution per
+// pattern class and per management function. Policies whose run
+// carried no tracer are skipped.
+func AttributionTable(title string, ev *Eval) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"policy", "bucket", "joules", "share"},
+	}
+	for i, f := range ev.Policies {
+		a := ev.Results[i].Attribution
+		if a == nil || a.TotalJ <= 0 {
+			continue
+		}
+		add := func(bucket string, j float64) {
+			t.Rows = append(t.Rows, []string{
+				f.Name, bucket,
+				fmt.Sprintf("%.1f", j),
+				fmt.Sprintf("%.1f%%", j/a.TotalJ*100),
+			})
+		}
+		for c := 0; c < 5; c++ {
+			add("class:"+obs.ClassName(c), a.ByClass[c])
+		}
+		for fn := obs.EnergyFunc(0); fn < obs.EnergyFuncCount; fn++ {
+			add("func:"+fn.String(), a.ByFunc[fn])
+		}
 	}
 	return t
 }

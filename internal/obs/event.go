@@ -229,27 +229,50 @@ func (s *CollectSink) Events() []Event {
 	return append([]Event(nil), s.events...)
 }
 
+// AllEventTypes returns every event kind a Recorder can emit, in
+// declaration order. Renderer tests iterate it so a newly added kind
+// cannot silently fall through to raw-JSON output.
+func AllEventTypes() []EventType {
+	return []EventType{
+		EvDeterminationStart, EvDetermination,
+		EvMigrationStart, EvMigrationDone, EvMigrationSkip,
+		EvCacheSelect, EvCacheEvict,
+		EvPowerOn, EvPowerOff,
+		EvReplanTrigger, EvPeriodAdapt,
+		EvFault, EvDegrade, EvMigrationFail,
+	}
+}
+
 // ReadEvents decodes a JSONL event log. Blank lines are skipped; a
-// malformed line fails with its line number.
+// malformed line fails with its line number. Lines can be arbitrarily
+// long (a cache-select event listing many thousand items easily
+// exceeds bufio.Scanner's default limit, which this reader does not
+// share).
 func ReadEvents(r io.Reader) ([]Event, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	br := bufio.NewReader(r)
 	var out []Event
 	line := 0
-	for sc.Scan() {
+	for {
+		b, err := br.ReadBytes('\n')
 		line++
-		b := sc.Bytes()
-		if len(b) == 0 {
-			continue
+		if len(b) > 0 && b[len(b)-1] == '\n' {
+			b = b[:len(b)-1]
 		}
-		var ev Event
-		if err := json.Unmarshal(b, &ev); err != nil {
-			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
+		if len(b) > 0 && b[len(b)-1] == '\r' {
+			b = b[:len(b)-1]
 		}
-		out = append(out, ev)
+		if len(b) > 0 {
+			var ev Event
+			if uerr := json.Unmarshal(b, &ev); uerr != nil {
+				return nil, fmt.Errorf("obs: event log line %d: %w", line, uerr)
+			}
+			out = append(out, ev)
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
 }

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReadEventsLongLines: a cache-select event naming tens of
+// thousands of items produces a JSONL line far beyond bufio.Scanner's
+// 64 KiB default; the reader must round-trip it intact.
+func TestReadEventsLongLines(t *testing.T) {
+	items := make([]int64, 40000)
+	for i := range items {
+		items[i] = int64(i)
+	}
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sink.Emit(Event{Seq: 1, T: 1e9, Type: EvCacheSelect, Cache: &CacheEvent{Function: "preload", Items: items}})
+	sink.Emit(Event{Seq: 2, T: 2e9, Type: EvPowerOff, Power: &PowerEvent{Enclosure: 3, State: "off", Cause: "policy"}})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lineLen := bytes.IndexByte(buf.Bytes(), '\n'); lineLen < 128*1024 {
+		t.Fatalf("fixture line only %d bytes; grow the item list", lineLen)
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events, want 2", len(events))
+	}
+	if got := events[0].Cache; got == nil || len(got.Items) != len(items) ||
+		got.Items[0] != 0 || got.Items[len(items)-1] != int64(len(items)-1) {
+		t.Fatalf("long event mangled: %d items", len(events[0].Cache.Items))
+	}
+	if events[1].Power == nil || events[1].Power.Enclosure != 3 {
+		t.Fatalf("event after long line mangled: %+v", events[1])
+	}
+}
+
+// TestReadEventsLineNumbers: errors keep pointing at the right file
+// line, counting blank lines and a trailing unterminated line.
+func TestReadEventsLineNumbers(t *testing.T) {
+	in := `{"seq":1,"t_ns":1,"type":"power_off","power":{"enclosure":0,"state":"off"}}
+
+not json`
+	_, err := ReadEvents(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %v, want line 3", err)
+	}
+
+	// A valid log with a trailing newline-free line still parses fully.
+	ok := strings.TrimSuffix(in, "not json") + `{"seq":2,"t_ns":2,"type":"power_on","power":{"enclosure":1,"state":"spinup"}}`
+	events, err := ReadEvents(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Power.Enclosure != 1 {
+		t.Fatalf("events %+v", events)
+	}
+}

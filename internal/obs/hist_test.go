@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"esm/internal/metrics"
+	"esm/internal/trace"
+)
+
+// naivePercentile computes the histogram's percentile contract from the
+// raw samples: the upper bucket edge of the sample at rank ceil(p·n),
+// clamped to the observed maximum. The histogram must agree exactly.
+func naivePercentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	d := sorted[rank]
+	limit := HistBucketBase
+	for b := 0; d >= limit && b < HistBuckets-1; limit *= 2 {
+		b++
+	}
+	max := sorted[len(sorted)-1]
+	if limit > max {
+		return max
+	}
+	return limit
+}
+
+var percentiles = []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1}
+
+// TestHistogramPercentileVsNaive cross-checks the streaming histogram
+// against a sort-based computation on randomized inputs.
+func TestHistogramPercentileVsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 50; round++ {
+		n := 1 + rng.Intn(2000)
+		var h Histogram
+		samples := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			// Log-uniform over ~9 decades, the histogram's full range.
+			d := time.Duration(math.Exp(rng.Float64()*20)) * time.Nanosecond
+			samples = append(samples, d)
+			h.Add(d)
+		}
+		for _, p := range percentiles {
+			want := naivePercentile(samples, p)
+			if got := h.Percentile(p); got != want {
+				t.Fatalf("round %d n=%d p%.3f: histogram %v, naive %v", round, n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramVsResponseStats feeds identical samples — including
+// exact bucket-boundary values — to the tracer histogram and to
+// metrics.ResponseStats; every percentile must agree, since replay's
+// reported aggregates and the tracer's breakdown describe the same
+// I/Os.
+func TestHistogramVsResponseStats(t *testing.T) {
+	samples := []time.Duration{
+		0, 1, 199 * time.Microsecond,
+		200 * time.Microsecond, // first bucket boundary
+		399 * time.Microsecond,
+		400 * time.Microsecond, // second boundary
+		800 * time.Microsecond, 1600 * time.Microsecond,
+		25 * time.Millisecond, 15 * time.Second,
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		samples = append(samples, time.Duration(rng.Int63n(int64(30*time.Second))))
+	}
+	// Boundary values of every bucket edge.
+	for limit := HistBucketBase; limit < 30*time.Second; limit *= 2 {
+		samples = append(samples, limit-1, limit, limit+1)
+	}
+	var h Histogram
+	var rs metrics.ResponseStats
+	for _, d := range samples {
+		h.Add(d)
+		rs.Add(trace.OpRead, d)
+	}
+	if h.Count() != rs.Count() {
+		t.Fatalf("count %d vs %d", h.Count(), rs.Count())
+	}
+	if h.Max() != rs.Max() {
+		t.Fatalf("max %v vs %v", h.Max(), rs.Max())
+	}
+	if h.Mean() != rs.Mean() {
+		t.Fatalf("mean %v vs %v", h.Mean(), rs.Mean())
+	}
+	for _, p := range percentiles {
+		if got, want := h.Percentile(p), rs.Percentile(p); got != want {
+			t.Fatalf("p%.3f: histogram %v, ResponseStats %v", p, got, want)
+		}
+		if got, want := h.Percentile(p), naivePercentile(samples, p); got != want {
+			t.Fatalf("p%.3f: histogram %v, naive %v", p, got, want)
+		}
+	}
+}
+
+// TestHistogramMerge: merged histograms answer exactly like one
+// histogram fed both sample sets.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var a, b, both Histogram
+	var samples []time.Duration
+	for i := 0; i < 300; i++ {
+		d := time.Duration(rng.Int63n(int64(time.Minute)))
+		samples = append(samples, d)
+		both.Add(d)
+		if i%2 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Max() != both.Max() || a.Mean() != both.Mean() {
+		t.Fatal("merged aggregates disagree")
+	}
+	for _, p := range percentiles {
+		if a.Percentile(p) != both.Percentile(p) {
+			t.Fatalf("p%.3f: merged %v, direct %v", p, a.Percentile(p), both.Percentile(p))
+		}
+		if a.Percentile(p) != naivePercentile(samples, p) {
+			t.Fatalf("p%.3f: merged %v, naive %v", p, a.Percentile(p), naivePercentile(samples, p))
+		}
+	}
+}
+
+// TestLatencyStatsRouting: cache hits land in the cache phase only;
+// physical I/Os contribute queue and service always and spin-up wait
+// only when they actually waited.
+func TestLatencyStatsRouting(t *testing.T) {
+	var l LatencyStats
+	l.addIO(&IOSpan{Response: 300 * time.Microsecond, Cause: IOCacheHit})
+	l.addIO(&IOSpan{
+		Response: 20 * time.Millisecond, Cause: IODiskOn,
+		QueueWait: 3 * time.Millisecond, Service: 17 * time.Millisecond,
+	})
+	l.addIO(&IOSpan{
+		Response: 15020 * time.Millisecond, Cause: IOSpinUpBlocked,
+		SpinUpWait: 15 * time.Second, QueueWait: 3 * time.Millisecond, Service: 17 * time.Millisecond,
+	})
+	if l.Total.Count() != 3 {
+		t.Fatalf("total count %d", l.Total.Count())
+	}
+	wantCounts := map[Phase]int64{PhaseCache: 1, PhaseSpinUp: 1, PhaseQueue: 2, PhaseService: 2}
+	for ph, want := range wantCounts {
+		if got := l.ByPhase[ph].Count(); got != want {
+			t.Errorf("phase %v count %d, want %d", ph, got, want)
+		}
+	}
+	for c, want := range map[IOCause]int64{IOCacheHit: 1, IODiskOn: 1, IOSpinUpBlocked: 1} {
+		if got := l.ByCause[c].Count(); got != want {
+			t.Errorf("cause %v count %d, want %d", c, got, want)
+		}
+	}
+	sum := l.summary()
+	if sum.Total.Count != 3 || len(sum.ByCause) != int(IOCauseCount) || len(sum.ByPhase) != int(PhaseCount) {
+		t.Fatalf("summary shape: %+v", sum)
+	}
+}

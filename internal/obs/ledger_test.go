@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// near reports a within tiny float rounding of b.
+func near(a, b float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// checkConservation asserts the ledger's core contract: every axis of
+// the attribution — per-enclosure items, per-enclosure functions,
+// classes, functions — sums back to the powermodel totals exactly (up
+// to float rounding).
+func checkConservation(t *testing.T, a *Attribution, encEnergy func(int) EnclosureEnergy) {
+	t.Helper()
+	var total float64
+	for _, ea := range a.Enclosures {
+		want := encEnergy(ea.Enclosure).Total()
+		if !near(ea.TotalJ, want) {
+			t.Errorf("enclosure %d TotalJ %v, powermodel %v", ea.Enclosure, ea.TotalJ, want)
+		}
+		var items, funcs float64
+		for _, it := range ea.ByItem {
+			items += it.Joules
+		}
+		for _, j := range ea.ByFunc {
+			funcs += j
+		}
+		if !near(items, want) {
+			t.Errorf("enclosure %d item sum %v, powermodel %v", ea.Enclosure, items, want)
+		}
+		if !near(funcs, want) {
+			t.Errorf("enclosure %d func sum %v, powermodel %v", ea.Enclosure, funcs, want)
+		}
+		total += want
+	}
+	if !near(a.TotalJ, total) {
+		t.Errorf("TotalJ %v, powermodel sum %v", a.TotalJ, total)
+	}
+	var classes, funcs float64
+	for _, j := range a.ByClass {
+		classes += j
+	}
+	for _, j := range a.ByFunc {
+		funcs += j
+	}
+	if !near(classes, total) {
+		t.Errorf("class sum %v, powermodel sum %v", classes, total)
+	}
+	if !near(funcs, total) {
+		t.Errorf("func sum %v, powermodel sum %v", funcs, total)
+	}
+}
+
+// TestAttributionSumsExact hand-feeds a two-enclosure ledger and checks
+// conservation plus the proportional splits.
+func TestAttributionSumsExact(t *testing.T) {
+	l := NewEnergyLedger(2)
+	// Enclosure 0: items 1 and 2 resident the whole hour, item 1 served
+	// 3× the service time of item 2 and twice its bytes; one migration
+	// read and one preload burst; item 2 provoked both spin-up attempts.
+	l.Residency(0, 0, 1, 2<<20)
+	l.Residency(0, 0, 2, 1<<20)
+	l.Service(0, 1, FnServing, 30*time.Second)
+	l.Service(0, 2, FnServing, 10*time.Second)
+	l.Service(0, 1, FnMigration, 5*time.Second)
+	l.Service(0, 2, FnPreload, 5*time.Second)
+	l.SpinUps(0, 2, FnServing, 2)
+	// Enclosure 1: one resident item, no service at all.
+	l.Residency(0, 1, 7, 4<<20)
+
+	energies := []EnclosureEnergy{
+		{ActiveJ: 1000, IdleJ: 600, OffJ: 200, SpinUpJ: 50},
+		{ActiveJ: 0, IdleJ: 300, OffJ: 100, SpinUpJ: 0},
+	}
+	encEnergy := func(e int) EnclosureEnergy { return energies[e] }
+	classOf := func(item int64) uint8 {
+		switch item {
+		case 1:
+			return 0 // P0
+		case 2:
+			return 3 // P3
+		}
+		return ClassUnknown
+	}
+	end := time.Hour
+	a := l.Attribute(end, encEnergy, classOf)
+	checkConservation(t, a, encEnergy)
+
+	e0 := a.Enclosures[0]
+	// Active joules split by service seconds: item 1 has 35 of 50
+	// seconds, item 2 has 15.
+	wantActive1 := 1000 * 35.0 / 50
+	wantActive2 := 1000 * 15.0 / 50
+	// Spin-up joules all to item 2; idle+off by byte-seconds 2:1.
+	wantBG1 := 800 * 2.0 / 3
+	wantBG2 := 800 * 1.0 / 3
+	got := map[int64]float64{}
+	for _, it := range e0.ByItem {
+		got[it.Item] = it.Joules
+	}
+	if !near(got[1], wantActive1+wantBG1) {
+		t.Errorf("item 1 joules %v, want %v", got[1], wantActive1+wantBG1)
+	}
+	if !near(got[2], wantActive2+50+wantBG2) {
+		t.Errorf("item 2 joules %v, want %v", got[2], wantActive2+50+wantBG2)
+	}
+	// Function axis: migration is item 1's 5s share of active, preload
+	// item 2's 5s share.
+	if !near(e0.ByFunc[FnMigration], 1000*5.0/50) {
+		t.Errorf("migration %v", e0.ByFunc[FnMigration])
+	}
+	if !near(e0.ByFunc[FnPreload], 1000*5.0/50) {
+		t.Errorf("preload %v", e0.ByFunc[FnPreload])
+	}
+	if !near(e0.ByFunc[FnBackground], 800) {
+		t.Errorf("background %v", e0.ByFunc[FnBackground])
+	}
+	// Class axis: item 7 (unknown) carries all of enclosure 1.
+	if !near(a.ByClass[4], 400) {
+		t.Errorf("unknown class %v, want 400", a.ByClass[4])
+	}
+	if a.UnattributedJ != 0 {
+		t.Errorf("unattributed %v, want 0", a.UnattributedJ)
+	}
+	// ByItem is sorted by descending joules.
+	for i := 1; i < len(e0.ByItem); i++ {
+		if e0.ByItem[i].Joules > e0.ByItem[i-1].Joules {
+			t.Errorf("ByItem not sorted: %v", e0.ByItem)
+		}
+	}
+}
+
+// TestAttributionFallbacks: energy with no weights to carry it lands on
+// UnattributedItem instead of vanishing.
+func TestAttributionFallbacks(t *testing.T) {
+	l := NewEnergyLedger(1)
+	// No residency, no service, but the enclosure burned energy in
+	// every state.
+	energy := EnclosureEnergy{ActiveJ: 10, IdleJ: 20, OffJ: 5, SpinUpJ: 3}
+	encEnergy := func(int) EnclosureEnergy { return energy }
+	a := l.Attribute(time.Hour, encEnergy, func(int64) uint8 { return 0 })
+	checkConservation(t, a, encEnergy)
+	if !near(a.UnattributedJ, energy.Total()) {
+		t.Fatalf("unattributed %v, want %v", a.UnattributedJ, energy.Total())
+	}
+	// Unattributed energy is always unknown-class, even when classOf
+	// would classify real items.
+	if !near(a.ByClass[4], energy.Total()) {
+		t.Fatalf("unknown class %v, want %v", a.ByClass[4], energy.Total())
+	}
+	// Active and spin-up joules with no service fall back to serving;
+	// idle/off to background.
+	if !near(a.ByFunc[FnServing], 13) {
+		t.Fatalf("serving %v, want 13", a.ByFunc[FnServing])
+	}
+	if !near(a.ByFunc[FnBackground], 25) {
+		t.Fatalf("background %v, want 25", a.ByFunc[FnBackground])
+	}
+}
+
+// TestAttributionResidencyWindow: byte-seconds weight idle energy by
+// how long each item was resident, not just by final size.
+func TestAttributionResidencyWindow(t *testing.T) {
+	l := NewEnergyLedger(1)
+	// Item 1 resident [0, 1h) at 1 MiB; item 2 arrives at 30m with the
+	// same size — item 1 holds twice the byte-seconds.
+	l.Residency(0, 0, 1, 1<<20)
+	l.Residency(30*time.Minute, 0, 2, 1<<20)
+	energy := EnclosureEnergy{IdleJ: 300}
+	a := l.Attribute(time.Hour, func(int) EnclosureEnergy { return energy }, func(int64) uint8 { return ClassUnknown })
+	got := map[int64]float64{}
+	for _, it := range a.Enclosures[0].ByItem {
+		got[it.Item] = it.Joules
+	}
+	if !near(got[1], 200) || !near(got[2], 100) {
+		t.Fatalf("residency split %v, want item1=200 item2=100", got)
+	}
+	// An item that departs stops accumulating: remove item 2 at 1h,
+	// attribute again at 2h — item 2 gains nothing more.
+	l.Residency(time.Hour, 0, 2, -(1 << 20))
+	energy.IdleJ = 600
+	a = l.Attribute(2*time.Hour, func(int) EnclosureEnergy { return energy }, func(int64) uint8 { return ClassUnknown })
+	got = map[int64]float64{}
+	for _, it := range a.Enclosures[0].ByItem {
+		got[it.Item] = it.Joules
+	}
+	// Byte-seconds: item 1 has 2h, item 2 has 30m → 4:1 of 600 J.
+	if !near(got[1], 480) || !near(got[2], 120) {
+		t.Fatalf("post-departure split %v, want item1=480 item2=120", got)
+	}
+}
+
+// TestAttributionRepeatable: attributing twice with a non-decreasing
+// end (the esmd live-snapshot pattern) yields consistent, conserved
+// results both times.
+func TestAttributionRepeatable(t *testing.T) {
+	l := NewEnergyLedger(1)
+	l.Residency(0, 0, 1, 1<<20)
+	l.Service(0, 1, FnServing, 10*time.Second)
+	energy := EnclosureEnergy{ActiveJ: 100, IdleJ: 50}
+	encEnergy := func(int) EnclosureEnergy { return energy }
+	classOf := func(int64) uint8 { return 1 }
+	a1 := l.Attribute(30*time.Minute, encEnergy, classOf)
+	checkConservation(t, a1, encEnergy)
+	// More energy accrues; the second snapshot covers it all.
+	energy = EnclosureEnergy{ActiveJ: 150, IdleJ: 80}
+	a2 := l.Attribute(time.Hour, encEnergy, classOf)
+	checkConservation(t, a2, encEnergy)
+	if a2.TotalJ <= a1.TotalJ {
+		t.Fatalf("second snapshot %v not larger than first %v", a2.TotalJ, a1.TotalJ)
+	}
+}

@@ -147,15 +147,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	// Labeled variants of one family sort adjacently; HELP/TYPE are
+	// emitted once per family, as the exposition format requires.
+	lastFamily := ""
 	for _, row := range rows {
 		base := metricName(row.name)
-		if row.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, row.help); err != nil {
+		if base != lastFamily {
+			lastFamily = base
+			if row.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, row.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, row.typ); err != nil {
 				return err
 			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, row.typ); err != nil {
-			return err
 		}
 		var err error
 		if row.integer {

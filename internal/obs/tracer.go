@@ -1,0 +1,354 @@
+// The span tracer: per-I/O phase timing, management-function spans,
+// the streaming latency breakdown and the energy-attribution ledger.
+//
+// Like the Recorder, a nil *Tracer is a valid, fully disabled tracer:
+// every method nil-checks its receiver and returns immediately, so the
+// instrumented physical I/O path pays exactly one pointer comparison
+// per call site when tracing is off. Construct one with NewTracer only
+// when spans are actually wanted.
+
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// IOSpan is the record of one application I/O's life inside the
+// storage unit: when it arrived, how it was resolved, and how its
+// response time splits across phases (spin-up wait → queue → physical
+// service; a cache-resolved I/O spends its whole response in the cache
+// phase).
+type IOSpan struct {
+	// Start is the virtual arrival time; Response the
+	// application-observed response time.
+	Start    time.Duration `json:"start_ns"`
+	Response time.Duration `json:"response_ns"`
+	// Item is the data item; Enclosure the serving enclosure (-1 when
+	// served from cache).
+	Item      int64 `json:"item"`
+	Enclosure int   `json:"enclosure"`
+	Read      bool  `json:"read"`
+	// Class is the item's logical I/O pattern class (0..3) as of the
+	// last determination, ClassUnknown before the first. Stamped by the
+	// tracer.
+	Class uint8 `json:"class"`
+	// PowerState is the serving enclosure's power state at arrival:
+	// "off", "idle" or "active" ("" for cache hits).
+	PowerState string `json:"power_state,omitempty"`
+	// Cause classifies the serve: cache-hit, disk-on, or
+	// spin-up-blocked.
+	Cause IOCause `json:"cause"`
+	// The phase durations. SpinUpWait includes fault-retry backoff.
+	SpinUpWait time.Duration `json:"spinup_wait_ns,omitempty"`
+	QueueWait  time.Duration `json:"queue_wait_ns,omitempty"`
+	Service    time.Duration `json:"service_ns,omitempty"`
+}
+
+// ManagementSpan is the record of one management-function burst: a
+// data-item migration, a preload bulk read, a write-delay destage, or
+// a run of the power management function (a determination, which is
+// instantaneous in virtual time).
+type ManagementSpan struct {
+	// Kind is "migration", "migration-failed", "preload", "destage" or
+	// "determination".
+	Kind  string        `json:"kind"`
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	// Item is the data item moved/loaded/destaged (-1 when n/a).
+	Item int64 `json:"item,omitempty"`
+	// Enclosure is the source/home enclosure; Dst the migration
+	// destination (-1 when n/a).
+	Enclosure int   `json:"enclosure"`
+	Dst       int   `json:"dst,omitempty"`
+	Bytes     int64 `json:"bytes,omitempty"`
+	// Cause carries the determination cause.
+	Cause string `json:"cause,omitempty"`
+	// N is the determination number.
+	N int64 `json:"n,omitempty"`
+}
+
+// SpanSink consumes completed spans. Implementations need not be
+// concurrency-safe; the tracer serialises calls under its lock.
+type SpanSink interface {
+	IOSpan(sp IOSpan)
+	ManagementSpan(sp ManagementSpan)
+	Close() error
+}
+
+// CollectSpanSink buffers spans in memory, for tests.
+type CollectSpanSink struct {
+	IOs        []IOSpan
+	Management []ManagementSpan
+}
+
+// IOSpan implements SpanSink.
+func (s *CollectSpanSink) IOSpan(sp IOSpan) { s.IOs = append(s.IOs, sp) }
+
+// ManagementSpan implements SpanSink.
+func (s *CollectSpanSink) ManagementSpan(sp ManagementSpan) { s.Management = append(s.Management, sp) }
+
+// Close implements SpanSink.
+func (s *CollectSpanSink) Close() error { return nil }
+
+// TracerOptions configures a Tracer. All fields are optional; a zero
+// Options yields a tracer that only keeps the streaming breakdown and
+// ledger.
+type TracerOptions struct {
+	// Sink receives every completed span. Nil discards spans (the
+	// histograms and ledger still accumulate).
+	Sink SpanSink
+	// Registry, when non-nil, is populated with render-time latency
+	// percentile and energy-attribution gauges.
+	Registry *Registry
+	// Enclosures pre-sizes the energy ledger (it grows on demand).
+	Enclosures int
+}
+
+// Tracer records simulated-clock spans for application I/Os and
+// management functions, and maintains the latency breakdown and the
+// energy-attribution ledger on top of them. All methods are safe on a
+// nil receiver (no-ops) and safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	sink    SpanSink
+	classes []uint8
+	lat     LatencyStats
+	ledger  *EnergyLedger
+	// attrib is the most recent Attribute result, served by the
+	// registry gauges and /status between recomputations.
+	attrib *Attribution
+}
+
+// NewTracer returns a live tracer.
+func NewTracer(opts TracerOptions) *Tracer {
+	t := &Tracer{sink: opts.Sink, ledger: NewEnergyLedger(opts.Enclosures)}
+	if reg := opts.Registry; reg != nil {
+		t.register(reg)
+	}
+	return t
+}
+
+// Enabled reports whether the tracer is live. Call sites that must
+// assemble a span guard on it; plain feed calls rely on the methods'
+// own nil checks.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetClasses replaces the item → pattern-class table stamped onto
+// subsequent I/O spans. Values above 3 are treated as unknown.
+func (t *Tracer) SetClasses(classes []uint8) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.classes = append(t.classes[:0], classes...)
+	t.mu.Unlock()
+}
+
+// ClassOf returns item's current pattern class, or ClassUnknown.
+func (t *Tracer) ClassOf(item int64) uint8 {
+	if t == nil {
+		return ClassUnknown
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.classOfLocked(item)
+}
+
+func (t *Tracer) classOfLocked(item int64) uint8 {
+	if item >= 0 && item < int64(len(t.classes)) && t.classes[item] <= 3 {
+		return t.classes[item]
+	}
+	return ClassUnknown
+}
+
+// IO records one completed application I/O span: the pattern class is
+// stamped, the latency breakdown updated, and the span handed to the
+// sink.
+func (t *Tracer) IO(sp IOSpan) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	sp.Class = t.classOfLocked(sp.Item)
+	t.lat.addIO(&sp)
+	if t.sink != nil {
+		t.sink.IOSpan(sp)
+	}
+	t.mu.Unlock()
+}
+
+// Management records one completed management-function span.
+func (t *Tracer) Management(sp ManagementSpan) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.sink != nil {
+		t.sink.ManagementSpan(sp)
+	}
+	t.mu.Unlock()
+}
+
+// Service feeds svc seconds of physical service on enc, for item,
+// driven by fn, into the energy ledger.
+func (t *Tracer) Service(enc int, item int64, fn EnergyFunc, svc time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ledger.Service(enc, item, fn, svc)
+	t.mu.Unlock()
+}
+
+// SpinUps feeds provoked spin-up attempts into the energy ledger.
+func (t *Tracer) SpinUps(enc int, item int64, fn EnergyFunc, attempts int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ledger.SpinUps(enc, item, fn, attempts)
+	t.mu.Unlock()
+}
+
+// Residency feeds a resident-footprint change into the energy ledger.
+func (t *Tracer) Residency(at time.Duration, enc int, item int64, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ledger.Residency(at, enc, item, delta)
+	t.mu.Unlock()
+}
+
+// LatencySummary snapshots the streaming latency breakdown (nil for a
+// nil tracer).
+func (t *Tracer) LatencySummary() *LatencySummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lat.summary()
+}
+
+// Attribute computes the energy attribution as of end (see
+// EnergyLedger.Attribute), caches it for the registry gauges, and
+// returns it. encEnergy reads each enclosure's powermodel joules; it
+// is called under the tracer lock.
+func (t *Tracer) Attribute(end time.Duration, encEnergy func(enc int) EnclosureEnergy) *Attribution {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.attrib = t.ledger.Attribute(end, encEnergy, t.classOfLocked)
+	return t.attrib
+}
+
+// Attribution returns the most recent Attribute result (nil before the
+// first call).
+func (t *Tracer) Attribution() *Attribution {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attrib
+}
+
+// summarySink is implemented by sinks (PerfettoSink) that embed the
+// end-of-run summary in their output.
+type summarySink interface {
+	SetSummary(lat *LatencySummary, attrib *Attribution)
+}
+
+// Close pushes the final latency summary and attribution into the
+// sink, if it accepts one, and closes it.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sink == nil {
+		return nil
+	}
+	if ss, ok := t.sink.(summarySink); ok {
+		ss.SetSummary(t.lat.summary(), t.attrib)
+	}
+	err := t.sink.Close()
+	t.sink = nil
+	return err
+}
+
+// quantileOf returns h's quantile q under the tracer lock.
+func (t *Tracer) quantileOf(h *Histogram, q float64) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if q >= 1 {
+		return h.Max().Seconds()
+	}
+	return h.Percentile(q).Seconds()
+}
+
+// register installs the render-time latency and attribution gauges.
+func (t *Tracer) register(reg *Registry) {
+	quants := []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}, {"1", 1}}
+	for c := IOCause(0); c < IOCauseCount; c++ {
+		h := &t.lat.ByCause[c]
+		name := c.String()
+		reg.GaugeFunc("esm_io_latency_count{cause=\""+name+"\"}",
+			"Application I/Os by serve cause.",
+			func() float64 {
+				t.mu.Lock()
+				defer t.mu.Unlock()
+				return float64(h.Count())
+			})
+		for _, qu := range quants {
+			q := qu.q
+			reg.GaugeFunc("esm_io_latency_seconds{cause=\""+name+"\",quantile=\""+qu.label+"\"}",
+				"Application I/O response-time quantiles by serve cause.",
+				func() float64 { return t.quantileOf(h, q) })
+		}
+	}
+	for p := Phase(0); p < PhaseCount; p++ {
+		h := &t.lat.ByPhase[p]
+		name := p.String()
+		for _, qu := range quants {
+			q := qu.q
+			reg.GaugeFunc("esm_io_phase_seconds{phase=\""+name+"\",quantile=\""+qu.label+"\"}",
+				"Application I/O phase-duration quantiles.",
+				func() float64 { return t.quantileOf(h, q) })
+		}
+	}
+	for i := 0; i < 5; i++ {
+		idx := i
+		reg.GaugeFunc("esm_energy_attributed_joules{class=\""+ClassName(i)+"\"}",
+			"Enclosure joules attributed per logical I/O pattern class.",
+			func() float64 {
+				t.mu.Lock()
+				defer t.mu.Unlock()
+				if t.attrib == nil {
+					return 0
+				}
+				return t.attrib.ByClass[idx]
+			})
+	}
+	for f := EnergyFunc(0); f < EnergyFuncCount; f++ {
+		fn := f
+		reg.GaugeFunc("esm_energy_function_joules{function=\""+fn.String()+"\"}",
+			"Enclosure joules attributed per management function.",
+			func() float64 {
+				t.mu.Lock()
+				defer t.mu.Unlock()
+				if t.attrib == nil {
+					return 0
+				}
+				return t.attrib.ByFunc[fn]
+			})
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsNoOp: every method must be callable on a nil tracer —
+// the disabled fast path the physical I/O loop relies on.
+func TestNilTracerIsNoOp(t *testing.T) {
+	var trc *Tracer
+	if trc.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	trc.SetClasses([]uint8{1, 2})
+	if c := trc.ClassOf(0); c != ClassUnknown {
+		t.Fatalf("nil tracer class %d", c)
+	}
+	trc.IO(IOSpan{Item: 1, Response: time.Millisecond})
+	trc.Management(ManagementSpan{Kind: "migration"})
+	trc.Service(0, 1, FnServing, time.Second)
+	trc.SpinUps(0, 1, FnServing, 1)
+	trc.Residency(0, 0, 1, 1<<20)
+	if s := trc.LatencySummary(); s != nil {
+		t.Fatalf("nil tracer summary %+v", s)
+	}
+	if a := trc.Attribute(time.Hour, nil); a != nil {
+		t.Fatalf("nil tracer attribution %+v", a)
+	}
+	if a := trc.Attribution(); a != nil {
+		t.Fatalf("nil tracer cached attribution %+v", a)
+	}
+	if err := trc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTracerStampsClasses: I/O spans carry the class table installed by
+// the last determination, and unknown items stay unknown.
+func TestTracerStampsClasses(t *testing.T) {
+	sink := &CollectSpanSink{}
+	trc := NewTracer(TracerOptions{Sink: sink})
+	trc.IO(IOSpan{Item: 0, Response: time.Millisecond, Cause: IODiskOn})
+	trc.SetClasses([]uint8{2, 1})
+	trc.IO(IOSpan{Item: 0, Response: time.Millisecond, Cause: IODiskOn})
+	trc.IO(IOSpan{Item: 1, Response: time.Millisecond, Cause: IODiskOn})
+	trc.IO(IOSpan{Item: 9, Response: time.Millisecond, Cause: IODiskOn})
+	want := []uint8{ClassUnknown, 2, 1, ClassUnknown}
+	if len(sink.IOs) != len(want) {
+		t.Fatalf("%d spans, want %d", len(sink.IOs), len(want))
+	}
+	for i, sp := range sink.IOs {
+		if sp.Class != want[i] {
+			t.Errorf("span %d class %d, want %d", i, sp.Class, want[i])
+		}
+	}
+}
+
+// TestTracerSummaryAndSpans: the streaming breakdown matches the spans
+// delivered to the sink, and Close embeds the summary in a summarySink.
+func TestTracerSummaryAndSpans(t *testing.T) {
+	var buf bytes.Buffer
+	trc := NewTracer(TracerOptions{Sink: NewPerfettoSink(&buf, "unit"), Enclosures: 2})
+	trc.Residency(0, 0, 4, 1<<20)
+	trc.IO(IOSpan{Item: 4, Enclosure: -1, Read: true, Response: 300 * time.Microsecond, Cause: IOCacheHit})
+	trc.IO(IOSpan{
+		Item: 4, Enclosure: 0, Read: true, Start: time.Second,
+		Response: 20 * time.Millisecond, Cause: IODiskOn,
+		QueueWait: 3 * time.Millisecond, Service: 17 * time.Millisecond,
+	})
+	trc.Service(0, 4, FnServing, 17*time.Millisecond)
+	trc.Management(ManagementSpan{Kind: "migration", Start: 2 * time.Second, End: 3 * time.Second, Item: 4, Enclosure: 0, Dst: 1, Bytes: 1 << 20})
+
+	sum := trc.LatencySummary()
+	if sum.Total.Count != 2 {
+		t.Fatalf("total count %d", sum.Total.Count)
+	}
+	trc.Attribute(time.Hour, func(int) EnclosureEnergy { return EnclosureEnergy{ActiveJ: 10, IdleJ: 5} })
+	if err := trc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing twice is safe (run() defers Close after an explicit one).
+	if err := trc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf, err := ReadPerfetto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.OtherData == nil || pf.OtherData.Latency == nil || pf.OtherData.Attribution == nil {
+		t.Fatal("otherData summary missing")
+	}
+	if pf.OtherData.Latency.Total.Count != 2 {
+		t.Fatalf("embedded latency count %d", pf.OtherData.Latency.Total.Count)
+	}
+	if pf.OtherData.Attribution.TotalJ != 30 {
+		t.Fatalf("embedded attribution total %v", pf.OtherData.Attribution.TotalJ)
+	}
+}
+
+// TestTracerRegistryGauges: the registry serves the latency quantiles
+// and attribution rolled up by the tracer.
+func TestTracerRegistryGauges(t *testing.T) {
+	reg := NewRegistry()
+	trc := NewTracer(TracerOptions{Registry: reg, Enclosures: 1})
+	for i := 0; i < 100; i++ {
+		trc.IO(IOSpan{Item: 0, Response: 25 * time.Millisecond, Cause: IODiskOn,
+			QueueWait: time.Millisecond, Service: 24 * time.Millisecond})
+	}
+	trc.SetClasses([]uint8{3})
+	trc.Service(0, 0, FnServing, 2400*time.Millisecond)
+	trc.Attribute(time.Hour, func(int) EnclosureEnergy { return EnclosureEnergy{ActiveJ: 42} })
+
+	var out bytes.Buffer
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		`esm_io_latency_count{cause="disk-on"} 100`,
+		`esm_io_latency_seconds{cause="disk-on",quantile="0.99"} 0.025`,
+		`esm_io_phase_seconds{phase="service",quantile="0.5"} 0.024`,
+		`esm_energy_attributed_joules{class="P3"} 42`,
+		`esm_energy_function_joules{function="serving"} 42`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("registry output missing %q:\n%s", want, text)
+		}
+	}
+	// One HELP/TYPE header per metric family, not per labeled variant.
+	if n := strings.Count(text, "# TYPE esm_io_latency_seconds "); n != 1 {
+		t.Errorf("esm_io_latency_seconds has %d TYPE headers, want 1", n)
+	}
+}

@@ -172,6 +172,14 @@ func (a *Accumulator) Duration() time.Duration { return a.duration }
 // InState returns the time spent in s.
 func (a *Accumulator) InState(s State) time.Duration { return a.byState[s] }
 
+// StateEnergyJ returns the Joules consumed in state s (its residency
+// times its draw). The four states' energies sum to EnergyJ up to
+// float rounding; attribution ledgers split these exact per-state
+// totals so their shares add back to the accumulator reading.
+func (a *Accumulator) StateEnergyJ(s State) float64 {
+	return a.params.Watts(s) * a.byState[s].Seconds()
+}
+
 // AverageW returns the mean power over the integrated time, or 0 when no
 // time has been integrated.
 func (a *Accumulator) AverageW() float64 {

@@ -62,6 +62,12 @@ type Run struct {
 	// Recorder, when non-nil, receives the telemetry event stream from
 	// the array and (if the policy supports it) the policy itself.
 	Recorder *obs.Recorder
+	// Tracer, when non-nil, receives per-I/O and management-function
+	// spans from the array and (if the policy supports it) the policy.
+	// Execute finalizes the latency summary and energy attribution into
+	// the Result but does not close the tracer: its sink belongs to the
+	// caller (who may share it across runs or embed a summary on Close).
+	Tracer *obs.Tracer
 	// Faults, when non-nil, is the fault scenario injected into the run.
 	// The same scenario (same seed) reproduces the same fault sequence.
 	Faults *faults.Config
@@ -119,6 +125,13 @@ type Result struct {
 	// Degradations counts the policy's transitions into degraded mode
 	// (zero for policies without one).
 	Degradations int64
+	// Latency is the tracer's end-of-run latency breakdown (per cause
+	// and per phase); nil without a tracer.
+	Latency *obs.LatencySummary
+	// Attribution is the tracer's energy attribution (per enclosure,
+	// item, pattern class and management function); nil without a
+	// tracer.
+	Attribution *obs.Attribution
 }
 
 // StateResidency is the fraction of the run one enclosure spent in each
@@ -153,6 +166,11 @@ func Execute(r Run) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The tracer attaches before placement so the energy ledger's
+	// residency accounting sees every item land on its home enclosure.
+	if r.Tracer != nil {
+		arr.SetTracer(r.Tracer)
+	}
 	for item, enc := range r.Placement {
 		if err := arr.Place(trace.ItemID(item), enc); err != nil {
 			return nil, err
@@ -165,6 +183,11 @@ func Execute(r Run) (*Result, error) {
 		arr.SetRecorder(r.Recorder)
 		if p, ok := pol.(interface{ SetRecorder(*obs.Recorder) }); ok {
 			p.SetRecorder(r.Recorder)
+		}
+	}
+	if r.Tracer != nil {
+		if p, ok := pol.(interface{ SetTracer(*obs.Tracer) }); ok {
+			p.SetTracer(r.Tracer)
 		}
 	}
 	var inj *faults.Injector
@@ -296,6 +319,10 @@ func Execute(r Run) (*Result, error) {
 	res.AvgTotalW = arr.Meter().AverageTotalW(end)
 	res.EnergyJ = arr.Meter().TotalEnergyJ(end)
 	res.Monitor = stMon
+	if r.Tracer != nil {
+		res.Latency = r.Tracer.LatencySummary()
+		res.Attribution = r.Tracer.Attribute(end, arr.EnclosureEnergy)
+	}
 	for e := 0; e < r.Storage.Enclosures; e++ {
 		acc := arr.Meter().Enclosure(e)
 		total := acc.Duration().Seconds()

@@ -91,6 +91,8 @@ type migration struct {
 	// done, if non-nil, runs exactly once: when the copy completes, or
 	// when the migration is skipped, dropped or abandoned on a fault.
 	done func()
+	// startedAt is when the copy began, for the tracer's migration span.
+	startedAt time.Duration
 }
 
 // Array simulates the storage unit.
@@ -117,6 +119,9 @@ type Array struct {
 	// rec is the telemetry recorder; nil (the default) disables every
 	// emission at the cost of one nil check per call site.
 	rec *obs.Recorder
+	// trc is the span tracer; nil (the default) disables span recording
+	// and energy attribution at the cost of one nil check per call site.
+	trc *obs.Tracer
 
 	// inj injects faults; nil (the default) injects nothing. faultObs,
 	// when non-nil, observes every injected fault (policies hook it to
@@ -192,6 +197,27 @@ func (a *Array) SetRecorder(rec *obs.Recorder) { a.rec = rec }
 
 // Recorder returns the attached telemetry recorder (nil when off).
 func (a *Array) Recorder() *obs.Recorder { return a.rec }
+
+// SetTracer attaches the span tracer. A nil tracer (the default) keeps
+// the physical I/O path free of tracing work beyond a nil check. Call
+// it before replay starts so residency feeds see every placement.
+func (a *Array) SetTracer(trc *obs.Tracer) { a.trc = trc }
+
+// Tracer returns the attached span tracer (nil when off).
+func (a *Array) Tracer() *obs.Tracer { return a.trc }
+
+// EnclosureEnergy reads enclosure e's integrated joules by power
+// state, the attribution ledger's input. Call Finish (or otherwise
+// sync the enclosures) first so the reading covers the full timeline.
+func (a *Array) EnclosureEnergy(e int) obs.EnclosureEnergy {
+	acc := a.mtr.Enclosure(e)
+	return obs.EnclosureEnergy{
+		ActiveJ: acc.StateEnergyJ(powermodel.Active),
+		IdleJ:   acc.StateEnergyJ(powermodel.Idle),
+		OffJ:    acc.StateEnergyJ(powermodel.Off),
+		SpinUpJ: acc.StateEnergyJ(powermodel.SpinUp),
+	}
+}
 
 // SetFaultInjector attaches a fault injector. A nil injector (the
 // default) keeps every path fault-free. The array reports each injected
@@ -368,6 +394,7 @@ func (a *Array) Place(item trace.ItemID, e int) error {
 	base := a.enc[e].alloc(size)
 	*st = itemState{placed: true, enc: e, base: base, size: size}
 	a.segs[e] = append(a.segs[e], segment{base: base, size: size, item: item, extent: -1})
+	a.trc.Residency(a.clk.Now(), e, int64(item), size)
 	return nil
 }
 
@@ -407,14 +434,27 @@ func (a *Array) ResolveExtent(e int, block int64) (ExtentRef, bool) {
 }
 
 // physical issues one physical I/O and returns its completion time.
-// kind attributes any spin-up the I/O provokes. On a *FaultError the
-// I/O never ran: nothing is counted or observed.
-func (a *Array) physical(now time.Duration, e int, block int64, size int32, op trace.Op, forceSeq bool, kind ioKind) (time.Duration, error) {
+// kind attributes any spin-up the I/O provokes; item is the data item
+// the transfer belongs to (for energy attribution). info, when
+// non-nil, receives the arrival's phase breakdown; when nil with a
+// live tracer, a local one feeds the ledger. On a *FaultError the I/O
+// never ran: nothing is counted or observed.
+func (a *Array) physical(now time.Duration, e int, block int64, size int32, op trace.Op, forceSeq bool, kind ioKind, item trace.ItemID, info *arrivalInfo) (time.Duration, error) {
 	encl := a.enc[e]
 	seq := encl.isSequential(block, size) || forceSeq
-	end, err := encl.arrival(now, block, size, seq, kind)
+	if info == nil && a.trc != nil {
+		info = &arrivalInfo{}
+	}
+	end, err := encl.arrival(now, block, size, seq, kind, info)
 	if err != nil {
 		return 0, err
+	}
+	if a.trc != nil {
+		fn := kind.fn()
+		a.trc.Service(e, int64(item), fn, info.service)
+		if info.spinUpAttempts > 0 {
+			a.trc.SpinUps(e, int64(item), fn, info.spinUpAttempts)
+		}
 	}
 	if op == trace.OpRead {
 		a.stats.PhysicalReads++
@@ -454,18 +494,27 @@ func (a *Array) Submit(rec trace.LogicalRecord) (Result, error) {
 		if a.preload.hit(item, now) {
 			a.stats.CacheHits++
 			a.rec.CacheHit()
+			a.traceCacheHit(now, item, true, a.cfg.CacheHitTime)
 			return Result{Response: a.cfg.CacheHitTime, CacheHit: true, Enclosure: -1}, nil
 		}
 		if a.readCached(item, firstPage, lastPage) {
 			a.stats.CacheHits++
 			a.rec.CacheHit()
+			a.traceCacheHit(now, item, true, a.cfg.CacheHitTime)
 			return Result{Response: a.cfg.CacheHitTime, CacheHit: true, Enclosure: -1}, nil
 		}
 		e, block := a.locate(item, rec.Offset)
-		end, err := a.physical(now, e, block, rec.Size, trace.OpRead, false, kindApp)
+		var info *arrivalInfo
+		if a.trc != nil {
+			info = &arrivalInfo{}
+		}
+		end, err := a.physical(now, e, block, rec.Size, trace.OpRead, false, kindApp, item, info)
 		if err != nil {
 			a.inj.CountFailedAppIO()
 			return Result{Enclosure: e}, err
+		}
+		if a.trc != nil {
+			a.tracePhysical(now, end, item, e, true, info)
 		}
 		if !a.preload.pinned(item) {
 			for p := firstPage; p <= lastPage; p++ {
@@ -482,16 +531,24 @@ func (a *Array) Submit(rec trace.LogicalRecord) (Result, error) {
 	if a.batteryOK && a.wdelay.selected[item] {
 		a.stats.DelayedWrites++
 		a.rec.DelayedWrite()
+		a.traceCacheHit(now, item, false, a.cfg.CacheAckTime)
 		if a.wdelay.absorb(item, firstPage, lastPage, rec.Size) {
 			a.flushWriteDelay(now)
 		}
 		return Result{Response: a.cfg.CacheAckTime, CacheHit: true, Enclosure: -1}, nil
 	}
 	e, block := a.locate(item, rec.Offset)
-	end, err := a.physical(now, e, block, rec.Size, trace.OpWrite, false, kindApp)
+	var info *arrivalInfo
+	if a.trc != nil {
+		info = &arrivalInfo{}
+	}
+	end, err := a.physical(now, e, block, rec.Size, trace.OpWrite, false, kindApp, item, info)
 	if err != nil {
 		a.inj.CountFailedAppIO()
 		return Result{Enclosure: e}, err
+	}
+	if a.trc != nil {
+		a.tracePhysical(now, end, item, e, false, info)
 	}
 	for p := firstPage; p <= lastPage; p++ {
 		if a.general.contains(pageKey{item, p}) {
@@ -499,6 +556,33 @@ func (a *Array) Submit(rec trace.LogicalRecord) (Result, error) {
 		}
 	}
 	return Result{Response: end - now, Enclosure: e}, nil
+}
+
+// traceCacheHit records the span of a cache-resolved application I/O.
+func (a *Array) traceCacheHit(now time.Duration, item trace.ItemID, read bool, resp time.Duration) {
+	if a.trc == nil {
+		return
+	}
+	a.trc.IO(obs.IOSpan{
+		Start: now, Response: resp,
+		Item: int64(item), Enclosure: -1, Read: read,
+		Cause: obs.IOCacheHit,
+	})
+}
+
+// tracePhysical records the span of a physically served application
+// I/O from its captured arrival breakdown.
+func (a *Array) tracePhysical(now, end time.Duration, item trace.ItemID, e int, read bool, info *arrivalInfo) {
+	cause := obs.IODiskOn
+	if info.spinUpWait > 0 {
+		cause = obs.IOSpinUpBlocked
+	}
+	a.trc.IO(obs.IOSpan{
+		Start: now, Response: end - now,
+		Item: int64(item), Enclosure: e, Read: read,
+		PowerState: info.powerState, Cause: cause,
+		SpinUpWait: info.spinUpWait, QueueWait: info.queueWait, Service: info.service,
+	})
 }
 
 // evictPreload drops item's pinned preload copy, if any, releasing its
@@ -533,7 +617,7 @@ func (a *Array) readCached(item trace.ItemID, firstPage, lastPage int64) bool {
 // aborts on the first faulted chunk (in practice only the first can
 // fault: once the enclosure is up, later chunks cannot hit a spin-up
 // failure).
-func (a *Array) chunked(now time.Duration, e int, base, size int64, chunk int64, op trace.Op, kind ioKind) (time.Duration, error) {
+func (a *Array) chunked(now time.Duration, e int, base, size int64, chunk int64, op trace.Op, kind ioKind, item trace.ItemID) (time.Duration, error) {
 	var end time.Duration
 	for off := int64(0); off < size; off += chunk {
 		n := chunk
@@ -541,7 +625,7 @@ func (a *Array) chunked(now time.Duration, e int, base, size int64, chunk int64,
 			n = size - off
 		}
 		var err error
-		end, err = a.physical(now, e, base+off, int32(n), op, true, kind)
+		end, err = a.physical(now, e, base+off, int32(n), op, true, kind, item, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -571,9 +655,16 @@ func (a *Array) flushItem(now time.Duration, item trace.ItemID) {
 		return
 	}
 	st := &a.items[item]
-	if _, err := a.chunked(now, st.enc, st.base, n, 256<<20, trace.OpWrite, kindFlush); err != nil {
+	end, err := a.chunked(now, st.enc, st.base, n, 256<<20, trace.OpWrite, kindFlush, item)
+	if err != nil {
 		a.inj.CountFailedFlush()
 		return
+	}
+	if a.trc != nil {
+		a.trc.Management(obs.ManagementSpan{
+			Kind: "destage", Start: now, End: end,
+			Item: int64(item), Enclosure: st.enc, Dst: -1, Bytes: n,
+		})
 	}
 	a.wdelay.clearItem(item)
 	a.stats.FlushedBytes += n
@@ -665,7 +756,7 @@ func (a *Array) SetPreload(items []trace.ItemID) {
 	var loaded []int64
 	for _, it := range toLoad {
 		st := &a.items[it]
-		end, err := a.chunked(now, st.enc, st.base, st.size, 256<<20, trace.OpRead, kindPreload)
+		end, err := a.chunked(now, st.enc, st.base, st.size, 256<<20, trace.OpRead, kindPreload, it)
 		if err != nil {
 			// The bulk read could not run; the item is not pinned and its
 			// budget is released.
@@ -675,6 +766,12 @@ func (a *Array) SetPreload(items []trace.ItemID) {
 		}
 		a.preload.loadedAt[it] = end
 		a.stats.PreloadedBytes += st.size
+		if a.trc != nil {
+			a.trc.Management(obs.ManagementSpan{
+				Kind: "preload", Start: now, End: end,
+				Item: int64(it), Enclosure: st.enc, Dst: -1, Bytes: st.size,
+			})
+		}
 		if a.rec.Enabled() {
 			loaded = append(loaded, int64(it))
 		}
@@ -740,6 +837,7 @@ func (a *Array) kickMigration() {
 		a.migActive = true
 		// Destage any delayed writes so the copy is complete.
 		a.flushItem(a.clk.Now(), m.item)
+		m.startedAt = a.clk.Now()
 		a.rec.MigrationStart(a.clk.Now(), int64(m.item), st.enc, m.dst, st.size)
 		a.migrateChunk(a.clk.Now(), m)
 	}
@@ -759,7 +857,7 @@ func (a *Array) migrateChunk(now time.Duration, m *migration) {
 			a.failMigration(now, m)
 			return
 		}
-		if _, err := a.physical(now, m.dst, m.base+m.offset, int32(n), trace.OpWrite, true, kindMigration); err != nil {
+		if _, err := a.physical(now, m.dst, m.base+m.offset, int32(n), trace.OpWrite, true, kindMigration, m.item, nil); err != nil {
 			a.failMigration(now, m)
 			return
 		}
@@ -781,7 +879,7 @@ func (a *Array) migrateChunk(now time.Duration, m *migration) {
 func (a *Array) readMigrationSpan(now time.Duration, item trace.ItemID, off, n int64) error {
 	if len(a.extents) == 0 {
 		st := &a.items[item]
-		_, err := a.physical(now, st.enc, st.base+off, int32(n), trace.OpRead, true, kindMigration)
+		_, err := a.physical(now, st.enc, st.base+off, int32(n), trace.OpRead, true, kindMigration, item, nil)
 		return err
 	}
 	for n > 0 {
@@ -790,7 +888,7 @@ func (a *Array) readMigrationSpan(now time.Duration, item trace.ItemID, off, n i
 			span = n
 		}
 		e, block := a.locate(item, off)
-		if _, err := a.physical(now, e, block, int32(span), trace.OpRead, true, kindMigration); err != nil {
+		if _, err := a.physical(now, e, block, int32(span), trace.OpRead, true, kindMigration, item, nil); err != nil {
 			return err
 		}
 		off += span
@@ -809,6 +907,12 @@ func (a *Array) failMigration(now time.Duration, m *migration) {
 	a.stats.MigrationsFailed++
 	a.inj.CountFailedMigration()
 	a.rec.MigrationFailed(now, int64(m.item), st.enc, m.dst)
+	if a.trc != nil {
+		a.trc.Management(obs.ManagementSpan{
+			Kind: "migration-failed", Start: m.startedAt, End: now,
+			Item: int64(m.item), Enclosure: st.enc, Dst: m.dst, Bytes: m.offset,
+		})
+	}
 	a.migActive = false
 	if m.done != nil {
 		m.done()
@@ -822,10 +926,14 @@ func (a *Array) finishMigration(m *migration) {
 	// Drop source segments (whole-item and extent overrides alike), and
 	// release each override's allocation on its own enclosure.
 	a.removeItemSegments(src, m.item)
+	var remapped int64
 	for ref, loc := range a.extents {
 		if ref.Item == m.item {
 			a.removeExtentSegment(loc.enc, ref)
-			a.enc[loc.enc].used -= a.extentSize(m.item, ref.Extent)
+			n := a.extentSize(m.item, ref.Extent)
+			a.enc[loc.enc].used -= n
+			a.trc.Residency(a.clk.Now(), loc.enc, int64(m.item), -n)
+			remapped += n
 			delete(a.extents, ref)
 		}
 	}
@@ -838,6 +946,18 @@ func (a *Array) finishMigration(m *migration) {
 	a.migActive = false
 	a.stats.Migrations++
 	a.rec.MigrationDone(a.clk.Now(), int64(m.item), src, m.dst, st.size)
+	if a.trc != nil {
+		now := a.clk.Now()
+		a.trc.Management(obs.ManagementSpan{
+			Kind: "migration", Start: m.startedAt, End: now,
+			Item: int64(m.item), Enclosure: src, Dst: m.dst, Bytes: st.size,
+		})
+		// The source held the item's bytes minus any extents that had
+		// been remapped away (those were debited above, at their
+		// override locations); the destination now holds it whole.
+		a.trc.Residency(now, src, int64(m.item), -(st.size - remapped))
+		a.trc.Residency(now, m.dst, int64(m.item), st.size)
+	}
 	if m.done != nil {
 		m.done()
 	}
@@ -886,13 +1006,13 @@ func (a *Array) MigrateExtent(ref ExtentRef, dst int) error {
 	if a.enc[dst].used+n > a.cfg.EnclosureCapacity {
 		return fmt.Errorf("storage: enclosure %d lacks space for extent %v", dst, ref)
 	}
-	if _, err := a.physical(now, srcEnc, srcBlock, int32(n), trace.OpRead, true, kindMigration); err != nil {
+	if _, err := a.physical(now, srcEnc, srcBlock, int32(n), trace.OpRead, true, kindMigration, ref.Item, nil); err != nil {
 		a.stats.MigrationsFailed++
 		a.inj.CountFailedMigration()
 		return err
 	}
 	base := a.enc[dst].alloc(n)
-	if _, err := a.physical(now, dst, base, int32(n), trace.OpWrite, true, kindMigration); err != nil {
+	if _, err := a.physical(now, dst, base, int32(n), trace.OpWrite, true, kindMigration, ref.Item, nil); err != nil {
 		// Release the reservation; the cursor hole is harmless.
 		a.enc[dst].used -= n
 		a.stats.MigrationsFailed++
@@ -909,6 +1029,14 @@ func (a *Array) MigrateExtent(ref ExtentRef, dst int) error {
 	a.segs[dst] = append(a.segs[dst], segment{base: base, size: n, item: ref.Item, extent: ref.Extent})
 	a.stats.MigratedBytes += n
 	a.stats.Migrations++
+	if a.trc != nil {
+		a.trc.Management(obs.ManagementSpan{
+			Kind: "migration", Start: now, End: a.clk.Now(),
+			Item: int64(ref.Item), Enclosure: srcEnc, Dst: dst, Bytes: n,
+		})
+		a.trc.Residency(now, srcEnc, int64(ref.Item), -n)
+		a.trc.Residency(now, dst, int64(ref.Item), n)
+	}
 	return nil
 }
 

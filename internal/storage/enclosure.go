@@ -39,6 +39,41 @@ func (k ioKind) cause() obs.Cause {
 	}
 }
 
+// fn maps the I/O kind to the management function its energy is
+// attributed to.
+func (k ioKind) fn() obs.EnergyFunc {
+	switch k {
+	case kindMigration:
+		return obs.FnMigration
+	case kindFlush:
+		return obs.FnDestage
+	case kindPreload:
+		return obs.FnPreload
+	default:
+		return obs.FnServing
+	}
+}
+
+// arrivalInfo captures the phase breakdown of one arrival for the span
+// tracer. The pointer is nil when tracing is off, so the hot path pays
+// nothing beyond the nil checks.
+type arrivalInfo struct {
+	// powerState is the enclosure state at arrival: "off", "idle" or
+	// "active".
+	powerState string
+	// spinUpWait is the time from arrival to service readiness when the
+	// enclosure was off (spin-up plus any fault-retry backoff); zero
+	// when it was on.
+	spinUpWait time.Duration
+	// queueWait is the wait for a free server after readiness.
+	queueWait time.Duration
+	// service is the physical service duration.
+	service time.Duration
+	// spinUpAttempts counts the spin-up attempts the arrival provoked
+	// (failed attempts burn spin-up energy too).
+	spinUpAttempts int
+}
+
 // streamCursors is the number of concurrent sequential streams an
 // enclosure's sequential detector tracks.
 const streamCursors = 4
@@ -182,9 +217,20 @@ func (e *enclosure) serviceTime(size int32, sequential bool) time.Duration {
 // time. The completion includes any spin-up wait, retry backoff and
 // queueing delay. kind attributes any spin-up the arrival provokes. A
 // *FaultError is returned when an injected fault exhausts the spin-up
-// retries; the enclosure then stays off and the I/O never runs.
-func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequential bool, kind ioKind) (time.Duration, error) {
+// retries; the enclosure then stays off and the I/O never runs. info,
+// when non-nil, receives the arrival's phase breakdown.
+func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequential bool, kind ioKind, info *arrivalInfo) (time.Duration, error) {
 	e.sync(now)
+	if info != nil {
+		switch {
+		case !e.on:
+			info.powerState = "off"
+		case now < e.busyUntil:
+			info.powerState = "active"
+		default:
+			info.powerState = "idle"
+		}
+	}
 	start := now
 	if !e.on {
 		// Spin up, retrying failed attempts with exponential backoff on
@@ -194,6 +240,9 @@ func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequenti
 		for e.inj.SpinUpAttemptFails(start, e.id, attempt) {
 			e.acc.Add(powermodel.SpinUp, e.cfg.Power.SpinUpTime)
 			start += e.cfg.Power.SpinUpTime
+			if info != nil {
+				info.spinUpAttempts++
+			}
 			if attempt >= e.inj.MaxSpinUpAttempts() {
 				e.lastSync = start
 				e.inj.SpinUpExhausted(start, e.id)
@@ -223,6 +272,10 @@ func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequenti
 		}
 		e.lastSync = spinEnd
 		start = spinEnd
+		if info != nil {
+			info.spinUpAttempts++
+			info.spinUpWait = start - now
+		}
 	}
 	svc := e.serviceTime(size, sequential)
 	if e.inj.TransientIO(start, e.id) {
@@ -244,6 +297,10 @@ func (e *enclosure) arrival(now time.Duration, block int64, size int32, sequenti
 	e.servers[k] = end
 	if end > e.busyUntil {
 		e.busyUntil = end
+	}
+	if info != nil {
+		info.queueWait = begin - start
+		info.service = svc
 	}
 	return end, nil
 }
