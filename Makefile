@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json trace-smoke clean
+.PHONY: all build vet test race check bench bench-json trace-smoke bench-smoke clean
 
 all: build
 
@@ -40,6 +40,18 @@ trace-smoke:
 		echo "validating $$f"; \
 		ESM_TRACE_FILE=$$f $(GO) test -run TestTraceSmoke -count=1 ./internal/obs/ || exit 1; \
 	done
+
+# bench-smoke is the CI regression gate: a short flight-recorded run of
+# the file-server figure diffed against the committed baseline manifest
+# with loose +/-25% thresholds (the replay is deterministic).
+bench-smoke:
+	rm -rf /tmp/esm-bench-smoke
+	$(GO) run ./cmd/esmbench -workload fileserver -scale 0.1 -fig 8 \
+		-series /tmp/esm-bench-smoke
+	$(GO) run ./cmd/esmstat diff \
+		-energy 0.25 -resp 0.25 -spinups 0.25 -migrations 0.25 \
+		ci/baseline/BENCH_fileserver-esm.json \
+		/tmp/esm-bench-smoke/BENCH_fileserver-esm.json
 
 clean:
 	$(GO) clean ./...

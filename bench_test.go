@@ -288,18 +288,19 @@ func BenchmarkTableIIParameters(b *testing.B) {
 }
 
 // BenchmarkTelemetryOverhead measures the cost of the obs layer on the
-// replay hot path. "off" replays with a nil recorder and nil tracer —
-// every instrumented call site must reduce to one nil check — while
-// "sink" adds a JSONL event sink and registry and "trace" a live
-// per-I/O span tracer (histograms and energy ledger, no span sink).
-// Compare the ns/op figures: the off case must not regress against a
-// pre-telemetry baseline.
+// replay hot path. "off" replays with a nil recorder, tracer and flight
+// recorder — every instrumented call site must reduce to one nil check
+// — while "sink" adds a JSONL event sink and registry, "trace" a live
+// per-I/O span tracer (histograms and energy ledger, no span sink),
+// and "series" a flight recorder sampling the whole system on the
+// power grid. Compare the ns/op figures: the off case must not regress
+// against a pre-telemetry baseline.
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	w, err := experiments.Build(experiments.FileServer, 0.1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	replayOnce := func(b *testing.B, rec *obs.Recorder, trc *obs.Tracer) {
+	replayOnce := func(b *testing.B, rec *obs.Recorder, trc *obs.Tracer, fr *obs.FlightRecorder) {
 		b.Helper()
 		esm, err := core.NewESM(core.DefaultParams())
 		if err != nil {
@@ -315,6 +316,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			ClosedLoop: w.ClosedLoop,
 			Recorder:   rec,
 			Tracer:     trc,
+			Series:     fr,
 		}
 		if _, err := replay.Execute(run); err != nil {
 			b.Fatal(err)
@@ -322,7 +324,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			replayOnce(b, nil, nil)
+			replayOnce(b, nil, nil, nil)
 		}
 	})
 	b.Run("sink", func(b *testing.B) {
@@ -331,7 +333,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				Sink:     obs.NewJSONLSink(io.Discard),
 				Registry: obs.NewRegistry(),
 			})
-			replayOnce(b, rec, nil)
+			replayOnce(b, rec, nil, nil)
 			if err := rec.Close(); err != nil {
 				b.Fatal(err)
 			}
@@ -340,10 +342,15 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("trace", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			trc := obs.NewTracer(obs.TracerOptions{Enclosures: experiments.StorageFor(w).Enclosures})
-			replayOnce(b, nil, trc)
+			replayOnce(b, nil, trc, nil)
 			if err := trc.Close(); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+	b.Run("series", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			replayOnce(b, nil, nil, obs.NewFlightRecorder(obs.FlightOptions{}))
 		}
 	})
 }

@@ -7,14 +7,18 @@
 // Usage:
 //
 //	esmbench [-scale f] [-workload fileserver|oltp|dss|all] [-fig N]
-//	         [-parallel N] [-json out.json] [-list]
+//	         [-parallel N] [-json out.json] [-series dir] [-list]
 //
 // -scale 1.0 reproduces the paper's full durations (hours of simulated
 // time; minutes of CPU). The default scale keeps runs under a minute.
 // Independent replays run concurrently, -parallel at a time (default
 // GOMAXPROCS); results are identical at any setting. -json additionally
 // writes every figure's per-policy numbers to a machine-readable file
-// (see `make bench-json`).
+// (see `make bench-json`). -series attaches a flight recorder to every
+// replay and writes, per run, a whole-system time series CSV plus a
+// BENCH_<workload>-<policy>.json run manifest into the directory;
+// `esmstat diff` compares two manifests with relative regression
+// thresholds (the CI gate, see `make bench-smoke`).
 package main
 
 import (
@@ -42,6 +46,7 @@ func main() {
 	extended := flag.Bool("extended", false, "also evaluate the extended baselines (timeout, MAID, write off-loading)")
 	events := flag.String("events", "", "append every replay's telemetry event stream to this JSONL file")
 	tracePath := flag.String("trace", "", "write a Perfetto trace-event file per replay (policy and workload are inserted into the name)")
+	seriesDir := flag.String("series", "", "write a flight-recorder series CSV and a BENCH_<workload>-<policy>.json run manifest per replay into this directory")
 	parallel := flag.Int("parallel", 0, "max concurrent replays (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "also write per-figure results as JSON to this file")
 	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m (see README)")
@@ -69,7 +74,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scale, *kind, *fig, *extended, *events, *tracePath, *jsonPath, fc); err != nil {
+	if err := run(*scale, *kind, *fig, *extended, *events, *tracePath, *seriesDir, *jsonPath, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "esmbench:", err)
 		os.Exit(1)
 	}
@@ -80,6 +85,41 @@ func main() {
 func traceFileFor(path, workload, policy string) string {
 	ext := filepath.Ext(path)
 	return path[:len(path)-len(ext)] + "-" + workload + "-" + policy + ext
+}
+
+// writeSeriesAndManifests writes, for every replay of ev, the flight
+// series as <dir>/<workload>-<policy>.series.csv and the run manifest
+// as <dir>/BENCH_<workload>-<policy>.json — the pair `esmstat diff`
+// compares across runs.
+func writeSeriesAndManifests(dir string, scale float64, fc *faults.Config, ev *experiments.Eval) error {
+	for i, f := range ev.Policies {
+		res := ev.Results[i]
+		base := ev.Workload.Name + "-" + f.Name
+		seriesFile := base + ".series.csv"
+		if s := res.Series; s != nil {
+			sf, err := os.Create(filepath.Join(dir, seriesFile))
+			if err != nil {
+				return err
+			}
+			if err := s.WriteCSV(sf); err != nil {
+				sf.Close()
+				return err
+			}
+			if err := sf.Close(); err != nil {
+				return err
+			}
+		} else {
+			seriesFile = ""
+		}
+		m := experiments.NewManifest(ev.Workload, f.Name, scale, fc, res)
+		m.Date = time.Now().Format("2006-01-02")
+		m.SeriesFile = seriesFile
+		if err := m.WriteFile(filepath.Join(dir, "BENCH_"+base+".json")); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("   (wrote %d run manifests + series under %s)\n", len(ev.Policies), dir)
+	return nil
 }
 
 // figsOf maps each application to its figure numbers in the paper.
@@ -117,7 +157,12 @@ func runSweeps(scale float64, kindFlag string) error {
 	return nil
 }
 
-func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tracePath, jsonPath string, fc *faults.Config) error {
+func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tracePath, seriesDir, jsonPath string, fc *faults.Config) error {
+	if seriesDir != "" {
+		if err := os.MkdirAll(seriesDir, 0o755); err != nil {
+			return err
+		}
+	}
 	kinds := experiments.Kinds()
 	if kindFlag != "all" {
 		kinds = []experiments.Kind{experiments.Kind(kindFlag)}
@@ -222,7 +267,17 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tra
 				return t
 			}
 		}
-		ev, err := experiments.EvaluateWithObservers(w, pols, recFor, trcFor, fc)
+		// With -series, every replay gets its own flight recorder; the
+		// series CSV and run manifest are written from the results below.
+		var flightFor func(policy string) *obs.FlightRecorder
+		if seriesDir != "" {
+			flightFor = func(string) *obs.FlightRecorder {
+				return obs.NewFlightRecorder(obs.FlightOptions{})
+			}
+		}
+		ev, err := experiments.EvaluateOpts(w, pols, experiments.Observers{
+			Recorder: recFor, Tracer: trcFor, Flight: flightFor, Faults: fc,
+		})
 		for _, t := range tracers {
 			if cerr := t.Close(); cerr != nil && err == nil {
 				err = cerr
@@ -233,6 +288,11 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tra
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("   (replayed %d policies in %v)\n", len(pols), elapsed.Round(time.Millisecond))
+		if seriesDir != "" {
+			if err := writeSeriesAndManifests(seriesDir, ks, fc, ev); err != nil {
+				return err
+			}
+		}
 		if len(traceFiles) > 0 {
 			fmt.Printf("   (wrote %d Perfetto traces: %s ...)\n", len(traceFiles), traceFiles[0])
 			experiments.LatencyTable("Traced latency breakdown — "+w.Name, ev).Fprint(os.Stdout)

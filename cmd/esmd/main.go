@@ -17,7 +17,11 @@
 // -trace it records a per-I/O span trace and writes it as a
 // Chrome/Perfetto trace-event JSON file on exit; the live latency
 // breakdown and energy attribution then also appear in /status and
-// /metrics, and esmstat latency/attrib render the saved file.
+// /metrics, and esmstat latency/attrib render the saved file. With
+// -series a flight recorder samples the whole system every
+// -series-interval of simulated time and writes the series CSV on
+// exit; with -listen the live series is also served on /series
+// (JSON, ?format=csv, ?since=/?until= windowing).
 //
 // Usage:
 //
@@ -44,6 +48,7 @@ import (
 	"esm/internal/config"
 	"esm/internal/core"
 	"esm/internal/faults"
+	"esm/internal/metrics"
 	"esm/internal/obs"
 	"esm/internal/policy"
 	"esm/internal/simclock"
@@ -60,6 +65,8 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /status and /debug/pprof on this address")
 	events := flag.String("events", "", "append the telemetry event stream to this JSONL file")
 	tracePath := flag.String("trace", "", "write a Perfetto trace-event JSON file of every I/O and management span")
+	seriesPath := flag.String("series", "", "sample a whole-system flight-recorder series, write it here as CSV on exit (also served live on /series)")
+	seriesInterval := flag.Duration("series-interval", 30*time.Second, "flight-recorder sampling interval (simulated time)")
 	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m")
 	flag.Parse()
 
@@ -76,6 +83,8 @@ func main() {
 		listen:        *listen,
 		eventsPath:    *events,
 		tracePath:     *tracePath,
+		seriesPath:    *seriesPath,
+		seriesEvery:   *seriesInterval,
 	}
 	if *faultSpec != "" {
 		fc, err := faults.ParseSpec(*faultSpec)
@@ -100,6 +109,8 @@ type daemonOpts struct {
 	listen        string
 	eventsPath    string
 	tracePath     string
+	seriesPath    string
+	seriesEvery   time.Duration
 	faults        *faults.Config
 }
 
@@ -118,6 +129,7 @@ type daemon struct {
 	enclosures int
 	rec        *obs.Recorder
 	trc        *obs.Tracer
+	flight     *obs.FlightRecorder
 
 	// mu guards snap against concurrent /status scrapes.
 	mu   sync.Mutex
@@ -125,6 +137,7 @@ type daemon struct {
 
 	records int64
 	lastDet int64
+	resp    metrics.ResponseStats
 }
 
 // statusSnapshot is the JSON payload of /status.
@@ -165,15 +178,31 @@ func run(opts daemonOpts, in io.Reader, out io.Writer) error {
 			return err
 		}
 		defer ln.Close()
-		handler := obs.Handler(d.rec.Registry(), d.statusJSON)
+		handler := obs.Handler(d.rec.Registry(), d.statusJSON, d.flight.Series)
 		go http.Serve(ln, handler)
-		fmt.Fprintf(out, "serving /metrics /status /debug/pprof on %v\n", ln.Addr())
+		fmt.Fprintf(out, "serving /metrics /status /series /debug/pprof on %v\n", ln.Addr())
 	}
 
 	if err := d.processStream(in); err != nil {
 		return err
 	}
 	d.report()
+	if opts.seriesPath != "" {
+		if s := d.flight.Series(); s != nil {
+			f, err := os.Create(opts.seriesPath)
+			if err != nil {
+				return err
+			}
+			if err := s.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "flight series (%d samples) written to %s\n", s.Len(), opts.seriesPath)
+		}
+	}
 	if err := d.trc.Close(); err != nil {
 		return err
 	}
@@ -293,6 +322,11 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 	if trc != nil {
 		esm.SetTracer(trc)
 	}
+	var flight *obs.FlightRecorder
+	if opts.seriesPath != "" || opts.listen != "" {
+		flight = obs.NewFlightRecorder(obs.FlightOptions{Interval: opts.seriesEvery})
+		esm.SetFlightRecorder(flight)
+	}
 	var inj *faults.Injector
 	if opts.faults != nil {
 		inj, err = faults.NewInjector(*opts.faults)
@@ -318,9 +352,71 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 		enclosures: enclosures,
 		rec:        rec,
 		trc:        trc,
+		flight:     flight,
+	}
+	if flight != nil {
+		// Self-rescheduling sampler on the simulated clock: the stream
+		// loop's RunUntil fires every tick up to the current record's
+		// time, so the series follows the stream at the configured
+		// interval of simulated (not wall) time.
+		every := opts.seriesEvery
+		if every <= 0 {
+			every = 30 * time.Second
+		}
+		var tick func(now time.Duration)
+		tick = func(now time.Duration) {
+			flight.Record(d.flightSample(now))
+			evq.Schedule(now+every, tick)
+		}
+		flight.Record(d.flightSample(0))
+		evq.Schedule(every, tick)
 	}
 	d.updateSnapshot(0)
 	return d, nil
+}
+
+// flightSample assembles one whole-system snapshot at simulated time
+// now (the daemon-side twin of the replay engine's sampler).
+func (d *daemon) flightSample(now time.Duration) obs.FlightSample {
+	d.arr.Finish()
+	m := d.arr.Meter()
+	occ := d.arr.CacheOccupancy()
+	st := d.arr.Stats()
+	s := obs.FlightSample{
+		T:                 now,
+		EnclosureEnergyJ:  m.EnclosureEnergyJ(),
+		TotalEnergyJ:      m.TotalEnergyJ(now),
+		SpinUps:           m.SpinUps(),
+		CacheGeneralPages: occ.GeneralPages,
+		CachePreloadBytes: occ.PreloadUsedBytes,
+		CacheDirtyBytes:   occ.WriteDelayDirtyBytes,
+		Determinations:    d.esm.Determinations(),
+		Migrations:        st.Migrations,
+		MigratedBytes:     st.MigratedBytes,
+		PhysicalReads:     st.PhysicalReads,
+		PhysicalWrites:    st.PhysicalWrites,
+		CacheHits:         st.CacheHits,
+		RespCount:         d.resp.Count(),
+		RespMean:          d.resp.Mean(),
+		RespP95:           d.resp.Percentile(0.95),
+		RespP99:           d.resp.Percentile(0.99),
+		Faults:            d.inj.Counters().Total(),
+		Degraded:          d.esm.Degraded(),
+	}
+	for e := 0; e < d.arr.Enclosures(); e++ {
+		es := obs.EnclosureSample{UsedBytes: d.arr.Used(e)}
+		switch since, idle := d.arr.IdleSince(e, now); {
+		case !d.arr.EnclosureOn(e, now):
+			es.State = obs.EnclosureOff
+		case idle:
+			es.State = obs.EnclosureIdle
+			es.IdleFor = now - since
+		default:
+			es.State = obs.EnclosureActive
+		}
+		s.Enclosures = append(s.Enclosures, es)
+	}
+	return s
 }
 
 // processStream consumes CSV logical records from in, driving the
@@ -348,13 +444,15 @@ func (d *daemon) processStream(in io.Reader) error {
 		now = rec.Time
 		d.evq.RunUntil(d.clk, now)
 		d.esm.OnLogical(rec)
-		if _, err := d.arr.Submit(rec); err != nil {
+		if out, err := d.arr.Submit(rec); err != nil {
 			// Injected faults kill the individual I/O, not the daemon;
 			// anything else is a real error and aborts the stream.
 			var fe *storage.FaultError
 			if !errors.As(err, &fe) {
 				return fmt.Errorf("line %d: %w", line, err)
 			}
+		} else {
+			d.resp.Add(rec.Op, out.Response)
 		}
 		d.records++
 		d.status(now)
@@ -364,6 +462,7 @@ func (d *daemon) processStream(in io.Reader) error {
 	}
 	d.esm.Finish(now)
 	d.arr.Finish()
+	d.flight.Final(d.flightSample(now))
 	d.updateSnapshot(now)
 	return nil
 }

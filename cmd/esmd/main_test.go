@@ -149,7 +149,7 @@ func TestDaemonServesEndpoints(t *testing.T) {
 	var out bytes.Buffer
 	d := testDaemon(t, daemonOpts{quiet: true, listen: "127.0.0.1:0"}, &out)
 	// Serve the way run() does, but on an ephemeral port owned by the test.
-	srv := http.Server{Handler: obs.Handler(d.rec.Registry(), d.statusJSON)}
+	srv := http.Server{Handler: obs.Handler(d.rec.Registry(), d.statusJSON, d.flight.Series)}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -195,5 +195,53 @@ func TestDaemonServesEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("/debug/pprof/: code %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series obs.Series
+	if err := json.NewDecoder(resp.Body).Decode(&series); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if series.Len() == 0 || series.Column("total_energy_j") == nil {
+		t.Fatalf("/series payload: %d samples, cols %v", series.Len(), series.Cols)
+	}
+}
+
+// TestDaemonFlightSeries: a daemon with -series samples the stream on
+// the simulated clock and the final sample carries the end-of-stream
+// counters.
+func TestDaemonFlightSeries(t *testing.T) {
+	var out bytes.Buffer
+	d := testDaemon(t, daemonOpts{quiet: true, seriesPath: "x", seriesEvery: time.Second}, &out)
+	var sb strings.Builder
+	// 10 simulated seconds of traffic, one read per second.
+	for i := 0; i <= 10; i++ {
+		fmt.Fprintf(&sb, "%d,%d,0,4096,R\n", int64(i)*int64(time.Second), i%8)
+	}
+	if err := d.processStream(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	s := d.flight.Series()
+	if s == nil || s.Len() < 10 {
+		t.Fatalf("series has %d samples, want >= 10 (1 Hz over 10 s)", s.Len())
+	}
+	reads := s.Column("physical_reads")
+	hits := s.Column("cache_hits")
+	if reads == nil || hits == nil {
+		t.Fatalf("columns missing: %v", s.Cols)
+	}
+	if got := reads[len(reads)-1] + 0; got+hits[len(hits)-1] == 0 {
+		t.Fatal("final sample saw no I/O at all")
+	}
+	if respCount := s.Column("resp_count"); respCount[len(respCount)-1] != 11 {
+		t.Fatalf("final resp_count %v, want 11", respCount[len(respCount)-1])
+	}
+	// The per-enclosure layout covers the daemon's 4 enclosures.
+	if s.Column("enc3_state") == nil {
+		t.Fatalf("per-enclosure columns missing: %v", s.Cols)
 	}
 }

@@ -1,0 +1,82 @@
+// The diff subcommand: compare two run manifests (BENCH_*.json written
+// by esmbench -series) signal by signal with relative thresholds. This
+// is the regression gate — CI diffs a fresh run against a committed
+// baseline and fails the build when a gated signal crosses its
+// threshold.
+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"esm/internal/experiments"
+)
+
+// runDiff compares baseline and new manifests; the returned bool is
+// true when any gated signal regressed (the caller exits non-zero).
+func runDiff(args []string) (bool, error) {
+	fs := flag.NewFlagSet("esmstat diff", flag.ExitOnError)
+	def := experiments.DefaultDiffThresholds()
+	energy := fs.Float64("energy", def.Energy, "relative threshold on energy_j and avg_enclosure_w")
+	resp := fs.Float64("resp", def.Resp, "relative threshold on resp_mean_us and resp_p95_us")
+	spinups := fs.Float64("spinups", def.SpinUps, "relative threshold on spin_ups")
+	migrations := fs.Float64("migrations", def.Migrations, "relative threshold on migrations and migrated_bytes")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 2 {
+		return false, fmt.Errorf("usage: esmstat diff [-energy F] [-resp F] [-spinups F] [-migrations F] <baseline.json> <new.json>")
+	}
+	a, err := experiments.ReadManifest(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	b, err := experiments.ReadManifest(fs.Arg(1))
+	if err != nil {
+		return false, err
+	}
+	d := experiments.DiffManifests(a, b, experiments.DiffThresholds{
+		Energy: *energy, Resp: *resp, SpinUps: *spinups, Migrations: *migrations,
+	})
+	renderDiff(os.Stdout, a, b, d)
+	return d.Regressed(), nil
+}
+
+// renderDiff prints the signal table, advisory warnings, and the
+// verdict line.
+func renderDiff(out io.Writer, a, b experiments.Manifest, d *experiments.Diff) {
+	fmt.Fprintf(out, "diff %s/%s: %s -> %s\n", a.Workload, a.Policy, orDash(a.Date), orDash(b.Date))
+	for _, w := range d.Warnings {
+		fmt.Fprintf(out, "warning: %s\n", w)
+	}
+	fmt.Fprintf(out, "  %-16s %14s %14s %9s %6s\n", "signal", "old", "new", "delta", "gate")
+	regressions := 0
+	for _, r := range d.Rows {
+		delta := "-"
+		if r.Old > 0 {
+			delta = fmt.Sprintf("%+.1f%%", r.DeltaPct)
+		}
+		mark := ""
+		if r.Regressed {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(out, "  %-16s %14.6g %14.6g %9s %5.0f%%%s\n",
+			r.Signal, r.Old, r.New, delta, r.Threshold*100, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(out, "REGRESSION: %d signal(s) over threshold\n", regressions)
+	} else {
+		fmt.Fprintln(out, "no regression")
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -39,7 +39,7 @@ var coveredEventKinds = map[obs.EventType]bool{
 	obs.EvDegrade:            true,
 }
 
-func runEvents(out io.Writer, path, runLabel string) error {
+func runEvents(out io.Writer, path, runLabel string, since, until time.Duration) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -51,6 +51,9 @@ func runEvents(out io.Writer, path, runLabel string) error {
 	}
 	if len(events) == 0 {
 		return fmt.Errorf("%s: no events", path)
+	}
+	if events = windowEvents(events, since, until); len(events) == 0 {
+		return fmt.Errorf("%s: no events in the -since/-until window", path)
 	}
 
 	byRun := map[string][]obs.Event{}
@@ -75,6 +78,24 @@ func runEvents(out io.Writer, path, runLabel string) error {
 		renderRun(out, r, byRun[r])
 	}
 	return nil
+}
+
+// windowEvents keeps the events inside the [since, until] simulated-
+// time window; until <= 0 means "to the end of the log", the same
+// semantics as the series window.
+func windowEvents(events []obs.Event, since, until time.Duration) []obs.Event {
+	if since <= 0 && until <= 0 {
+		return events
+	}
+	var out []obs.Event
+	for _, ev := range events {
+		t := time.Duration(ev.T)
+		if t < since || (until > 0 && t > until) {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
 }
 
 func renderRun(out io.Writer, run string, events []obs.Event) {

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"esm/internal/obs"
 )
@@ -85,5 +86,45 @@ func TestRenderRunShowsEveryRenderedKind(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %s (%q):\n%s", why, want, out)
 		}
+	}
+}
+
+// TestWindowEvents pins the -since/-until semantics: inclusive bounds,
+// until <= 0 unbounded, and the no-window case returns the input as-is.
+func TestWindowEvents(t *testing.T) {
+	var events []obs.Event
+	for i := 0; i <= 10; i++ {
+		events = append(events, obs.Event{T: int64(i) * int64(time.Second), Type: obs.EvPowerOff,
+			Power: &obs.PowerEvent{Enclosure: i, State: "off", Cause: "policy"}})
+	}
+	if got := windowEvents(events, 0, 0); len(got) != len(events) {
+		t.Fatalf("no-op window dropped events: %d of %d", len(got), len(events))
+	}
+	got := windowEvents(events, 3*time.Second, 7*time.Second)
+	if len(got) != 5 || got[0].Power.Enclosure != 3 || got[4].Power.Enclosure != 7 {
+		t.Fatalf("window [3s,7s] kept %d events, first/last %+v %+v", len(got), got[0].Power, got[len(got)-1].Power)
+	}
+	if got := windowEvents(events, 8*time.Second, 0); len(got) != 3 {
+		t.Fatalf("open-ended window kept %d events, want 3", len(got))
+	}
+	if got := windowEvents(events, 20*time.Second, 0); got != nil {
+		t.Fatalf("empty window returned %d events", len(got))
+	}
+}
+
+// TestRenderRunWindowed: the renderer over a windowed slice only shows
+// what is inside the window.
+func TestRenderRunWindowed(t *testing.T) {
+	events := []obs.Event{
+		{T: 2e9, Type: obs.EvDetermination, Determination: &obs.DeterminationEvent{
+			N: 1, Cause: "period-end", Hot: []bool{}, NextPeriodNS: 60e9}},
+		{T: 600e9, Type: obs.EvDetermination, Determination: &obs.DeterminationEvent{
+			N: 2, Cause: "period-end", Hot: []bool{}, NextPeriodNS: 60e9}},
+	}
+	var sb strings.Builder
+	renderRun(&sb, "w", windowEvents(events, 0, 10*time.Second))
+	out := sb.String()
+	if !strings.Contains(out, "#1") || strings.Contains(out, "#2") {
+		t.Fatalf("windowed render wrong:\n%s", out)
 	}
 }

@@ -11,12 +11,20 @@
 // per-phase/per-cause latency breakdown and the per-class/per-function
 // energy attribution embedded in the file.
 //
+// The series subcommand summarizes a flight-recorder series CSV
+// (esmbench -series / esmd -series), and diff compares two run
+// manifests (BENCH_*.json) with relative regression thresholds,
+// exiting 1 when a gated signal crosses its threshold — the CI
+// regression gate.
+//
 // Usage:
 //
 //	esmstat -trace fs.trace -catalog fs.items [-break-even 52s] [-top 5]
-//	esmstat -events events.jsonl [-run fileserver/esm]
+//	esmstat -events events.jsonl [-run fileserver/esm] [-since 10m] [-until 1h]
 //	esmstat latency run.trace.json
 //	esmstat attrib [-top 3] run.trace.json
+//	esmstat series [-since 10m] [-until 1h] [-csv] fileserver-esm.series.csv
+//	esmstat diff [-energy 0.05] [-resp 0.1] baseline.json new.json
 package main
 
 import (
@@ -40,6 +48,22 @@ func main() {
 				os.Exit(1)
 			}
 			return
+		case "series":
+			if err := runSeries(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "esmstat:", err)
+				os.Exit(1)
+			}
+			return
+		case "diff":
+			regressed, err := runDiff(os.Args[2:])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "esmstat:", err)
+				os.Exit(2)
+			}
+			if regressed {
+				os.Exit(1)
+			}
+			return
 		}
 	}
 	tracePath := flag.String("trace", "", "binary trace path")
@@ -48,10 +72,11 @@ func main() {
 	top := flag.Int("top", 5, "items to list per pattern")
 	eventsPath := flag.String("events", "", "telemetry event log (JSONL) to render instead of a trace")
 	runLabel := flag.String("run", "", "with -events: only render the stream with this run label")
+	since, until := addWindowFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *eventsPath != "" {
-		if err := runEvents(os.Stdout, *eventsPath, *runLabel); err != nil {
+		if err := runEvents(os.Stdout, *eventsPath, *runLabel, *since, *until); err != nil {
 			fmt.Fprintln(os.Stderr, "esmstat:", err)
 			os.Exit(1)
 		}

@@ -51,9 +51,10 @@ type ESM struct {
 	lastFault    time.Duration
 	planErrors   int64
 
-	rec  *obs.Recorder
-	trc  *obs.Tracer
-	wake *simclock.Event
+	rec    *obs.Recorder
+	trc    *obs.Tracer
+	flight *obs.FlightRecorder
+	wake   *simclock.Event
 }
 
 // NewESM returns the proposed policy with the given parameters.
@@ -75,6 +76,11 @@ func (d *ESM) SetRecorder(rec *obs.Recorder) { d.rec = rec }
 // management span and refreshes the tracer's item → pattern-class
 // table, so I/O spans and energy attribution carry P0–P3 labels.
 func (d *ESM) SetTracer(trc *obs.Tracer) { d.trc = trc }
+
+// SetFlightRecorder attaches a flight recorder. Each determination then
+// refreshes the recorder's P0–P3 item counts, so every flight sample
+// carries the current pattern distribution.
+func (d *ESM) SetFlightRecorder(fr *obs.FlightRecorder) { d.flight = fr }
 
 // Params returns the policy parameters.
 func (d *ESM) Params() Params { return d.params }
@@ -326,6 +332,13 @@ func (d *ESM) runManagement(now time.Duration, cause obs.Cause) {
 	d.lastRun = now
 	d.ranOnce = true
 	d.determinations++
+	if d.flight.Enabled() {
+		var counts [4]int
+		for _, p := range plan.Patterns {
+			counts[p]++
+		}
+		d.flight.SetClassCounts(counts)
+	}
 	if d.rec.Enabled() {
 		var counts [4]int
 		for _, p := range plan.Patterns {

@@ -27,26 +27,38 @@ import (
 )
 
 // PolicyFactory builds fresh policy instances (policies are stateful, so
-// every replay needs its own).
+// every replay needs its own). A failing constructor surfaces as an
+// error from the evaluation harness, wrapped with the workload/policy
+// label — never a panic inside a sweep worker.
 type PolicyFactory struct {
 	Name string
-	New  func() policy.Policy
+	New  func() (policy.Policy, error)
+}
+
+// Simple constructor adapts an infallible policy constructor to the
+// factory signature.
+func Simple(fn func() policy.Policy) func() (policy.Policy, error) {
+	return func() (policy.Policy, error) { return fn(), nil }
+}
+
+// newESM adapts core.NewESM to the factory signature (an explicit nil
+// interface on error, not a typed-nil *core.ESM).
+func newESM(params core.Params) (policy.Policy, error) {
+	p, err := core.NewESM(params)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // DefaultPolicies returns the paper's comparison set: no power saving,
 // the proposed method, PDC and DDR, parameterised per Table II.
 func DefaultPolicies() []PolicyFactory {
 	return []PolicyFactory{
-		{Name: "none", New: func() policy.Policy { return policy.NoPowerSaving{} }},
-		{Name: "esm", New: func() policy.Policy {
-			p, err := core.NewESM(core.DefaultParams())
-			if err != nil {
-				panic(err)
-			}
-			return p
-		}},
-		{Name: "pdc", New: func() policy.Policy { return pdc.New(pdc.DefaultConfig()) }},
-		{Name: "ddr", New: func() policy.Policy { return ddr.New(ddr.DefaultConfig()) }},
+		{Name: "none", New: Simple(func() policy.Policy { return policy.NoPowerSaving{} })},
+		{Name: "esm", New: func() (policy.Policy, error) { return newESM(core.DefaultParams()) }},
+		{Name: "pdc", New: Simple(func() policy.Policy { return pdc.New(pdc.DefaultConfig()) })},
+		{Name: "ddr", New: Simple(func() policy.Policy { return ddr.New(ddr.DefaultConfig()) })},
 	}
 }
 
@@ -69,7 +81,7 @@ func PoliciesFor(scale float64) []PolicyFactory {
 		if min := 4 * time.Minute; cfg.Period < min {
 			cfg.Period = min
 		}
-		out[i].New = func() policy.Policy { return pdc.New(cfg) }
+		out[i].New = Simple(func() policy.Policy { return pdc.New(cfg) })
 	}
 	return out
 }
@@ -164,24 +176,55 @@ func EvaluateWithFaults(w *workload.Workload, factories []PolicyFactory, rec fun
 // sink describe exactly one run); esmbench hands out one Perfetto file
 // per policy. Tracers are not closed here — the caller owns the sinks.
 func EvaluateWithObservers(w *workload.Workload, factories []PolicyFactory, rec func(policy string) *obs.Recorder, trc func(policy string) *obs.Tracer, fc *faults.Config) (*Eval, error) {
+	return EvaluateOpts(w, factories, Observers{Recorder: rec, Tracer: trc, Faults: fc})
+}
+
+// Observers bundles the optional per-run observation surfaces of an
+// evaluation. Every callback may be nil, and may return nil for
+// individual policies; each run needs its own tracer and flight
+// recorder (both describe exactly one replay).
+type Observers struct {
+	// Recorder supplies the telemetry event recorder per policy.
+	Recorder func(policy string) *obs.Recorder
+	// Tracer supplies the per-I/O span tracer per policy.
+	Tracer func(policy string) *obs.Tracer
+	// Flight supplies the whole-system flight recorder per policy.
+	Flight func(policy string) *obs.FlightRecorder
+	// Faults is the fault scenario injected into every run.
+	Faults *faults.Config
+}
+
+// EvaluateOpts replays w under every policy with the given observers.
+// The replays run concurrently on the scheduler's worker pool; jobs —
+// including every observer callback and policy construction — are built
+// serially before any worker starts, so a failing PolicyFactory returns
+// a labelled error instead of panicking inside a worker.
+func EvaluateOpts(w *workload.Workload, factories []PolicyFactory, o Observers) (*Eval, error) {
 	ev := &Eval{Workload: w, Policies: factories}
 	jobs := make([]runJob, 0, len(factories))
 	for _, f := range factories {
+		pol, err := f.New()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", w.Name+"/"+f.Name, err)
+		}
 		run := replay.Run{
 			Catalog:    w.Catalog,
 			Source:     w.Source(),
 			Placement:  w.Placement,
 			Storage:    StorageFor(w),
-			Policy:     f.New(),
+			Policy:     pol,
 			Duration:   w.Duration,
 			ClosedLoop: w.ClosedLoop,
-			Faults:     fc,
+			Faults:     o.Faults,
 		}
-		if rec != nil {
-			run.Recorder = rec(f.Name)
+		if o.Recorder != nil {
+			run.Recorder = o.Recorder(f.Name)
 		}
-		if trc != nil {
-			run.Tracer = trc(f.Name)
+		if o.Tracer != nil {
+			run.Tracer = o.Tracer(f.Name)
+		}
+		if o.Flight != nil {
+			run.Series = o.Flight(f.Name)
 		}
 		for _, win := range w.Windows {
 			run.Windows = append(run.Windows, replay.Window{Name: win.Name, Start: win.Start, End: win.End})
@@ -530,19 +573,15 @@ func fmtBytes(n int64) string {
 // contribute?
 func AblationPolicies() []PolicyFactory {
 	esmVariant := func(name string, mutate func(*core.Params)) PolicyFactory {
-		return PolicyFactory{Name: name, New: func() policy.Policy {
+		return PolicyFactory{Name: name, New: func() (policy.Policy, error) {
 			params := core.DefaultParams()
 			mutate(&params)
-			p, err := core.NewESM(params)
-			if err != nil {
-				panic(err)
-			}
-			return p
+			return newESM(params)
 		}}
 	}
 	return []PolicyFactory{
-		{Name: "none", New: func() policy.Policy { return policy.NoPowerSaving{} }},
-		{Name: "timeout", New: func() policy.Policy { return policy.FixedTimeout{} }},
+		{Name: "none", New: Simple(func() policy.Policy { return policy.NoPowerSaving{} })},
+		{Name: "timeout", New: Simple(func() policy.Policy { return policy.FixedTimeout{} })},
 		esmVariant("esm", func(*core.Params) {}),
 		esmVariant("esm-nomigrate", func(p *core.Params) { p.DisableMigration = true }),
 		esmVariant("esm-nopreload", func(p *core.Params) { p.DisablePreload = true }),
@@ -623,9 +662,9 @@ func PowerSeriesChart(title string, ev *Eval) *Table {
 func ExtendedPolicies(scale float64) []PolicyFactory {
 	out := PoliciesFor(scale)
 	out = append(out,
-		PolicyFactory{Name: "timeout", New: func() policy.Policy { return policy.FixedTimeout{} }},
-		PolicyFactory{Name: "maid", New: func() policy.Policy { return maid.New(maid.DefaultConfig()) }},
-		PolicyFactory{Name: "offload", New: func() policy.Policy { return offload.New(offload.DefaultConfig()) }},
+		PolicyFactory{Name: "timeout", New: Simple(func() policy.Policy { return policy.FixedTimeout{} })},
+		PolicyFactory{Name: "maid", New: Simple(func() policy.Policy { return maid.New(maid.DefaultConfig()) })},
+		PolicyFactory{Name: "offload", New: Simple(func() policy.Policy { return offload.New(offload.DefaultConfig()) })},
 	)
 	return out
 }

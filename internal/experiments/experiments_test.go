@@ -36,7 +36,11 @@ func TestDefaultPoliciesComplete(t *testing.T) {
 	names := map[string]bool{}
 	for _, f := range DefaultPolicies() {
 		names[f.Name] = true
-		if p := f.New(); p.Name() != f.Name {
+		p, err := f.New()
+		if err != nil {
+			t.Fatalf("factory %q: %v", f.Name, err)
+		}
+		if p.Name() != f.Name {
 			t.Fatalf("factory %q builds policy %q", f.Name, p.Name())
 		}
 	}
@@ -55,7 +59,10 @@ func TestPoliciesForScalesPDCPeriod(t *testing.T) {
 	}
 	scaled := PoliciesFor(0.1)
 	for _, f := range scaled {
-		p := f.New()
+		p, err := f.New()
+		if err != nil {
+			t.Fatalf("factory %q: %v", f.Name, err)
+		}
 		if p.Name() != f.Name {
 			t.Fatalf("factory %q builds %q", f.Name, p.Name())
 		}
@@ -129,7 +136,11 @@ func TestExtendedPoliciesComplete(t *testing.T) {
 	names := map[string]bool{}
 	for _, f := range ExtendedPolicies(0.5) {
 		names[f.Name] = true
-		if p := f.New(); p.Name() != f.Name {
+		p, err := f.New()
+		if err != nil {
+			t.Fatalf("factory %q: %v", f.Name, err)
+		}
+		if p.Name() != f.Name {
 			t.Fatalf("factory %q builds %q", f.Name, p.Name())
 		}
 	}
@@ -144,9 +155,9 @@ func TestAblationPoliciesComplete(t *testing.T) {
 	names := map[string]bool{}
 	for _, f := range AblationPolicies() {
 		names[f.Name] = true
-		p := f.New()
-		if p == nil {
-			t.Fatalf("factory %q built nil", f.Name)
+		p, err := f.New()
+		if err != nil || p == nil {
+			t.Fatalf("factory %q built %v (err %v)", f.Name, p, err)
 		}
 	}
 	for _, want := range []string{"none", "timeout", "esm", "esm-nomigrate", "esm-nopreload", "esm-nowdelay"} {
@@ -214,8 +225,8 @@ func TestPowerSeriesChart(t *testing.T) {
 		t.Fatal(err)
 	}
 	ev, err := Evaluate(w, []PolicyFactory{
-		{Name: "none", New: func() policy.Policy { return policy.NoPowerSaving{} }},
-		{Name: "timeout", New: func() policy.Policy { return policy.FixedTimeout{} }},
+		{Name: "none", New: Simple(func() policy.Policy { return policy.NoPowerSaving{} })},
+		{Name: "timeout", New: Simple(func() policy.Policy { return policy.FixedTimeout{} })},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -241,8 +252,8 @@ func TestStateMixTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	ev, err := Evaluate(w, []PolicyFactory{
-		{Name: "none", New: func() policy.Policy { return policy.NoPowerSaving{} }},
-		{Name: "timeout", New: func() policy.Policy { return policy.FixedTimeout{} }},
+		{Name: "none", New: Simple(func() policy.Policy { return policy.NoPowerSaving{} })},
+		{Name: "timeout", New: Simple(func() policy.Policy { return policy.FixedTimeout{} })},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"esm/internal/metrics"
+	"esm/internal/replay"
+	"esm/internal/trace"
+	"esm/internal/workload"
+)
+
+func manifestFixture(t *testing.T) Manifest {
+	t.Helper()
+	cfg := workload.DefaultSyntheticConfig()
+	cfg.Duration = 10 * time.Minute
+	w, err := workload.GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &replay.Result{
+		PolicyName:     "esm",
+		Span:           w.Duration,
+		EnergyJ:        5000,
+		AvgEnclosureW:  120,
+		AvgTotalW:      150,
+		SpinUps:        12,
+		Determinations: 3,
+	}
+	var resp metrics.ResponseStats
+	for i := 0; i < 100; i++ {
+		resp.Add(trace.OpRead, time.Duration(i+1)*time.Millisecond)
+	}
+	res.Resp = resp
+	res.Storage.Migrations = 7
+	res.Storage.MigratedBytes = 7 << 30
+	res.Storage.CacheHits = 40
+	return NewManifest(w, "esm", 0.5, nil, res)
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := manifestFixture(t)
+	m.SeriesFile = "synthetic-esm.series.csv"
+	path := filepath.Join(t.TempDir(), "BENCH_synthetic-esm.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip changed the manifest:\n got %+v\nwant %+v", got, m)
+	}
+	if got.ConfigHash == "" || got.GoVersion == "" {
+		t.Fatalf("manifest lacks provenance: %+v", got)
+	}
+	if got.Totals.EnergyJ != 5000 || got.Totals.SpinUps != 12 || got.Totals.Migrations != 7 {
+		t.Fatalf("totals wrong: %+v", got.Totals)
+	}
+}
+
+func TestReadManifestRejectsJunk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil {
+		t.Fatal("empty object accepted as a manifest")
+	}
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDiffNoRegressionOnIdenticalRun(t *testing.T) {
+	m := manifestFixture(t)
+	d := DiffManifests(m, m, DefaultDiffThresholds())
+	if d.Regressed() {
+		t.Fatalf("identical manifests regressed: %+v", d.Rows)
+	}
+	if len(d.Warnings) != 0 {
+		t.Fatalf("identical manifests warned: %v", d.Warnings)
+	}
+	if len(d.Rows) < 7 {
+		t.Fatalf("only %d signals compared", len(d.Rows))
+	}
+}
+
+func TestDiffDetectsEnergyRegression(t *testing.T) {
+	a := manifestFixture(t)
+	b := a
+	// An injected 10% energy regression must trip the 5% default gate.
+	b.Totals.EnergyJ = a.Totals.EnergyJ * 1.10
+	d := DiffManifests(a, b, DefaultDiffThresholds())
+	if !d.Regressed() {
+		t.Fatalf("10%% energy regression not detected: %+v", d.Rows)
+	}
+	var hit bool
+	for _, r := range d.Rows {
+		if r.Signal == "energy_j" {
+			hit = r.Regressed
+			if r.DeltaPct < 9.9 || r.DeltaPct > 10.1 {
+				t.Fatalf("energy delta %.2f%%, want ~10%%", r.DeltaPct)
+			}
+		} else if r.Regressed {
+			t.Fatalf("signal %s spuriously regressed", r.Signal)
+		}
+	}
+	if !hit {
+		t.Fatal("energy_j row not marked regressed")
+	}
+	// Loose CI thresholds (±25%) let the same delta pass.
+	loose := DiffThresholds{Energy: 0.25, Resp: 0.25, SpinUps: 0.25, Migrations: 0.25}
+	if DiffManifests(a, b, loose).Regressed() {
+		t.Fatal("10% delta tripped the 25% threshold")
+	}
+}
+
+func TestDiffImprovementsAndZeroBaselinesPass(t *testing.T) {
+	a := manifestFixture(t)
+	b := a
+	b.Totals.EnergyJ = a.Totals.EnergyJ * 0.5 // improvement
+	b.Totals.RespMeanUs = 0
+	a.Totals.SpinUps = 0 // zero baseline: never gated
+	b.Totals.SpinUps = 100
+	if d := DiffManifests(a, b, DefaultDiffThresholds()); d.Regressed() {
+		t.Fatalf("improvement/zero-baseline flagged as regression: %+v", d.Rows)
+	}
+}
+
+func TestDiffWarnsOnMismatchedProvenance(t *testing.T) {
+	a := manifestFixture(t)
+	b := a
+	b.ConfigHash = "deadbeef0000"
+	b.GoVersion = "go0.0"
+	b.Policy = "pdc"
+	d := DiffManifests(a, b, DefaultDiffThresholds())
+	if len(d.Warnings) < 3 {
+		t.Fatalf("want config/go/experiment warnings, got %v", d.Warnings)
+	}
+	for _, w := range d.Warnings {
+		if strings.Contains(w, "REGRESSION") {
+			t.Fatalf("warning reads like a gate: %q", w)
+		}
+	}
+}

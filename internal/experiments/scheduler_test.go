@@ -112,7 +112,7 @@ func TestSchedulerErrorLabel(t *testing.T) {
 	SetParallelism(4)
 	defer SetParallelism(0)
 	_, err := Evaluate(w, []PolicyFactory{
-		{Name: "none", New: func() policy.Policy { return policy.NoPowerSaving{} }},
+		{Name: "none", New: Simple(func() policy.Policy { return policy.NoPowerSaving{} })},
 	})
 	if err == nil {
 		t.Fatal("unsorted trace accepted")

@@ -1,0 +1,421 @@
+// The flight recorder: whole-system snapshots on the simulated clock,
+// kept in a compact columnar store with bounded-memory downsampling.
+// Like Recorder and Tracer, a nil *FlightRecorder is a valid disabled
+// instance — every method nil-checks its receiver, so wiring costs the
+// hot path one pointer comparison when sampling is off.
+
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// FlightSample is one whole-system snapshot at simulated time T. The
+// energy, spin-up, migration and I/O columns are cumulative since the
+// start of the run; the cache and enclosure columns are instantaneous.
+type FlightSample struct {
+	T time.Duration
+
+	// Cumulative energy of the enclosures alone and of the whole unit
+	// (enclosures + controller), and the enclosure power-on count.
+	EnclosureEnergyJ float64
+	TotalEnergyJ     float64
+	SpinUps          int
+
+	// Instantaneous cache occupancy.
+	CacheGeneralPages int
+	CachePreloadBytes int64
+	CacheDirtyBytes   int64
+
+	// ClassCounts is the P0–P3 item distribution of the most recent
+	// placement determination. The recorder stamps it into every sample
+	// (see SetClassCounts), like the tracer stamps span classes.
+	ClassCounts [4]int
+
+	// Cumulative policy and array counters.
+	Determinations int64
+	Migrations     int64
+	MigratedBytes  int64
+	PhysicalReads  int64
+	PhysicalWrites int64
+	CacheHits      int64
+
+	// Running application-response aggregates.
+	RespCount int64
+	RespMean  time.Duration
+	RespP95   time.Duration
+	RespP99   time.Duration
+
+	// Cumulative injected-fault count and the policy's current
+	// degraded-mode flag.
+	Faults   int64
+	Degraded bool
+
+	// Enclosures is the per-enclosure state; its length fixes the
+	// column layout at the first recorded sample.
+	Enclosures []EnclosureSample
+}
+
+// Enclosure power states as stored in the enc<i>_state column.
+const (
+	EnclosureOff    = 0
+	EnclosureIdle   = 1
+	EnclosureActive = 2
+)
+
+// EnclosureSample is one enclosure's state within a FlightSample.
+type EnclosureSample struct {
+	// State is EnclosureOff, EnclosureIdle or EnclosureActive (spin-up
+	// counts as active: the disks draw power and I/O is pending).
+	State uint8
+	// UsedBytes is the allocated capacity.
+	UsedBytes int64
+	// IdleFor is how long the enclosure has been idle (zero unless
+	// State is EnclosureIdle).
+	IdleFor time.Duration
+}
+
+// FlightOptions configures a FlightRecorder.
+type FlightOptions struct {
+	// Interval is the sampling interval on the simulated clock. Zero
+	// lets the driver pick its default grid (replay uses span/120).
+	Interval time.Duration
+	// MaxSamples bounds the stored samples. When the store fills, every
+	// other sample is dropped and the acceptance stride doubles, so
+	// memory stays bounded while the whole run remains covered at
+	// halved resolution. Defaults to 512; forced even and >= 4.
+	MaxSamples int
+}
+
+// DefaultFlightMaxSamples is the MaxSamples default.
+const DefaultFlightMaxSamples = 512
+
+// FlightRecorder collects FlightSamples into a columnar Series. A nil
+// *FlightRecorder is a valid disabled recorder.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	interval time.Duration
+	max      int
+
+	cols  []string
+	times []int64
+	vals  [][]float64 // vals[c][row], aligned with cols
+
+	encs    int // enclosure count, fixed at the first sample
+	stride  int // accept every stride-th offered sample
+	offered int
+
+	classCounts [4]int
+}
+
+// NewFlightRecorder returns a live flight recorder.
+func NewFlightRecorder(opts FlightOptions) *FlightRecorder {
+	max := opts.MaxSamples
+	if max <= 0 {
+		max = DefaultFlightMaxSamples
+	}
+	if max < 4 {
+		max = 4
+	}
+	if max%2 != 0 {
+		max++
+	}
+	return &FlightRecorder{interval: opts.Interval, max: max, stride: 1, encs: -1}
+}
+
+// Enabled reports whether the recorder is live.
+func (f *FlightRecorder) Enabled() bool { return f != nil }
+
+// Interval returns the configured sampling interval (zero for a nil or
+// interval-less recorder, letting the driver pick its default).
+func (f *FlightRecorder) Interval() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.interval
+}
+
+// SetClassCounts installs the P0–P3 item distribution of the latest
+// placement determination; subsequent samples carry it. The policy
+// calls this once per determination.
+func (f *FlightRecorder) SetClassCounts(counts [4]int) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.classCounts = counts
+	f.mu.Unlock()
+}
+
+// scalarCols is the fixed scalar column order; per-enclosure columns
+// follow it in the layout.
+var scalarCols = []string{
+	"enclosure_energy_j", "total_energy_j", "spin_ups",
+	"cache_general_pages", "cache_preload_b", "cache_dirty_b",
+	"class_p0", "class_p1", "class_p2", "class_p3",
+	"determinations", "migrations", "migrated_b",
+	"physical_reads", "physical_writes", "cache_hits",
+	"resp_count", "resp_mean_us", "resp_p95_us", "resp_p99_us",
+	"faults", "degraded",
+}
+
+// layout fixes the column set from the first sample's enclosure count.
+// Caller holds f.mu.
+func (f *FlightRecorder) layout(encs int) {
+	f.encs = encs
+	f.cols = append([]string(nil), scalarCols...)
+	for e := 0; e < encs; e++ {
+		f.cols = append(f.cols,
+			fmt.Sprintf("enc%d_state", e),
+			fmt.Sprintf("enc%d_used_b", e),
+			fmt.Sprintf("enc%d_idle_s", e))
+	}
+	f.vals = make([][]float64, len(f.cols))
+}
+
+// row flattens s into column order. Caller holds f.mu.
+func (f *FlightRecorder) row(s FlightSample) []float64 {
+	deg := 0.0
+	if s.Degraded {
+		deg = 1
+	}
+	out := make([]float64, 0, len(f.cols))
+	out = append(out,
+		s.EnclosureEnergyJ, s.TotalEnergyJ, float64(s.SpinUps),
+		float64(s.CacheGeneralPages), float64(s.CachePreloadBytes), float64(s.CacheDirtyBytes),
+		float64(f.classCounts[0]), float64(f.classCounts[1]), float64(f.classCounts[2]), float64(f.classCounts[3]),
+		float64(s.Determinations), float64(s.Migrations), float64(s.MigratedBytes),
+		float64(s.PhysicalReads), float64(s.PhysicalWrites), float64(s.CacheHits),
+		float64(s.RespCount),
+		float64(s.RespMean)/float64(time.Microsecond),
+		float64(s.RespP95)/float64(time.Microsecond),
+		float64(s.RespP99)/float64(time.Microsecond),
+		float64(s.Faults), deg)
+	for e := 0; e < f.encs; e++ {
+		var es EnclosureSample
+		if e < len(s.Enclosures) {
+			es = s.Enclosures[e]
+		}
+		out = append(out, float64(es.State), float64(es.UsedBytes), es.IdleFor.Seconds())
+	}
+	return out
+}
+
+// Record offers one sample. The recorder accepts every stride-th offer
+// (stride starts at 1 and doubles on each compaction), so after any
+// number of offers memory holds at most MaxSamples rows: the first
+// sample is always retained, and cumulative columns stay monotone
+// because compaction only drops rows, never merges them.
+func (f *FlightRecorder) Record(s FlightSample) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	accept := f.offered%f.stride == 0
+	f.offered++
+	if !accept {
+		return
+	}
+	f.append(s)
+}
+
+// Final force-appends the run's closing sample, bypassing the
+// acceptance stride so the last row always reflects the end-of-run
+// totals. A sample at the same instant as the latest row replaces it.
+func (f *FlightRecorder) Final(s FlightSample) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n := len(f.times); n > 0 && f.times[n-1] == int64(s.T) {
+		row := f.row(s)
+		for c := range f.vals {
+			f.vals[c][n-1] = row[c]
+		}
+		return
+	}
+	f.append(s)
+}
+
+// append stores one accepted sample, compacting first when full.
+// Caller holds f.mu.
+func (f *FlightRecorder) append(s FlightSample) {
+	if f.encs < 0 {
+		f.layout(len(s.Enclosures))
+	}
+	if len(f.times) >= f.max {
+		f.compact()
+	}
+	f.times = append(f.times, int64(s.T))
+	row := f.row(s)
+	for c := range f.vals {
+		f.vals[c] = append(f.vals[c], row[c])
+	}
+}
+
+// compact halves the resolution: even-indexed rows survive (so row 0,
+// the start of the run, always does) and the acceptance stride doubles.
+// Caller holds f.mu.
+func (f *FlightRecorder) compact() {
+	keep := (len(f.times) + 1) / 2
+	for i := 0; i < keep; i++ {
+		f.times[i] = f.times[2*i]
+	}
+	f.times = f.times[:keep]
+	for c := range f.vals {
+		col := f.vals[c]
+		for i := 0; i < keep; i++ {
+			col[i] = col[2*i]
+		}
+		f.vals[c] = col[:keep]
+	}
+	f.stride *= 2
+}
+
+// Series returns a snapshot of the recorded time series (nil for a nil
+// or empty recorder). The snapshot is independent of later recording.
+func (f *FlightRecorder) Series() *Series {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.times) == 0 {
+		return nil
+	}
+	s := &Series{
+		Cols:       append([]string(nil), f.cols...),
+		TimesNS:    append([]int64(nil), f.times...),
+		Values:     make([][]float64, len(f.vals)),
+		IntervalNS: int64(f.interval) * int64(f.stride),
+	}
+	for c := range f.vals {
+		s.Values[c] = append([]float64(nil), f.vals[c]...)
+	}
+	return s
+}
+
+// Series is an immutable columnar time series: Values[c][i] is column
+// Cols[c] at simulated time TimesNS[i]. IntervalNS is the effective
+// sampling interval after downsampling (0 when unknown).
+type Series struct {
+	Cols       []string    `json:"cols"`
+	TimesNS    []int64     `json:"times_ns"`
+	Values     [][]float64 `json:"values"`
+	IntervalNS int64       `json:"interval_ns"`
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.TimesNS)
+}
+
+// Column returns the values of the named column, or nil.
+func (s *Series) Column(name string) []float64 {
+	if s == nil {
+		return nil
+	}
+	for c, n := range s.Cols {
+		if n == name {
+			return s.Values[c]
+		}
+	}
+	return nil
+}
+
+// Window returns the sub-series with since <= t <= until (until <= 0
+// means no upper bound). The returned series shares backing arrays.
+func (s *Series) Window(since, until time.Duration) *Series {
+	if s == nil {
+		return nil
+	}
+	lo, hi := 0, len(s.TimesNS)
+	for lo < hi && time.Duration(s.TimesNS[lo]) < since {
+		lo++
+	}
+	if until > 0 {
+		for hi > lo && time.Duration(s.TimesNS[hi-1]) > until {
+			hi--
+		}
+	}
+	out := &Series{Cols: s.Cols, TimesNS: s.TimesNS[lo:hi], IntervalNS: s.IntervalNS}
+	out.Values = make([][]float64, len(s.Values))
+	for c := range s.Values {
+		out.Values[c] = s.Values[c][lo:hi]
+	}
+	return out
+}
+
+// WriteCSV writes the series as one header row ("t_ns" then the column
+// names) plus one row per sample.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"t_ns"}, s.Cols...)); err != nil {
+		return err
+	}
+	row := make([]string, 1+len(s.Cols))
+	for i := range s.TimesNS {
+		row[0] = strconv.FormatInt(s.TimesNS[i], 10)
+		for c := range s.Cols {
+			row[1+c] = strconv.FormatFloat(s.Values[c][i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the series as one indented JSON object.
+func (s *Series) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// ReadSeriesCSV parses a series written by WriteCSV.
+func ReadSeriesCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 || len(rows[0]) < 2 || rows[0][0] != "t_ns" {
+		return nil, fmt.Errorf("obs: not a series CSV (want a t_ns header)")
+	}
+	s := &Series{Cols: append([]string(nil), rows[0][1:]...)}
+	s.Values = make([][]float64, len(s.Cols))
+	for ln, row := range rows[1:] {
+		if len(row) != 1+len(s.Cols) {
+			return nil, fmt.Errorf("obs: series row %d has %d fields, want %d", ln+2, len(row), 1+len(s.Cols))
+		}
+		t, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: series row %d: %w", ln+2, err)
+		}
+		s.TimesNS = append(s.TimesNS, t)
+		for c := range s.Cols {
+			v, err := strconv.ParseFloat(row[1+c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: series row %d col %s: %w", ln+2, s.Cols[c], err)
+			}
+			s.Values[c] = append(s.Values[c], v)
+		}
+	}
+	if s.Len() >= 2 {
+		s.IntervalNS = s.TimesNS[1] - s.TimesNS[0]
+	}
+	return s, nil
+}

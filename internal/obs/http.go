@@ -1,6 +1,7 @@
 // The HTTP surface: /metrics in Prometheus text exposition format,
-// /status as a JSON snapshot, and the standard net/http/pprof
-// endpoints under /debug/pprof/.
+// /status as a JSON snapshot, /series as the flight recorder's live
+// time series, and the standard net/http/pprof endpoints under
+// /debug/pprof/.
 
 package obs
 
@@ -8,19 +9,61 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns the telemetry mux. status is invoked per /status
 // request and its result marshalled as JSON; it must be safe to call
 // from the serving goroutine (snapshot under the caller's lock). A nil
 // status serves an empty object; a nil registry serves empty metrics.
-func Handler(reg *Registry, status func() any) http.Handler {
+// series, when non-nil, serves the flight recorder's live time series
+// on /series as JSON (CSV with ?format=csv); ?since= and ?until= Go
+// durations window it on simulated time.
+func Handler(reg *Registry, status func() any, series func() *Series) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if reg != nil {
 			_ = reg.WritePrometheus(w)
 		}
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		var s *Series
+		if series != nil {
+			s = series()
+		}
+		if s == nil {
+			http.Error(w, "no flight recorder attached (run with -series)", http.StatusNotFound)
+			return
+		}
+		window := func(key string) (time.Duration, bool) {
+			v := r.URL.Query().Get(key)
+			if v == "" {
+				return 0, true
+			}
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, key+": "+err.Error(), http.StatusBadRequest)
+				return 0, false
+			}
+			return d, true
+		}
+		since, ok := window("since")
+		if !ok {
+			return
+		}
+		until, ok := window("until")
+		if !ok {
+			return
+		}
+		s = s.Window(since, until)
+		if r.URL.Query().Get("format") == "csv" {
+			w.Header().Set("Content-Type", "text/csv")
+			_ = s.WriteCSV(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.WriteJSON(w)
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

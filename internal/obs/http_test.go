@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestHandlerMetricsStatusPprof(t *testing.T) {
@@ -15,9 +16,13 @@ func TestHandlerMetricsStatusPprof(t *testing.T) {
 		Determinations int64  `json:"determinations"`
 		Period         string `json:"period"`
 	}
+	fr := NewFlightRecorder(FlightOptions{Interval: time.Second})
+	for i := 0; i <= 10; i++ {
+		fr.Record(FlightSample{T: time.Duration(i) * time.Second, EnclosureEnergyJ: float64(i) * 10})
+	}
 	srv := httptest.NewServer(Handler(reg, func() any {
 		return status{Determinations: 3, Period: "8m40s"}
-	}))
+	}, fr.Series))
 	defer srv.Close()
 
 	get := func(path string) (int, string, string) {
@@ -54,10 +59,34 @@ func TestHandlerMetricsStatusPprof(t *testing.T) {
 	if code != 200 || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/: code %d", code)
 	}
+
+	code, body, ctype = get("/series")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/series: code %d content type %q", code, ctype)
+	}
+	var s Series
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("/series not JSON: %v\n%s", err, body)
+	}
+	if s.Len() != 11 || s.Column("enclosure_energy_j")[10] != 100 {
+		t.Fatalf("/series payload wrong: %d samples", s.Len())
+	}
+
+	code, body, ctype = get("/series?since=3s&until=7s&format=csv")
+	if code != 200 || !strings.HasPrefix(ctype, "text/csv") {
+		t.Fatalf("/series csv: code %d content type %q", code, ctype)
+	}
+	if lines := strings.Count(strings.TrimSpace(body), "\n"); lines != 5 { // header + 5 rows
+		t.Fatalf("windowed csv has %d newlines:\n%s", lines, body)
+	}
+
+	if code, body, _ = get("/series?since=bogus"); code != 400 {
+		t.Fatalf("bad window accepted: code %d body %q", code, body)
+	}
 }
 
 func TestHandlerNilStatusAndRegistry(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil))
 	defer srv.Close()
 	for _, path := range []string{"/metrics", "/status"} {
 		resp, err := srv.Client().Get(srv.URL + path)
@@ -68,5 +97,13 @@ func TestHandlerNilStatusAndRegistry(t *testing.T) {
 		if resp.StatusCode != 200 {
 			t.Fatalf("%s: code %d", path, resp.StatusCode)
 		}
+	}
+	resp, err := srv.Client().Get(srv.URL + "/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("/series without a recorder: code %d, want 404", resp.StatusCode)
 	}
 }

@@ -71,6 +71,12 @@ type Run struct {
 	// Faults, when non-nil, is the fault scenario injected into the run.
 	// The same scenario (same seed) reproduces the same fault sequence.
 	Faults *faults.Config
+	// Series, when non-nil, is the flight recorder fed whole-system
+	// snapshots on the power-sampling grid (the recorder's Interval, or
+	// the default span/120 bucket when zero). Result.Series carries the
+	// recorded time series; the final sample always matches the Result
+	// totals exactly.
+	Series *obs.FlightRecorder
 }
 
 // Window is a named measurement sub-span.
@@ -112,8 +118,13 @@ type Result struct {
 	// PowerSeries samples the average summed enclosure power over
 	// consecutive buckets of PowerBucket each — the simulator's version
 	// of the §III-B "power consumption of the storage device" records.
+	// It is derived from the same sampling grid that feeds the flight
+	// recorder, so power is measured in exactly one place.
 	PowerSeries []float64
 	PowerBucket time.Duration
+	// Series is the flight recorder's whole-system time series; nil
+	// without Run.Series.
+	Series *obs.Series
 	// Monitor is the storage monitor used for metrics; it holds the
 	// per-enclosure interval distributions behind Figs 17–19.
 	Monitor *monitor.StorageMonitor
@@ -190,6 +201,13 @@ func Execute(r Run) (*Result, error) {
 			p.SetTracer(r.Tracer)
 		}
 	}
+	if r.Series != nil {
+		if p, ok := pol.(interface {
+			SetFlightRecorder(*obs.FlightRecorder)
+		}); ok {
+			p.SetFlightRecorder(r.Series)
+		}
+	}
 	var inj *faults.Injector
 	if r.Faults != nil {
 		inj, err = faults.NewInjector(*r.Faults)
@@ -223,9 +241,63 @@ func Execute(r Run) (*Result, error) {
 
 	res := &Result{PolicyName: pol.Name(), Span: end}
 
-	// Sample enclosure power on a fixed grid (~120 buckets per run).
+	// The policy's degraded flag, when it has one, goes into every
+	// flight sample.
+	var degraded func() bool
+	if p, ok := pol.(interface{ Degraded() bool }); ok {
+		degraded = p.Degraded
+	}
+	// snapshot settles the power accumulators and assembles one
+	// whole-system flight sample at simulated time now.
+	snapshot := func(now time.Duration) obs.FlightSample {
+		arr.Finish()
+		m := arr.Meter()
+		occ := arr.CacheOccupancy()
+		st := arr.Stats()
+		s := obs.FlightSample{
+			T:                 now,
+			EnclosureEnergyJ:  m.EnclosureEnergyJ(),
+			TotalEnergyJ:      m.TotalEnergyJ(now),
+			SpinUps:           m.SpinUps(),
+			CacheGeneralPages: occ.GeneralPages,
+			CachePreloadBytes: occ.PreloadUsedBytes,
+			CacheDirtyBytes:   occ.WriteDelayDirtyBytes,
+			Determinations:    pol.Determinations(),
+			Migrations:        st.Migrations,
+			MigratedBytes:     st.MigratedBytes,
+			PhysicalReads:     st.PhysicalReads,
+			PhysicalWrites:    st.PhysicalWrites,
+			CacheHits:         st.CacheHits,
+			RespCount:         res.Resp.Count(),
+			RespMean:          res.Resp.Mean(),
+			RespP95:           res.Resp.Percentile(0.95),
+			RespP99:           res.Resp.Percentile(0.99),
+			Faults:            inj.Counters().Total(),
+			Degraded:          degraded != nil && degraded(),
+		}
+		for e := 0; e < arr.Enclosures(); e++ {
+			es := obs.EnclosureSample{UsedBytes: arr.Used(e)}
+			switch since, idle := arr.IdleSince(e, now); {
+			case !arr.EnclosureOn(e, now):
+				es.State = obs.EnclosureOff
+			case idle:
+				es.State = obs.EnclosureIdle
+				es.IdleFor = now - since
+			default:
+				es.State = obs.EnclosureActive
+			}
+			s.Enclosures = append(s.Enclosures, es)
+		}
+		return s
+	}
+
+	// Sample enclosure power and the flight recorder on one fixed grid
+	// (the recorder's interval, or ~120 buckets per run).
 	if end > 0 {
-		res.PowerBucket = end / 120
+		res.PowerBucket = r.Series.Interval()
+		if res.PowerBucket <= 0 {
+			res.PowerBucket = end / 120
+		}
 		if res.PowerBucket < time.Second {
 			res.PowerBucket = time.Second
 		}
@@ -236,9 +308,16 @@ func Execute(r Run) (*Result, error) {
 			j := arr.Meter().EnclosureEnergyJ()
 			res.PowerSeries = append(res.PowerSeries, (j-lastJ)/res.PowerBucket.Seconds())
 			lastJ = j
+			if r.Series != nil {
+				r.Series.Record(snapshot(now))
+			}
 			if next := now + res.PowerBucket; next <= end {
 				evq.Schedule(next, sample)
 			}
+		}
+		if r.Series != nil {
+			// The t=0 baseline row: zero energy, initial placement.
+			r.Series.Record(snapshot(0))
 		}
 		evq.Schedule(res.PowerBucket, sample)
 	}
@@ -319,6 +398,12 @@ func Execute(r Run) (*Result, error) {
 	res.AvgTotalW = arr.Meter().AverageTotalW(end)
 	res.EnergyJ = arr.Meter().TotalEnergyJ(end)
 	res.Monitor = stMon
+	if r.Series != nil {
+		// The forced closing sample: its totals equal the Result fields
+		// computed just above, from the same settled meter and counters.
+		r.Series.Final(snapshot(end))
+		res.Series = r.Series.Series()
+	}
 	if r.Tracer != nil {
 		res.Latency = r.Tracer.LatencySummary()
 		res.Attribution = r.Tracer.Attribute(end, arr.EnclosureEnergy)
