@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json trace-smoke bench-smoke clean
+.PHONY: all build vet test race check bench bench-json trace-smoke bench-smoke fleet-smoke clean
 
 all: build
 
@@ -52,6 +52,13 @@ bench-smoke:
 		-energy 0.25 -resp 0.25 -spinups 0.25 -migrations 0.25 \
 		ci/baseline/BENCH_fileserver-esm.json \
 		/tmp/esm-bench-smoke/BENCH_fileserver-esm.json
+
+# fleet-smoke boots the multi-array control plane, streams two
+# tracegen workloads into it over live NDJSON HTTP ingest, and gates
+# on the roll-up conserving the summed per-array joules (esmstat fleet
+# exits 1 on violation).
+fleet-smoke:
+	sh scripts/fleet-smoke.sh
 
 clean:
 	$(GO) clean ./...

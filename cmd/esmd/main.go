@@ -1,27 +1,30 @@
-// Command esmd is the energy-efficient storage management daemon: it
-// consumes a logical I/O stream (CSV records on stdin, as produced by
-// tracegen -format csv), feeds the monitoring system, runs the power
-// management function at each monitoring-period end, and drives the
-// simulated storage unit — printing a status line for every placement
-// determination and a final energy report.
+// Command esmd is the energy-efficient storage management daemon. In
+// its classic single-array form it consumes a logical I/O stream (CSV
+// records on stdin, as produced by tracegen -format csv), feeds the
+// monitoring system, runs the power management function at each
+// monitoring-period end and drives the simulated storage unit —
+// printing a status line per placement determination and a final
+// energy report.
 //
-// It is the long-running-process form of the same machinery esmbench
-// drives in batch: point a trace stream at it and watch the hot/cold
-// split, cache assignments and monitoring period evolve.
+// With -fleet it becomes a multi-array control plane instead: the
+// fleet file declares N named arrays (each its own simulator, ESM
+// policy instance and telemetry), traces arrive live over streaming
+// HTTP ingest (POST /arrays/<name>/ingest — NDJSON, CSV or the binary
+// stream codec), policies hot-swap over POST /arrays/<name>/config,
+// and /fleet rolls the per-array energy ledgers up into fleet-wide
+// joules, electricity cost and carbon. All metrics share one registry,
+// namespaced by an array="<name>" label. The daemon then runs until
+// interrupted, printing each array's report on shutdown.
 //
-// With -listen the daemon serves live observability over HTTP:
-// /metrics (Prometheus text format), /status (JSON snapshot of the
-// current period, hot mask, pattern mix and cache occupancy) and
-// /debug/pprof. With -events it appends the typed telemetry event
-// stream as JSON lines; esmstat -events renders a saved log. With
-// -trace it records a per-I/O span trace and writes it as a
-// Chrome/Perfetto trace-event JSON file on exit; the live latency
-// breakdown and energy attribution then also appear in /status and
-// /metrics, and esmstat latency/attrib render the saved file. With
-// -series a flight recorder samples the whole system every
-// -series-interval of simulated time and writes the series CSV on
-// exit; with -listen the live series is also served on /series
-// (JSON, ?format=csv, ?since=/?until= windowing).
+// With -listen the single-array daemon serves the same control plane
+// for its one array, plus the classic top-level aliases: /status (JSON
+// snapshot of the current period, hot mask, pattern mix, cache
+// occupancy and ingest liveness) and /series (the flight recorder's
+// live series; JSON, ?format=csv, ?since=/?until= windowing). /metrics
+// (Prometheus text), /fleet and /debug/pprof come with the mux. With
+// -events it appends the typed telemetry event stream as JSON lines;
+// with -trace it writes a Chrome/Perfetto trace-event JSON file on
+// exit; with -series it writes the flight series CSV on exit.
 //
 // Usage:
 //
@@ -29,54 +32,48 @@
 //	         -out /dev/stdout -catalog fs.items -placement fs.layout |
 //	  esmd -catalog fs.items -placement fs.layout \
 //	       -listen :9090 -events events.jsonl
+//
+//	esmd -fleet fleet.json -listen :9090
 package main
 
 import (
-	"bufio"
-	"errors"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
-	"strconv"
-	"strings"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"esm/internal/config"
-	"esm/internal/core"
-	"esm/internal/faults"
-	"esm/internal/metrics"
+	"esm/internal/fleet"
 	"esm/internal/obs"
-	"esm/internal/policy"
-	"esm/internal/simclock"
-	"esm/internal/storage"
-	"esm/internal/trace"
 )
 
 func main() {
-	catalogPath := flag.String("catalog", "", "catalog path (required)")
-	placementPath := flag.String("placement", "", "initial-placement path (required)")
+	fleetPath := flag.String("fleet", "", "fleet configuration file: run the multi-array control plane")
+	catalogPath := flag.String("catalog", "", "catalog path (required without -fleet)")
+	placementPath := flag.String("placement", "", "initial-placement path (required without -fleet)")
+	name := flag.String("name", "esm", "array name in metrics and /arrays/ URLs (single-array mode)")
 	enclosures := flag.Int("enclosures", 0, "enclosure count (0 = infer from placement)")
 	quiet := flag.Bool("quiet", false, "suppress per-determination status lines")
 	configPath := flag.String("config", "", "optional JSON config for storage and ESM parameters")
-	listen := flag.String("listen", "", "serve /metrics, /status and /debug/pprof on this address")
+	listen := flag.String("listen", "", "serve the control plane (/metrics, /status, /fleet, /arrays/, /debug/pprof) on this address")
 	events := flag.String("events", "", "append the telemetry event stream to this JSONL file")
 	tracePath := flag.String("trace", "", "write a Perfetto trace-event JSON file of every I/O and management span")
-	seriesPath := flag.String("series", "", "sample a whole-system flight-recorder series, write it here as CSV on exit (also served live on /series)")
+	seriesPath := flag.String("series", "", "write the flight-recorder series here as CSV on exit (also served live on /series)")
 	seriesInterval := flag.Duration("series-interval", 30*time.Second, "flight-recorder sampling interval (simulated time)")
 	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m")
 	flag.Parse()
 
-	if *catalogPath == "" || *placementPath == "" {
-		fmt.Fprintln(os.Stderr, "esmd: -catalog and -placement are required")
-		os.Exit(2)
-	}
 	opts := daemonOpts{
+		fleetPath:     *fleetPath,
 		catalogPath:   *catalogPath,
 		placementPath: *placementPath,
+		name:          *name,
 		configPath:    *configPath,
 		enclosures:    *enclosures,
 		quiet:         *quiet,
@@ -85,14 +82,11 @@ func main() {
 		tracePath:     *tracePath,
 		seriesPath:    *seriesPath,
 		seriesEvery:   *seriesInterval,
+		faults:        *faultSpec,
 	}
-	if *faultSpec != "" {
-		fc, err := faults.ParseSpec(*faultSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "esmd: -faults:", err)
-			os.Exit(2)
-		}
-		opts.faults = fc
+	if opts.fleetPath == "" && (opts.catalogPath == "" || opts.placementPath == "") {
+		fmt.Fprintln(os.Stderr, "esmd: -catalog and -placement are required (or -fleet)")
+		os.Exit(2)
 	}
 	if err := run(opts, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "esmd:", err)
@@ -101,8 +95,10 @@ func main() {
 }
 
 type daemonOpts struct {
+	fleetPath     string
 	catalogPath   string
 	placementPath string
+	name          string
 	configPath    string
 	enclosures    int
 	quiet         bool
@@ -111,66 +107,97 @@ type daemonOpts struct {
 	tracePath     string
 	seriesPath    string
 	seriesEvery   time.Duration
-	faults        *faults.Config
-}
-
-// daemon bundles the simulated storage unit, the policy and the
-// telemetry state for one stream-processing run.
-type daemon struct {
-	opts daemonOpts
-	out  io.Writer
-
-	clk *simclock.Clock
-	evq *simclock.EventQueue
-	arr *storage.Array
-	esm *core.ESM
-	inj *faults.Injector
-
-	enclosures int
-	rec        *obs.Recorder
-	trc        *obs.Tracer
-	flight     *obs.FlightRecorder
-
-	// mu guards snap against concurrent /status scrapes.
-	mu   sync.Mutex
-	snap statusSnapshot
-
-	records int64
-	lastDet int64
-	resp    metrics.ResponseStats
-}
-
-// statusSnapshot is the JSON payload of /status.
-type statusSnapshot struct {
-	TimeNS         int64                  `json:"t_ns"`
-	Records        int64                  `json:"records"`
-	Determinations int64                  `json:"determinations"`
-	Period         string                 `json:"period"`
-	PeriodNS       int64                  `json:"period_ns"`
-	HotMask        []bool                 `json:"hot_mask,omitempty"`
-	PatternMix     map[string]int         `json:"pattern_mix,omitempty"`
-	SpinUps        int                    `json:"spin_ups"`
-	MigratedBytes  int64                  `json:"migrated_bytes"`
-	CacheHits      int64                  `json:"cache_hits"`
-	AvgEnclosureW  float64                `json:"avg_enclosure_w"`
-	Cache          storage.CacheOccupancy `json:"cache"`
-	Faults         int64                  `json:"faults,omitempty"`
-	FailedIOs      int64                  `json:"failed_ios,omitempty"`
-	Degraded       bool                   `json:"degraded,omitempty"`
-	Degradations   int64                  `json:"degradations,omitempty"`
-	Latency        *obs.LatencySummary    `json:"latency,omitempty"`
-	Attribution    *obs.Attribution       `json:"attribution,omitempty"`
+	faults        string
 }
 
 func run(opts daemonOpts, in io.Reader, out io.Writer) error {
+	if opts.fleetPath != "" {
+		return runFleet(opts, out)
+	}
+	return runSingle(opts, in, out)
+}
+
+// daemon is the classic single-array mode: one fleet array fed from a
+// CSV stream, with the control-plane mux plus top-level aliases.
+type daemon struct {
+	opts daemonOpts
+	out  io.Writer
+	fl   *fleet.Fleet
+	arr  *fleet.Array
+}
+
+// newDaemon builds the single managed array from the flag set.
+func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
+	if opts.name == "" {
+		opts.name = "esm"
+	}
+	spec, err := fleet.LoadArraySpec(config.FleetArrayConfig{
+		Name:      opts.name,
+		Catalog:   opts.catalogPath,
+		Placement: opts.placementPath,
+		Config:    opts.configPath,
+		Faults:    opts.faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	spec.Enclosures = opts.enclosures
+	spec.SeriesInterval = opts.seriesEvery
+	if !opts.quiet {
+		spec.StatusOut = out
+	}
+	if opts.eventsPath != "" {
+		f, err := os.Create(opts.eventsPath)
+		if err != nil {
+			return nil, err
+		}
+		spec.EventSink = obs.NewJSONLSink(f)
+	}
+	if opts.tracePath != "" {
+		f, err := os.Create(opts.tracePath)
+		if err != nil {
+			return nil, err
+		}
+		spec.SpanSink = obs.NewPerfettoSink(f, "esmd")
+	}
+	fl, err := fleet.New(fleet.Options{Specs: []fleet.ArraySpec{spec}})
+	if err != nil {
+		return nil, err
+	}
+	return &daemon{opts: opts, out: out, fl: fl, arr: fl.Array(spec.Name)}, nil
+}
+
+// handler serves the fleet control plane with the classic single-array
+// aliases layered on top: /status and /series answer for the one array
+// directly, as they always did.
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", d.fl.Handler())
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := d.arr.Status()
+		fmt.Fprintf(w, "%s", mustJSON(st))
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		obs.ServeSeries(w, r, d.arr.Series())
+	})
+	return mux
+}
+
+// processStream drains the CSV stream into the array and finalizes it.
+func (d *daemon) processStream(in io.Reader) error {
+	if _, err := d.arr.IngestCSV(in); err != nil {
+		return err
+	}
+	return d.arr.Finish()
+}
+
+func runSingle(opts daemonOpts, in io.Reader, out io.Writer) error {
 	d, err := newDaemon(opts, out)
 	if err != nil {
 		return err
 	}
-	if d.rec != nil {
-		defer d.rec.Close()
-	}
-	defer d.trc.Close()
+	defer d.fl.Close()
 
 	if opts.listen != "" {
 		ln, err := net.Listen("tcp", opts.listen)
@@ -178,17 +205,16 @@ func run(opts daemonOpts, in io.Reader, out io.Writer) error {
 			return err
 		}
 		defer ln.Close()
-		handler := obs.Handler(d.rec.Registry(), d.statusJSON, d.flight.Series)
-		go http.Serve(ln, handler)
-		fmt.Fprintf(out, "serving /metrics /status /series /debug/pprof on %v\n", ln.Addr())
+		go http.Serve(ln, d.handler())
+		fmt.Fprintf(out, "serving /metrics /status /series /fleet /arrays/ /debug/pprof on %v\n", ln.Addr())
 	}
 
 	if err := d.processStream(in); err != nil {
 		return err
 	}
-	d.report()
+	d.arr.Report(out)
 	if opts.seriesPath != "" {
-		if s := d.flight.Series(); s != nil {
+		if s := d.arr.Series(); s != nil {
 			f, err := os.Create(opts.seriesPath)
 			if err != nil {
 				return err
@@ -203,414 +229,62 @@ func run(opts daemonOpts, in io.Reader, out io.Writer) error {
 			fmt.Fprintf(out, "flight series (%d samples) written to %s\n", s.Len(), opts.seriesPath)
 		}
 	}
-	if err := d.trc.Close(); err != nil {
+	if err := d.fl.Close(); err != nil {
 		return err
 	}
-	if d.opts.tracePath != "" {
-		fmt.Fprintf(out, "trace written to %s\n", d.opts.tracePath)
-	}
-	if d.rec != nil {
-		return d.rec.Close()
-	}
-	return nil
-}
-
-func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
-	cf, err := os.Open(opts.catalogPath)
-	if err != nil {
-		return nil, err
-	}
-	defer cf.Close()
-	cat, err := trace.ReadCatalog(cf)
-	if err != nil {
-		return nil, err
-	}
-	pf, err := os.Open(opts.placementPath)
-	if err != nil {
-		return nil, err
-	}
-	defer pf.Close()
-	placement, err := trace.ReadPlacement(pf)
-	if err != nil {
-		return nil, err
-	}
-	if len(placement) != cat.Len() {
-		return nil, fmt.Errorf("placement covers %d of %d items", len(placement), cat.Len())
-	}
-	enclosures := opts.enclosures
-	if enclosures == 0 {
-		for _, e := range placement {
-			if e+1 > enclosures {
-				enclosures = e + 1
-			}
-		}
-	}
-
-	cfgFile, err := config.Load(opts.configPath)
-	if err != nil {
-		return nil, err
-	}
-	if cfgFile.Policy != nil && cfgFile.Policy.Name != "" && cfgFile.Policy.Name != "esm" {
-		return nil, fmt.Errorf("esmd always runs the proposed method; policy %q is not supported here", cfgFile.Policy.Name)
-	}
-	storageCfg, err := cfgFile.BuildStorage(enclosures)
-	if err != nil {
-		return nil, err
-	}
-
-	// Telemetry is built whenever any observation surface is requested;
-	// otherwise the recorder stays nil and the hot path pays one nil
-	// check per instrumented site.
-	var rec *obs.Recorder
-	if opts.listen != "" || opts.eventsPath != "" {
-		recOpts := obs.Options{Registry: obs.NewRegistry()}
-		if opts.eventsPath != "" {
-			f, err := os.Create(opts.eventsPath)
-			if err != nil {
-				return nil, err
-			}
-			recOpts.Sink = obs.NewJSONLSink(f)
-		}
-		rec = obs.New(recOpts)
-	}
-	var trc *obs.Tracer
 	if opts.tracePath != "" {
-		f, err := os.Create(opts.tracePath)
-		if err != nil {
-			return nil, err
-		}
-		trcOpts := obs.TracerOptions{
-			Sink:       obs.NewPerfettoSink(f, "esmd"),
-			Enclosures: enclosures,
-		}
-		if rec != nil {
-			// Share the HTTP registry so the latency-percentile and
-			// attribution gauges show up in /metrics scrapes.
-			trcOpts.Registry = rec.Registry()
-		}
-		trc = obs.NewTracer(trcOpts)
+		fmt.Fprintf(out, "trace written to %s\n", opts.tracePath)
 	}
-
-	clk := &simclock.Clock{}
-	evq := &simclock.EventQueue{}
-	arr, err := storage.New(storageCfg, clk, evq, cat)
-	if err != nil {
-		return nil, err
-	}
-	// The tracer attaches before placement so the energy ledger's
-	// residency accounting sees every item land on its home enclosure.
-	if trc != nil {
-		arr.SetTracer(trc)
-	}
-	for item, enc := range placement {
-		if err := arr.Place(trace.ItemID(item), enc); err != nil {
-			return nil, err
-		}
-	}
-	pol, err := cfgFile.BuildPolicy()
-	if err != nil {
-		return nil, err
-	}
-	esm, ok := pol.(*core.ESM)
-	if !ok {
-		return nil, fmt.Errorf("esmd requires the esm policy")
-	}
-	if rec != nil {
-		arr.SetRecorder(rec)
-		esm.SetRecorder(rec)
-	}
-	if trc != nil {
-		esm.SetTracer(trc)
-	}
-	var flight *obs.FlightRecorder
-	if opts.seriesPath != "" || opts.listen != "" {
-		flight = obs.NewFlightRecorder(obs.FlightOptions{Interval: opts.seriesEvery})
-		esm.SetFlightRecorder(flight)
-	}
-	var inj *faults.Injector
-	if opts.faults != nil {
-		inj, err = faults.NewInjector(*opts.faults)
-		if err != nil {
-			return nil, err
-		}
-		arr.SetFaultInjector(inj)
-		arr.SetFaultObserver(esm.OnFault)
-	}
-	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) { esm.OnPhysical(rec) })
-	arr.SetPowerObserver(func(e int, at time.Duration, on bool) { esm.OnPower(e, at, on) })
-	// The stream length is unknown; give the policy a generous horizon.
-	esm.Init(&policy.Context{Array: arr, Catalog: cat, Clock: clk, Queue: evq, End: 1000 * time.Hour})
-
-	d := &daemon{
-		opts:       opts,
-		out:        out,
-		clk:        clk,
-		evq:        evq,
-		arr:        arr,
-		esm:        esm,
-		inj:        inj,
-		enclosures: enclosures,
-		rec:        rec,
-		trc:        trc,
-		flight:     flight,
-	}
-	if flight != nil {
-		// Self-rescheduling sampler on the simulated clock: the stream
-		// loop's RunUntil fires every tick up to the current record's
-		// time, so the series follows the stream at the configured
-		// interval of simulated (not wall) time.
-		every := opts.seriesEvery
-		if every <= 0 {
-			every = 30 * time.Second
-		}
-		var tick func(now time.Duration)
-		tick = func(now time.Duration) {
-			flight.Record(d.flightSample(now))
-			evq.Schedule(now+every, tick)
-		}
-		flight.Record(d.flightSample(0))
-		evq.Schedule(every, tick)
-	}
-	d.updateSnapshot(0)
-	return d, nil
-}
-
-// flightSample assembles one whole-system snapshot at simulated time
-// now (the daemon-side twin of the replay engine's sampler).
-func (d *daemon) flightSample(now time.Duration) obs.FlightSample {
-	d.arr.Finish()
-	m := d.arr.Meter()
-	occ := d.arr.CacheOccupancy()
-	st := d.arr.Stats()
-	s := obs.FlightSample{
-		T:                 now,
-		EnclosureEnergyJ:  m.EnclosureEnergyJ(),
-		TotalEnergyJ:      m.TotalEnergyJ(now),
-		SpinUps:           m.SpinUps(),
-		CacheGeneralPages: occ.GeneralPages,
-		CachePreloadBytes: occ.PreloadUsedBytes,
-		CacheDirtyBytes:   occ.WriteDelayDirtyBytes,
-		Determinations:    d.esm.Determinations(),
-		Migrations:        st.Migrations,
-		MigratedBytes:     st.MigratedBytes,
-		PhysicalReads:     st.PhysicalReads,
-		PhysicalWrites:    st.PhysicalWrites,
-		CacheHits:         st.CacheHits,
-		RespCount:         d.resp.Count(),
-		RespMean:          d.resp.Mean(),
-		RespP95:           d.resp.Percentile(0.95),
-		RespP99:           d.resp.Percentile(0.99),
-		Faults:            d.inj.Counters().Total(),
-		Degraded:          d.esm.Degraded(),
-	}
-	for e := 0; e < d.arr.Enclosures(); e++ {
-		es := obs.EnclosureSample{UsedBytes: d.arr.Used(e)}
-		switch since, idle := d.arr.IdleSince(e, now); {
-		case !d.arr.EnclosureOn(e, now):
-			es.State = obs.EnclosureOff
-		case idle:
-			es.State = obs.EnclosureIdle
-			es.IdleFor = now - since
-		default:
-			es.State = obs.EnclosureActive
-		}
-		s.Enclosures = append(s.Enclosures, es)
-	}
-	return s
-}
-
-// processStream consumes CSV logical records from in, driving the
-// simulation clock to each record's timestamp. Blank lines and the
-// tracegen header are skipped; malformed or out-of-order records abort
-// with a line-numbered error.
-func (d *daemon) processStream(in io.Reader) error {
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var now time.Duration
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "time_ns") {
-			continue
-		}
-		rec, err := parseRecord(text)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", line, err)
-		}
-		if rec.Time < now {
-			return fmt.Errorf("line %d: records out of order", line)
-		}
-		now = rec.Time
-		d.evq.RunUntil(d.clk, now)
-		d.esm.OnLogical(rec)
-		if out, err := d.arr.Submit(rec); err != nil {
-			// Injected faults kill the individual I/O, not the daemon;
-			// anything else is a real error and aborts the stream.
-			var fe *storage.FaultError
-			if !errors.As(err, &fe) {
-				return fmt.Errorf("line %d: %w", line, err)
-			}
-		} else {
-			d.resp.Add(rec.Op, out.Response)
-		}
-		d.records++
-		d.status(now)
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	d.esm.Finish(now)
-	d.arr.Finish()
-	d.flight.Final(d.flightSample(now))
-	d.updateSnapshot(now)
 	return nil
 }
 
-// status refreshes the /status snapshot and prints a line whenever a
-// new placement determination has happened.
-func (d *daemon) status(now time.Duration) {
-	det := d.esm.Determinations()
-	newDet := det != d.lastDet
-	d.lastDet = det
-	if newDet || d.records%1024 == 0 {
-		d.updateSnapshot(now)
+// runFleet boots the multi-array control plane and serves it until
+// interrupted; on SIGINT/SIGTERM every array is finalized and reported.
+func runFleet(opts daemonOpts, out io.Writer) error {
+	file, err := config.LoadFleet(opts.fleetPath)
+	if err != nil {
+		return err
 	}
-	if !newDet || d.opts.quiet {
-		return
+	fl, err := fleet.FromConfig(file)
+	if err != nil {
+		return err
 	}
-	hot := 0
-	for _, h := range d.esm.Hot() {
-		if h {
-			hot++
-		}
+	defer fl.Close()
+
+	listen := opts.listen
+	if listen == "" {
+		listen = file.Listen
 	}
-	var mix core.PatternMix
-	if plan := d.esm.LastPlan(); plan != nil {
-		for _, p := range plan.Patterns {
-			mix.Counts[p]++
-			mix.Total++
-		}
+	if listen == "" {
+		return fmt.Errorf("fleet mode needs -listen (or \"listen\" in the fleet file)")
 	}
-	st := d.arr.Stats()
-	fmt.Fprintf(d.out, "[%v] determination #%d: %d/%d hot enclosures, period %v, %s, avg %.1f W, %d spin-ups, %.2f GB migrated\n",
-		now.Round(time.Second), det, hot, d.enclosures,
-		d.esm.Period().Round(time.Second), mix.String(),
-		d.arr.Meter().AverageEnclosureW(now),
-		d.arr.Meter().SpinUps(), float64(st.MigratedBytes)/(1<<30))
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go http.Serve(ln, fl.Handler())
+	names := fl.Names()
+	fmt.Fprintf(out, "fleet control plane: %d arrays %v on %v\n", len(names), names, ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	if err := fl.FinishAll(); err != nil {
+		return err
+	}
+	for _, name := range names {
+		fl.Array(name).Report(out)
+	}
+	return fl.Close()
 }
 
-// updateSnapshot recomputes the mutex-guarded /status payload from the
-// live simulation state.
-func (d *daemon) updateSnapshot(now time.Duration) {
-	snap := statusSnapshot{
-		TimeNS:         int64(now),
-		Records:        d.records,
-		Determinations: d.esm.Determinations(),
-		Period:         d.esm.Period().String(),
-		PeriodNS:       int64(d.esm.Period()),
-		HotMask:        append([]bool(nil), d.esm.Hot()...),
-		SpinUps:        d.arr.Meter().SpinUps(),
-		AvgEnclosureW:  d.arr.Meter().AverageEnclosureW(now),
-		Cache:          d.arr.CacheOccupancy(),
-	}
-	st := d.arr.Stats()
-	snap.MigratedBytes = st.MigratedBytes
-	snap.CacheHits = st.CacheHits
-	if d.inj != nil {
-		c := d.inj.Counters()
-		snap.Faults = c.Total()
-		snap.FailedIOs = c.FailedAppIOs
-		snap.Degraded = d.esm.Degraded()
-		snap.Degradations = d.esm.Degradations()
-	}
-	if plan := d.esm.LastPlan(); plan != nil {
-		snap.PatternMix = map[string]int{}
-		for _, p := range plan.Patterns {
-			snap.PatternMix[p.String()]++
-		}
-	}
-	if d.trc != nil {
-		// Settle the power-state accumulators to now so the attribution
-		// reflects energy actually drawn; the ledger accepts repeated
-		// attribution at non-decreasing times.
-		d.arr.Finish()
-		snap.Latency = d.trc.LatencySummary()
-		snap.Attribution = d.trc.Attribute(now, d.arr.EnclosureEnergy)
-	}
-	d.mu.Lock()
-	d.snap = snap
-	d.mu.Unlock()
-}
-
-// statusJSON is the /status content callback; it must be safe to call
-// from HTTP handler goroutines.
-func (d *daemon) statusJSON() any {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.snap
-}
-
-// report prints the end-of-stream summary.
-func (d *daemon) report() {
-	now := d.clk.Now()
-	fmt.Fprintf(d.out, "\nprocessed %d records over %v\n", d.records, now.Round(time.Second))
-	fmt.Fprintf(d.out, "determinations     %d\n", d.esm.Determinations())
-	fmt.Fprintf(d.out, "avg enclosure      %.1f W\n", d.arr.Meter().AverageEnclosureW(now))
-	fmt.Fprintf(d.out, "avg total          %.1f W\n", d.arr.Meter().AverageTotalW(now))
-	fmt.Fprintf(d.out, "spin-ups           %d\n", d.arr.Meter().SpinUps())
-	st := d.arr.Stats()
-	fmt.Fprintf(d.out, "migrated           %.2f GB\n", float64(st.MigratedBytes)/(1<<30))
-	fmt.Fprintf(d.out, "cache hits         %d\n", st.CacheHits)
-	fmt.Fprintf(d.out, "delayed writes     %d\n", st.DelayedWrites)
-	if d.inj != nil {
-		c := d.inj.Counters()
-		fmt.Fprintf(d.out, "injected faults    %d (%d failed app I/Os, %d failed migrations)\n",
-			c.Total(), c.FailedAppIOs, c.FailedMigrations)
-		fmt.Fprintf(d.out, "degradations       %d\n", d.esm.Degradations())
-	}
-}
-
-func parseRecord(text string) (trace.LogicalRecord, error) {
-	fields := strings.Split(text, ",")
-	if len(fields) != 5 {
-		return trace.LogicalRecord{}, fmt.Errorf("want 5 fields, got %d", len(fields))
-	}
-	t, err := strconv.ParseInt(fields[0], 10, 64)
+// mustJSON marshals v with the indentation every JSON endpoint uses.
+func mustJSON(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		return trace.LogicalRecord{}, fmt.Errorf("time: %w", err)
+		return []byte("{}")
 	}
-	if t < 0 {
-		return trace.LogicalRecord{}, fmt.Errorf("negative time %d", t)
-	}
-	item, err := strconv.ParseInt(fields[1], 10, 32)
-	if err != nil {
-		return trace.LogicalRecord{}, fmt.Errorf("item: %w", err)
-	}
-	off, err := strconv.ParseInt(fields[2], 10, 64)
-	if err != nil {
-		return trace.LogicalRecord{}, fmt.Errorf("offset: %w", err)
-	}
-	// ParseInt's bitSize 32 rejects values outside int32, so a size like
-	// 3 GiB fails here instead of overflowing the record's int32 field.
-	size, err := strconv.ParseInt(fields[3], 10, 32)
-	if err != nil {
-		return trace.LogicalRecord{}, fmt.Errorf("size: %w", err)
-	}
-	if size <= 0 {
-		return trace.LogicalRecord{}, fmt.Errorf("non-positive size %d", size)
-	}
-	var op trace.Op
-	switch fields[4] {
-	case "R":
-		op = trace.OpRead
-	case "W":
-		op = trace.OpWrite
-	default:
-		return trace.LogicalRecord{}, fmt.Errorf("invalid op %q", fields[4])
-	}
-	return trace.LogicalRecord{
-		Time: time.Duration(t), Item: trace.ItemID(item),
-		Offset: off, Size: int32(size), Op: op,
-	}, nil
+	return append(b, '\n')
 }

@@ -13,9 +13,18 @@ import (
 	"testing"
 	"time"
 
+	"esm/internal/config"
+	"esm/internal/fleet"
 	"esm/internal/obs"
 	"esm/internal/trace"
 )
+
+// parseRecord is the daemon's CSV ingestion contract (one record per
+// "time_ns,item,offset,size,op" line), now provided by the trace
+// package for every streaming consumer.
+func parseRecord(text string) (trace.LogicalRecord, error) {
+	return trace.ParseCSVRecord(text, 1)
+}
 
 func TestParseRecordValid(t *testing.T) {
 	rec, err := parseRecord("1500000000,3,4096,8192,W")
@@ -71,10 +80,10 @@ func TestParseRecordSizeBoundary(t *testing.T) {
 	}
 }
 
-// testDaemon builds a daemon over a tiny synthetic catalog.
-func testDaemon(t *testing.T, opts daemonOpts, out io.Writer) *daemon {
+// writeDataset writes a tiny synthetic catalog and placement into dir
+// and returns their paths.
+func writeDataset(t *testing.T, dir string) (string, string) {
 	t.Helper()
-	dir := t.TempDir()
 	cat := trace.NewCatalog()
 	for i := 0; i < 8; i++ {
 		cat.Add(fmt.Sprintf("item%d", i), 1<<20)
@@ -96,12 +105,19 @@ func testDaemon(t *testing.T, opts daemonOpts, out io.Writer) *daemon {
 	if err := os.WriteFile(plPath, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	opts.catalogPath = catPath
-	opts.placementPath = plPath
+	return catPath, plPath
+}
+
+// testDaemon builds a single-array daemon over a tiny synthetic
+// catalog.
+func testDaemon(t *testing.T, opts daemonOpts, out io.Writer) *daemon {
+	t.Helper()
+	opts.catalogPath, opts.placementPath = writeDataset(t, t.TempDir())
 	d, err := newDaemon(opts, out)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { d.fl.Close() })
 	return d
 }
 
@@ -118,8 +134,11 @@ func TestProcessStreamSkipsHeaderAndBlanks(t *testing.T) {
 	if err := d.processStream(strings.NewReader(in)); err != nil {
 		t.Fatal(err)
 	}
-	if d.records != 2 {
-		t.Fatalf("processed %d records, want 2", d.records)
+	if got := d.arr.Records(); got != 2 {
+		t.Fatalf("processed %d records, want 2", got)
+	}
+	if !d.arr.Finished() {
+		t.Fatal("stream end did not finalize the array")
 	}
 }
 
@@ -144,12 +163,13 @@ func TestProcessStreamRejectsMalformedWithLineNumber(t *testing.T) {
 }
 
 // TestDaemonServesEndpoints: a daemon with -listen must answer
-// /metrics, /status and /debug/pprof/ while a stream is processed.
+// /metrics, /status (with liveness counters), /series, /fleet, the
+// /arrays/ control plane and /debug/pprof/ while a stream is
+// processed.
 func TestDaemonServesEndpoints(t *testing.T) {
 	var out bytes.Buffer
-	d := testDaemon(t, daemonOpts{quiet: true, listen: "127.0.0.1:0"}, &out)
-	// Serve the way run() does, but on an ephemeral port owned by the test.
-	srv := http.Server{Handler: obs.Handler(d.rec.Registry(), d.statusJSON, d.flight.Series)}
+	d := testDaemon(t, daemonOpts{quiet: true, name: "esm"}, &out)
+	srv := http.Server{Handler: d.handler()}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +188,7 @@ func TestDaemonServesEndpoints(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != 200 || !strings.Contains(string(body), "esm_physical_reads_total") {
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `esm_physical_reads_total{array="esm"}`) {
 		t.Fatalf("/metrics: code %d body %q", resp.StatusCode, body)
 	}
 
@@ -176,7 +196,7 @@ func TestDaemonServesEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var snap statusSnapshot
+	var snap fleet.Status
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
@@ -186,6 +206,12 @@ func TestDaemonServesEndpoints(t *testing.T) {
 	}
 	if snap.Period == "" {
 		t.Fatal("/status period empty")
+	}
+	if snap.IngestRequests != 1 || snap.IngestRecords != 1 {
+		t.Fatalf("/status ingest liveness %d/%d, want 1/1", snap.IngestRequests, snap.IngestRecords)
+	}
+	if snap.SeriesSamples == 0 {
+		t.Fatal("/status series_samples = 0, liveness not visible")
 	}
 
 	resp, err = http.Get(base + "/debug/pprof/")
@@ -209,10 +235,35 @@ func TestDaemonServesEndpoints(t *testing.T) {
 	if series.Len() == 0 || series.Column("total_energy_j") == nil {
 		t.Fatalf("/series payload: %d samples, cols %v", series.Len(), series.Cols)
 	}
+
+	// The fleet surface answers for the single array too.
+	resp, err = http.Get(base + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roll fleet.Rollup
+	if err := json.NewDecoder(resp.Body).Decode(&roll); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(roll.Arrays) != 1 || roll.Arrays[0].Array != "esm" {
+		t.Fatalf("/fleet lines %+v", roll.Arrays)
+	}
+	if roll.Fleet.MeteredJ != roll.Arrays[0].MeteredJ {
+		t.Fatalf("single-array fleet total %v != line %v", roll.Fleet.MeteredJ, roll.Arrays[0].MeteredJ)
+	}
+	resp, err = http.Get(base + "/arrays/esm/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/arrays/esm/status: code %d", resp.StatusCode)
+	}
 }
 
-// TestDaemonFlightSeries: a daemon with -series samples the stream on
-// the simulated clock and the final sample carries the end-of-stream
+// TestDaemonFlightSeries: the daemon samples the stream on the
+// simulated clock and the final sample carries the end-of-stream
 // counters.
 func TestDaemonFlightSeries(t *testing.T) {
 	var out bytes.Buffer
@@ -225,7 +276,7 @@ func TestDaemonFlightSeries(t *testing.T) {
 	if err := d.processStream(strings.NewReader(sb.String())); err != nil {
 		t.Fatal(err)
 	}
-	s := d.flight.Series()
+	s := d.arr.Series()
 	if s == nil || s.Len() < 10 {
 		t.Fatalf("series has %d samples, want >= 10 (1 Hz over 10 s)", s.Len())
 	}
@@ -234,7 +285,7 @@ func TestDaemonFlightSeries(t *testing.T) {
 	if reads == nil || hits == nil {
 		t.Fatalf("columns missing: %v", s.Cols)
 	}
-	if got := reads[len(reads)-1] + 0; got+hits[len(hits)-1] == 0 {
+	if reads[len(reads)-1]+hits[len(hits)-1] == 0 {
 		t.Fatal("final sample saw no I/O at all")
 	}
 	if respCount := s.Column("resp_count"); respCount[len(respCount)-1] != 11 {
@@ -243,5 +294,38 @@ func TestDaemonFlightSeries(t *testing.T) {
 	// The per-enclosure layout covers the daemon's 4 enclosures.
 	if s.Column("enc3_state") == nil {
 		t.Fatalf("per-enclosure columns missing: %v", s.Cols)
+	}
+}
+
+// TestRunFleetConfig: the -fleet path boots from a fleet file, loads
+// every array and applies the cost overrides.
+func TestRunFleetConfig(t *testing.T) {
+	dir := t.TempDir()
+	catPath, plPath := writeDataset(t, dir)
+	fleetPath := filepath.Join(dir, "fleet.json")
+	doc := fmt.Sprintf(`{
+		"cost": {"pue": 1.2, "replication_factor": 2},
+		"arrays": [
+			{"name": "tokyo", "catalog": %q, "placement": %q, "series_interval": "1s"},
+			{"name": "osaka", "catalog": %q, "placement": %q}
+		]
+	}`, catPath, plPath, catPath, plPath)
+	if err := os.WriteFile(fleetPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	file, err := config.LoadFleet(fleetPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := fleet.FromConfig(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	if names := fl.Names(); len(names) != 2 || names[0] != "osaka" || names[1] != "tokyo" {
+		t.Fatalf("names %v", names)
+	}
+	if m := fl.Cost(); m.PUE != 1.2 || m.ReplicationFactor != 2 || m.LifespanYears != 6 {
+		t.Fatalf("cost model %+v", m)
 	}
 }

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"esm/internal/fleet"
+)
+
+// runFleet implements `esmstat fleet <url-or-file>`: it fetches the
+// control plane's /fleet roll-up (or reads a saved one from disk),
+// renders the per-array energy/cost/carbon ledger with the fleet
+// totals, and verifies that the fleet-wide joules conserve the summed
+// per-array meters to 1e-9 relative. It returns violated=true when
+// conservation fails — the caller exits 1, making the command a CI
+// gate over a live fleet.
+func runFleet(out io.Writer, args []string) (violated bool, err error) {
+	fs := flag.NewFlagSet("esmstat fleet", flag.ExitOnError)
+	tol := fs.Float64("tol", 1e-9, "relative conservation tolerance")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 1 {
+		return false, fmt.Errorf("usage: esmstat fleet [-tol REL] <http://host:port | rollup.json>")
+	}
+	target := fs.Arg(0)
+
+	var roll fleet.Rollup
+	var statuses []fleet.Status
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		base := strings.TrimRight(target, "/")
+		if err := fetchJSON(base+"/fleet", &roll); err != nil {
+			return false, err
+		}
+		// The per-array statuses carry the liveness counters and the
+		// settled energy of finished arrays.
+		for _, line := range roll.Arrays {
+			var st fleet.Status
+			if err := fetchJSON(base+"/arrays/"+line.Array+"/status", &st); err != nil {
+				return false, err
+			}
+			statuses = append(statuses, st)
+		}
+	} else {
+		data, err := os.ReadFile(target)
+		if err != nil {
+			return false, err
+		}
+		if err := json.Unmarshal(data, &roll); err != nil {
+			return false, fmt.Errorf("%s: %w", target, err)
+		}
+	}
+	return reportFleet(out, roll, statuses, *tol)
+}
+
+// fetchJSON GETs url and decodes the JSON body into v.
+func fetchJSON(url string, v any) error {
+	client := http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, v)
+}
+
+// reportFleet renders the roll-up and checks conservation.
+func reportFleet(out io.Writer, roll fleet.Rollup, statuses []fleet.Status, tol float64) (violated bool, err error) {
+	if len(roll.Arrays) == 0 {
+		return false, fmt.Errorf("fleet roll-up has no arrays")
+	}
+	m := roll.Cost
+	fmt.Fprintf(out, "fleet of %d arrays  (PUE %.2f, $%.3f/kWh, %.3f kgCO2/kWh, replication x%g, embodied %g kgCO2/TB over %gy)\n",
+		len(roll.Arrays), m.PUE, m.ElectricityUSDPerKWh, m.GridKgCO2PerKWh, m.ReplicationFactor, m.EmbodiedKgCO2PerTB, m.LifespanYears)
+	fmt.Fprintf(out, "%-16s %10s %12s %12s %10s %10s %10s %10s %8s\n",
+		"array", "span", "metered J", "facility J", "kWh", "cost $", "op kgCO2", "emb kgCO2", "records")
+	for _, line := range roll.Arrays {
+		fmt.Fprintf(out, "%-16s %10s %12.1f %12.1f %10.4f %10.4f %10.5f %10.5f %8d\n",
+			line.Array, time.Duration(line.SpanNS).Round(time.Second),
+			line.MeteredJ, line.FacilityJ, line.FacilityKWh,
+			line.CostUSD, line.OperationalKgCO2, line.EmbodiedKgCO2, line.Records)
+	}
+	f := roll.Fleet
+	fmt.Fprintf(out, "%-16s %10s %12.1f %12.1f %10.4f %10.4f %10.5f %10.5f %8d\n",
+		"FLEET", time.Duration(f.SpanNS).Round(time.Second),
+		f.MeteredJ, f.FacilityJ, f.FacilityKWh,
+		f.CostUSD, f.OperationalKgCO2, f.EmbodiedKgCO2, f.Records)
+	fmt.Fprintf(out, "fleet total: %.4f kWh  $%.4f  %.5f kgCO2 (%.5f operational + %.5f embodied)\n",
+		f.FacilityKWh, f.CostUSD, f.TotalKgCO2, f.OperationalKgCO2, f.EmbodiedKgCO2)
+
+	// Conservation gate 1: the fleet line is the sum of its parts.
+	sum := 0.0
+	for _, line := range roll.Arrays {
+		sum += line.MeteredJ
+	}
+	if !withinRel(f.MeteredJ, sum, tol) {
+		fmt.Fprintf(out, "CONSERVATION VIOLATION: fleet %.9g J vs per-array sum %.9g J (rel %.3g > %.3g)\n",
+			f.MeteredJ, sum, relDiff(f.MeteredJ, sum), tol)
+		violated = true
+	}
+
+	// Conservation gate 2: once every array is finalized, the settled
+	// /status energies must agree with the roll-up meters too.
+	if len(statuses) == len(roll.Arrays) {
+		allFinished := true
+		statusSum := 0.0
+		for _, st := range statuses {
+			allFinished = allFinished && st.Finished
+			statusSum += st.EnergyJ
+		}
+		if allFinished && !withinRel(f.MeteredJ, statusSum, tol) {
+			fmt.Fprintf(out, "CONSERVATION VIOLATION: fleet %.9g J vs summed /status energy %.9g J (rel %.3g > %.3g)\n",
+				f.MeteredJ, statusSum, relDiff(f.MeteredJ, statusSum), tol)
+			violated = true
+		}
+	}
+	if !violated {
+		fmt.Fprintf(out, "conservation OK: fleet joules match per-array meters within %.0e relative\n", tol)
+	}
+	return violated, nil
+}
+
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / scale
+}
+
+func withinRel(a, b, tol float64) bool {
+	return relDiff(a, b) <= tol
+}

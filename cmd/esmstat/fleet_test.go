@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"esm/internal/fleet"
+	"esm/internal/trace"
+)
+
+// fleetFixture runs a tiny two-array fleet to completion and returns
+// its HTTP control plane.
+func fleetFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	newSpec := func(name string) fleet.ArraySpec {
+		cat := trace.NewCatalog()
+		cat.Add("a", 1<<30)
+		cat.Add("b", 1<<30)
+		return fleet.ArraySpec{Name: name, Catalog: cat, Placement: []int{0, 1}}
+	}
+	f, err := fleet.New(fleet.Options{Specs: []fleet.ArraySpec{newSpec("east"), newSpec("west")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	for _, name := range []string{"east", "west"} {
+		a := f.Array(name)
+		for i := 0; i < 200; i++ {
+			rec := trace.LogicalRecord{
+				Time: time.Duration(i) * time.Second, Item: trace.ItemID(i % 2),
+				Offset: 0, Size: 4096, Op: trace.OpRead,
+			}
+			if err := a.Feed(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(f.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFleetSubcommandAgainstLiveServer(t *testing.T) {
+	srv := fleetFixture(t)
+	var out bytes.Buffer
+	violated, err := runFleet(&out, []string{srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatalf("conservation violated on a healthy fleet:\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"fleet of 2 arrays", "east", "west", "FLEET", "conservation OK"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFleetSubcommandFromFile(t *testing.T) {
+	srv := fleetFixture(t)
+	var roll fleet.Rollup
+	if err := fetchJSON(srv.URL+"/fleet", &roll); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rollup.json")
+	data, err := json.Marshal(roll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	violated, err := runFleet(&out, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatalf("violation from saved payload:\n%s", out.String())
+	}
+}
+
+func TestFleetSubcommandDetectsViolation(t *testing.T) {
+	srv := fleetFixture(t)
+	var roll fleet.Rollup
+	if err := fetchJSON(srv.URL+"/fleet", &roll); err != nil {
+		t.Fatal(err)
+	}
+	roll.Fleet.MeteredJ *= 1.0001 // corrupt the conserved total
+	var out bytes.Buffer
+	violated, err := reportFleet(&out, roll, nil, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !violated {
+		t.Fatalf("corrupted total passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "CONSERVATION VIOLATION") {
+		t.Fatalf("violation not reported:\n%s", out.String())
+	}
+	// A looser tolerance accepts the same payload.
+	violated, err = reportFleet(&out, roll, nil, 1e-2)
+	if err != nil || violated {
+		t.Fatalf("tolerance not honored: violated=%v err=%v", violated, err)
+	}
+}
+
+func TestFleetSubcommandUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := runFleet(&out, nil); err == nil {
+		t.Error("no target accepted")
+	}
+	if _, err := runFleet(&out, []string{filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := reportFleet(&out, fleet.Rollup{}, nil, 1e-9); err == nil {
+		t.Error("empty roll-up accepted")
+	}
+}

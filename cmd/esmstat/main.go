@@ -17,6 +17,11 @@
 // exiting 1 when a gated signal crosses its threshold — the CI
 // regression gate.
 //
+// The fleet subcommand queries a running esmd control plane (or reads
+// a saved /fleet payload) and renders the fleet-wide energy, cost and
+// carbon roll-up, exiting 1 if the fleet joules fail to conserve the
+// summed per-array meters to the tolerance.
+//
 // Usage:
 //
 //	esmstat -trace fs.trace -catalog fs.items [-break-even 52s] [-top 5]
@@ -25,6 +30,7 @@
 //	esmstat attrib [-top 3] run.trace.json
 //	esmstat series [-since 10m] [-until 1h] [-csv] fileserver-esm.series.csv
 //	esmstat diff [-energy 0.05] [-resp 0.1] baseline.json new.json
+//	esmstat fleet [-tol 1e-9] http://localhost:9090
 package main
 
 import (
@@ -61,6 +67,16 @@ func main() {
 				os.Exit(2)
 			}
 			if regressed {
+				os.Exit(1)
+			}
+			return
+		case "fleet":
+			violated, err := runFleet(os.Stdout, os.Args[2:])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "esmstat:", err)
+				os.Exit(2)
+			}
+			if violated {
 				os.Exit(1)
 			}
 			return

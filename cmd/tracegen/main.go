@@ -1,8 +1,9 @@
 // Command tracegen generates the synthetic application traces used by
 // the evaluation (file server, OLTP, DSS, or a generic synthetic mix)
 // and writes them to disk together with their item catalog, in the
-// compact binary format, CSV, or the appendable stream format. The
-// stream format is written straight off the workload's lazy trace
+// compact binary format, CSV, the appendable stream format, or NDJSON
+// (the wire format of esmd's fleet ingest endpoint). The stream and
+// ndjson formats are written straight off the workload's lazy trace
 // source, so traces larger than memory can be generated.
 //
 // Usage:
@@ -28,7 +29,7 @@ func main() {
 	kind := flag.String("workload", "fileserver", "fileserver, oltp, dss, sensor or synthetic")
 	scale := flag.Float64("scale", 1.0, "time-scale factor (1.0 = paper-scale durations)")
 	seed := flag.Int64("seed", 0, "override the workload's default seed (0 = keep)")
-	format := flag.String("format", "binary", "binary, csv or stream")
+	format := flag.String("format", "binary", "binary, csv, stream or ndjson")
 	out := flag.String("out", "", "trace output path (required)")
 	catalogPath := flag.String("catalog", "", "catalog output path (required)")
 	placementPath := flag.String("placement", "", "initial-placement output path (required)")
@@ -81,23 +82,9 @@ func run(kind string, scale float64, seed int64, format, out, catalogPath, place
 		// The length-prefixed formats need the whole trace up front;
 		// the stream format is emitted record by record in O(items)
 		// memory.
-		sw := trace.NewStreamWriter(tf)
-		src := w.Source()
-		for {
-			rec, ok := src.Next()
-			if !ok {
-				break
-			}
-			if err = sw.Append(rec); err != nil {
-				break
-			}
-		}
-		if err == nil {
-			err = src.Err()
-		}
-		if err == nil {
-			err = sw.Close()
-		}
+		err = writeIncremental(trace.NewStreamWriter(tf), w)
+	case "ndjson":
+		err = writeIncremental(trace.NewNDJSONWriter(tf), w)
 	default:
 		err = fmt.Errorf("unknown format %q", format)
 	}
@@ -139,6 +126,31 @@ func run(kind string, scale float64, seed int64, format, out, catalogPath, place
 	fmt.Printf("%s: %s\n", w.Name, sum)
 	fmt.Printf("wrote %s (%s), %s (%d items), %s (%d enclosures)\n", out, format, catalogPath, w.Catalog.Len(), placementPath, w.Enclosures)
 	return nil
+}
+
+// incrementalWriter is the shared shape of the record-by-record codecs.
+type incrementalWriter interface {
+	Append(trace.LogicalRecord) error
+	Close() error
+}
+
+// writeIncremental drains the workload's lazy source through an
+// appending codec in O(items) memory.
+func writeIncremental(sw incrementalWriter, w *workload.Workload) error {
+	src := w.Source()
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := sw.Append(rec); err != nil {
+			return err
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	return sw.Close()
 }
 
 func buildWithSeed(kind experiments.Kind, scale float64, seed int64) (*workload.Workload, error) {

@@ -378,6 +378,17 @@ func (d *ESM) runManagement(now time.Duration, cause obs.Cause) {
 	d.scheduleWake(d.period)
 }
 
+// Stop cancels the pending period-end wake-up. The fleet control plane
+// calls it before hot-swapping in a replacement policy instance on the
+// same simulation context, so the retired instance never fires again;
+// its array observers are rewired by the caller.
+func (d *ESM) Stop() {
+	if d.wake != nil {
+		d.ctx.Queue.Cancel(d.wake)
+		d.wake = nil
+	}
+}
+
 // Finish implements policy.Policy: a final management run would be
 // pointless, but delayed writes must be destaged so the energy accounting
 // is honest.

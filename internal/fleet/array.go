@@ -1,0 +1,682 @@
+// One managed array of the fleet: a complete simulated storage unit —
+// its own virtual clock, event queue, array, ESM policy instance and
+// telemetry surfaces — driven record by record from a live ingest
+// stream instead of a batch replay. The feed path reproduces
+// replay.Execute's open-loop body and end-of-stream sequence exactly,
+// on the same flight-sampling grid, so an array fed a trace over the
+// wire settles to bit-identical energy and series values as an offline
+// replay of the same trace.
+
+package fleet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"esm/internal/config"
+	"esm/internal/core"
+	"esm/internal/faults"
+	"esm/internal/metrics"
+	"esm/internal/obs"
+	"esm/internal/policy"
+	"esm/internal/simclock"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+// planningHorizon is the policy End handed to ESM instances: a live
+// stream's length is unknown up front, so the horizon is simply
+// generous (matching single-array esmd).
+const planningHorizon = 1000 * time.Hour
+
+// ArraySpec declares one array of the fleet with its data set loaded.
+type ArraySpec struct {
+	// Name identifies the array in URLs and in the array="<name>" label
+	// of every metric it registers. Required; validated by
+	// config.ValidateArrayName.
+	Name string
+	// Catalog and Placement are the item catalog and the initial
+	// enclosure of every item, indexed by ItemID. Required.
+	Catalog   *trace.Catalog
+	Placement []int
+	// Config optionally overrides storage and ESM parameters (nil =
+	// paper defaults). The policy must be the proposed method.
+	Config *config.File
+	// Enclosures overrides the enclosure count (0 = infer from the
+	// placement).
+	Enclosures int
+	// Faults, when non-nil, is the fault scenario injected into the
+	// array's simulation.
+	Faults *faults.Config
+	// SeriesInterval is the flight-recorder sampling interval on the
+	// simulated clock (0 = 30s, like esmd -series-interval).
+	SeriesInterval time.Duration
+	// SeriesMaxSamples bounds the flight recorder's stored samples
+	// (0 = obs.DefaultFlightMaxSamples).
+	SeriesMaxSamples int
+	// EventSink, when non-nil, receives the array's telemetry event
+	// stream (closed by Array.Close).
+	EventSink obs.Sink
+	// SpanSink, when non-nil, attaches a per-I/O span tracer feeding it
+	// (closed by Array.Close). Note that a tracer settles the power
+	// meter at snapshot times, which perturbs float rounding relative
+	// to an untraced offline replay.
+	SpanSink obs.SpanSink
+	// StatusOut, when non-nil, gets a human-readable line per placement
+	// determination (single-array esmd's non-quiet mode).
+	StatusOut io.Writer
+}
+
+// Status is the JSON liveness snapshot of one array — the fleet form
+// of single-array esmd's /status payload, extended with the ingest and
+// flight-recorder counters that show the stream is actually moving.
+type Status struct {
+	Array          string                 `json:"array"`
+	TimeNS         int64                  `json:"t_ns"`
+	Records        int64                  `json:"records"`
+	Determinations int64                  `json:"determinations"`
+	Period         string                 `json:"period"`
+	PeriodNS       int64                  `json:"period_ns"`
+	HotMask        []bool                 `json:"hot_mask,omitempty"`
+	PatternMix     map[string]int         `json:"pattern_mix,omitempty"`
+	SpinUps        int                    `json:"spin_ups"`
+	MigratedBytes  int64                  `json:"migrated_bytes"`
+	CacheHits      int64                  `json:"cache_hits"`
+	AvgEnclosureW  float64                `json:"avg_enclosure_w"`
+	EnergyJ        float64                `json:"energy_j"`
+	Cache          storage.CacheOccupancy `json:"cache"`
+	Faults         int64                  `json:"faults,omitempty"`
+	FailedIOs      int64                  `json:"failed_ios,omitempty"`
+	Degraded       bool                   `json:"degraded,omitempty"`
+	Degradations   int64                  `json:"degradations,omitempty"`
+	Latency        *obs.LatencySummary    `json:"latency,omitempty"`
+	Attribution    *obs.Attribution       `json:"attribution,omitempty"`
+
+	// Liveness: how much has arrived over the ingest surfaces, and how
+	// far the flight recorder has sampled.
+	IngestRequests int64 `json:"ingest_requests"`
+	IngestRecords  int64 `json:"ingest_records"`
+	SeriesSamples  int   `json:"series_samples"`
+	SeriesLastTNS  int64 `json:"series_last_t_ns"`
+	PolicySwaps    int64 `json:"policy_swaps,omitempty"`
+	Finished       bool  `json:"finished,omitempty"`
+}
+
+// Array is one live simulated storage unit. All simulation state is
+// guarded by mu; Status and Series are safe from HTTP goroutines.
+type Array struct {
+	name       string
+	enclosures int
+	statusOut  io.Writer
+
+	// mu guards the entire simulation below. Feed, Finish, SwapPolicy
+	// and rollup all hold it; the simulated clock of one array never
+	// advances concurrently with itself.
+	mu      sync.Mutex
+	clk     *simclock.Clock
+	evq     *simclock.EventQueue
+	arr     *storage.Array
+	esm     *core.ESM
+	inj     *faults.Injector
+	cat     *trace.Catalog
+	now     time.Duration
+	records int64
+	lastDet int64
+	resp    metrics.ResponseStats
+	swaps   int64
+	done    bool
+
+	rec    *obs.Recorder
+	trc    *obs.Tracer
+	flight *obs.FlightRecorder
+
+	ingestRequests atomic.Int64
+	ingestRecords  atomic.Int64
+
+	snapMu sync.Mutex
+	snap   Status
+}
+
+// newArray builds one array onto the shared fleet registry (nil for an
+// unregistered array).
+func newArray(spec ArraySpec, reg *obs.Registry) (*Array, error) {
+	if err := config.ValidateArrayName(spec.Name); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if spec.Catalog == nil {
+		return nil, fmt.Errorf("fleet: array %q: catalog is required", spec.Name)
+	}
+	if len(spec.Placement) != spec.Catalog.Len() {
+		return nil, fmt.Errorf("fleet: array %q: placement covers %d of %d items",
+			spec.Name, len(spec.Placement), spec.Catalog.Len())
+	}
+	enclosures := spec.Enclosures
+	if enclosures == 0 {
+		for _, e := range spec.Placement {
+			if e+1 > enclosures {
+				enclosures = e + 1
+			}
+		}
+	}
+	cfgFile := spec.Config
+	if cfgFile == nil {
+		cfgFile = &config.File{}
+	}
+	if cfgFile.Policy != nil && cfgFile.Policy.Name != "" && cfgFile.Policy.Name != "esm" {
+		return nil, fmt.Errorf("fleet: array %q: the control plane always runs the proposed method; policy %q is not supported",
+			spec.Name, cfgFile.Policy.Name)
+	}
+	storageCfg, err := cfgFile.BuildStorage(enclosures)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: array %q: %w", spec.Name, err)
+	}
+
+	rec := obs.New(obs.Options{
+		Registry: reg,
+		Sink:     spec.EventSink,
+		Label:    spec.Name,
+		Instance: spec.Name,
+	})
+	var trc *obs.Tracer
+	if spec.SpanSink != nil {
+		trc = obs.NewTracer(obs.TracerOptions{
+			Sink:       spec.SpanSink,
+			Registry:   reg,
+			Instance:   spec.Name,
+			Enclosures: enclosures,
+		})
+	}
+
+	clk := &simclock.Clock{}
+	evq := &simclock.EventQueue{}
+	arr, err := storage.New(storageCfg, clk, evq, spec.Catalog)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: array %q: %w", spec.Name, err)
+	}
+	// The tracer attaches before placement so the energy ledger's
+	// residency accounting sees every item land on its home enclosure.
+	if trc != nil {
+		arr.SetTracer(trc)
+	}
+	for item, enc := range spec.Placement {
+		if err := arr.Place(trace.ItemID(item), enc); err != nil {
+			return nil, fmt.Errorf("fleet: array %q: %w", spec.Name, err)
+		}
+	}
+	esm, err := buildESM(cfgFile)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: array %q: %w", spec.Name, err)
+	}
+	arr.SetRecorder(rec)
+	esm.SetRecorder(rec)
+	if trc != nil {
+		esm.SetTracer(trc)
+	}
+	every := spec.SeriesInterval
+	if every <= 0 {
+		every = 30 * time.Second
+	}
+	flight := obs.NewFlightRecorder(obs.FlightOptions{
+		Interval:   every,
+		MaxSamples: spec.SeriesMaxSamples,
+	})
+	esm.SetFlightRecorder(flight)
+	var inj *faults.Injector
+	if spec.Faults != nil {
+		inj, err = faults.NewInjector(*spec.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: array %q: %w", spec.Name, err)
+		}
+		arr.SetFaultInjector(inj)
+	}
+
+	a := &Array{
+		name:       spec.Name,
+		enclosures: enclosures,
+		statusOut:  spec.StatusOut,
+		clk:        clk,
+		evq:        evq,
+		arr:        arr,
+		esm:        esm,
+		inj:        inj,
+		cat:        spec.Catalog,
+		rec:        rec,
+		trc:        trc,
+		flight:     flight,
+	}
+	// The array's observers dispatch through the Array so a hot-swapped
+	// policy starts seeing events without rewiring; they only fire
+	// during Submit/RunUntil, i.e. with a.mu held.
+	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) { a.esm.OnPhysical(rec) })
+	arr.SetPowerObserver(func(e int, at time.Duration, on bool) { a.esm.OnPower(e, at, on) })
+	if inj != nil {
+		arr.SetFaultObserver(func(ev faults.Event) { a.esm.OnFault(ev) })
+	}
+	esm.Init(&policy.Context{Array: arr, Catalog: spec.Catalog, Clock: clk, Queue: evq, End: planningHorizon})
+
+	// Self-rescheduling flight sampler on the simulated clock, the same
+	// grid replay.Execute uses: a t=0 baseline row, then one sample per
+	// interval as the feed's RunUntil sweeps past it.
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		a.flight.Record(a.sampleLocked(now))
+		a.evq.Schedule(now+every, tick)
+	}
+	flight.Record(a.sampleLocked(0))
+	evq.Schedule(every, tick)
+	a.updateSnapshotLocked(0)
+	return a, nil
+}
+
+// buildESM constructs the proposed method from cfg, rejecting other
+// policies.
+func buildESM(cfg *config.File) (*core.ESM, error) {
+	if cfg.Policy != nil && cfg.Policy.Name != "" && cfg.Policy.Name != "esm" {
+		return nil, fmt.Errorf("policy %q is not supported here (esm only)", cfg.Policy.Name)
+	}
+	pol, err := cfg.BuildPolicy()
+	if err != nil {
+		return nil, err
+	}
+	esm, ok := pol.(*core.ESM)
+	if !ok {
+		return nil, fmt.Errorf("policy %q is not the proposed method", pol.Name())
+	}
+	return esm, nil
+}
+
+// Name returns the array's fleet-unique name.
+func (a *Array) Name() string { return a.name }
+
+// Enclosures returns the enclosure count.
+func (a *Array) Enclosures() int { return a.enclosures }
+
+// Feed drives one logical record through the simulation: advance the
+// virtual clock to the record's time (firing any management and
+// sampling events on the way), show the record to the policy, submit
+// it to the array. Records must arrive in time order; injected faults
+// kill the individual I/O, not the stream.
+func (a *Array) Feed(rec trace.LogicalRecord) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.feedLocked(rec)
+}
+
+func (a *Array) feedLocked(rec trace.LogicalRecord) error {
+	if a.done {
+		return fmt.Errorf("fleet: array %q: stream already finalized", a.name)
+	}
+	if rec.Time < a.now {
+		return fmt.Errorf("fleet: array %q: record out of order (%v after %v)", a.name, rec.Time, a.now)
+	}
+	a.now = rec.Time
+	a.evq.RunUntil(a.clk, rec.Time)
+	a.esm.OnLogical(rec)
+	if out, err := a.arr.Submit(rec); err != nil {
+		var fe *storage.FaultError
+		if !errors.As(err, &fe) {
+			return fmt.Errorf("fleet: array %q: %w", a.name, err)
+		}
+	} else {
+		a.resp.Add(rec.Op, out.Response)
+	}
+	a.records++
+	a.afterRecordLocked()
+	return nil
+}
+
+// afterRecordLocked refreshes the status snapshot on determination
+// boundaries (and every 1024 records), printing the determination line
+// when a StatusOut is attached.
+func (a *Array) afterRecordLocked() {
+	det := a.esm.Determinations()
+	newDet := det != a.lastDet
+	a.lastDet = det
+	if newDet || a.records%1024 == 0 {
+		a.updateSnapshotLocked(a.now)
+	}
+	if !newDet || a.statusOut == nil {
+		return
+	}
+	hot := 0
+	for _, h := range a.esm.Hot() {
+		if h {
+			hot++
+		}
+	}
+	var mix core.PatternMix
+	if plan := a.esm.LastPlan(); plan != nil {
+		for _, p := range plan.Patterns {
+			mix.Counts[p]++
+			mix.Total++
+		}
+	}
+	st := a.arr.Stats()
+	fmt.Fprintf(a.statusOut, "[%s %v] determination #%d: %d/%d hot enclosures, period %v, %s, avg %.1f W, %d spin-ups, %.2f GB migrated\n",
+		a.name, a.now.Round(time.Second), det, hot, a.enclosures,
+		a.esm.Period().Round(time.Second), mix.String(),
+		a.arr.Meter().AverageEnclosureW(a.now),
+		a.arr.Meter().SpinUps(), float64(st.MigratedBytes)/(1<<30))
+}
+
+// Finish finalizes the stream: run the queue out to the last record's
+// time, let the policy finish, flush delayed writes, settle the power
+// meter and force the closing flight sample — the exact end sequence
+// of replay.Execute. Idempotent; further Feeds fail.
+func (a *Array) Finish() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.finishLocked()
+}
+
+func (a *Array) finishLocked() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	end := a.now
+	if a.clk.Now() > end {
+		end = a.clk.Now()
+	}
+	a.evq.RunUntil(a.clk, end)
+	a.esm.Finish(end)
+	a.arr.FlushAll()
+	a.arr.Finish()
+	a.flight.Final(a.sampleLocked(end))
+	a.updateSnapshotLocked(end)
+	return nil
+}
+
+// Finished reports whether the stream has been finalized.
+func (a *Array) Finished() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.done
+}
+
+// SwapPolicy replaces the running ESM instance with one built from
+// cfg's policy section — live reconfiguration without restarting the
+// array or losing any accumulated energy, placement or cache state.
+// The outgoing instance's pending wake-up is cancelled; the incoming
+// one starts a fresh monitoring period at the current simulated time
+// and relearns access patterns from scratch. cfg's storage section is
+// ignored: the physical array is fixed at creation.
+func (a *Array) SwapPolicy(cfg *config.File) error {
+	if cfg == nil {
+		cfg = &config.File{}
+	}
+	esm, err := buildESM(cfg)
+	if err != nil {
+		return fmt.Errorf("fleet: array %q: %w", a.name, err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.done {
+		return fmt.Errorf("fleet: array %q: stream already finalized", a.name)
+	}
+	a.esm.Stop()
+	esm.SetRecorder(a.rec)
+	if a.trc != nil {
+		esm.SetTracer(a.trc)
+	}
+	esm.SetFlightRecorder(a.flight)
+	a.esm = esm
+	a.lastDet = 0
+	esm.Init(&policy.Context{Array: a.arr, Catalog: a.cat, Clock: a.clk, Queue: a.evq, End: planningHorizon})
+	a.swaps++
+	a.updateSnapshotLocked(a.now)
+	return nil
+}
+
+// IngestNDJSON feeds newline-delimited JSON records (the native wire
+// format of POST /arrays/<name>/ingest) and returns how many were
+// applied. Decoding happens outside the array lock, so a slow network
+// stream never blocks scrapes.
+func (a *Array) IngestNDJSON(r io.Reader) (int64, error) {
+	dec := trace.NewNDJSONReader(r)
+	return a.ingest(func() (trace.LogicalRecord, error) { return dec.Next() })
+}
+
+// IngestStream feeds the binary stream-codec framing (tracegen
+// -format stream).
+func (a *Array) IngestStream(r io.Reader) (int64, error) {
+	dec := trace.NewStreamReader(r)
+	return a.ingest(func() (trace.LogicalRecord, error) { return dec.Next() })
+}
+
+// IngestCSV feeds "time_ns,item,offset,size,op" lines (tracegen
+// -format csv). Blank lines and header lines are skipped wherever they
+// appear, so concatenated CSV streams work; every error — parse or
+// feed — carries the line number.
+func (a *Array) IngestCSV(r io.Reader) (int64, error) {
+	a.ingestRequests.Add(1)
+	defer a.RefreshStatus()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	var n int64
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "time_ns") {
+			continue
+		}
+		rec, err := trace.ParseCSVRecord(text, line)
+		if err != nil {
+			return n, err
+		}
+		if err := a.Feed(rec); err != nil {
+			return n, fmt.Errorf("line %d: %w", line, err)
+		}
+		n++
+		a.ingestRecords.Add(1)
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ingest drains next into Feed, counting the request and its records.
+// Partially applied streams stay applied: records before the first
+// error have already driven the simulation.
+func (a *Array) ingest(next func() (trace.LogicalRecord, error)) (int64, error) {
+	a.ingestRequests.Add(1)
+	var n int64
+	for {
+		rec, err := next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			a.RefreshStatus()
+			return n, err
+		}
+		if err := a.Feed(rec); err != nil {
+			a.RefreshStatus()
+			return n, err
+		}
+		n++
+		a.ingestRecords.Add(1)
+	}
+	a.RefreshStatus()
+	return n, nil
+}
+
+// Records returns how many records have been fed.
+func (a *Array) Records() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.records
+}
+
+// Now returns the array's simulated time.
+func (a *Array) Now() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.clk.Now()
+	if a.now > n {
+		n = a.now
+	}
+	return n
+}
+
+// Series returns the flight recorder's live time series.
+func (a *Array) Series() *obs.Series {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flight.Series()
+}
+
+// Status returns the most recent liveness snapshot. Safe from HTTP
+// goroutines; never blocks on the simulation lock.
+func (a *Array) Status() Status {
+	a.snapMu.Lock()
+	defer a.snapMu.Unlock()
+	return a.snap
+}
+
+// RefreshStatus recomputes the snapshot from live simulation state.
+func (a *Array) RefreshStatus() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.clk.Now()
+	if a.now > now {
+		now = a.now
+	}
+	a.updateSnapshotLocked(now)
+}
+
+// updateSnapshotLocked rebuilds the status payload; the caller holds
+// a.mu.
+func (a *Array) updateSnapshotLocked(now time.Duration) {
+	snap := Status{
+		Array:          a.name,
+		TimeNS:         int64(now),
+		Records:        a.records,
+		Determinations: a.esm.Determinations(),
+		Period:         a.esm.Period().String(),
+		PeriodNS:       int64(a.esm.Period()),
+		HotMask:        append([]bool(nil), a.esm.Hot()...),
+		SpinUps:        a.arr.Meter().SpinUps(),
+		AvgEnclosureW:  a.arr.Meter().AverageEnclosureW(now),
+		EnergyJ:        a.arr.Meter().TotalEnergyJ(now),
+		Cache:          a.arr.CacheOccupancy(),
+		IngestRequests: a.ingestRequests.Load(),
+		IngestRecords:  a.ingestRecords.Load(),
+		PolicySwaps:    a.swaps,
+		Finished:       a.done,
+	}
+	samples, last := a.flight.Stats()
+	snap.SeriesSamples = samples
+	snap.SeriesLastTNS = int64(last)
+	st := a.arr.Stats()
+	snap.MigratedBytes = st.MigratedBytes
+	snap.CacheHits = st.CacheHits
+	if a.inj != nil {
+		c := a.inj.Counters()
+		snap.Faults = c.Total()
+		snap.FailedIOs = c.FailedAppIOs
+		snap.Degraded = a.esm.Degraded()
+		snap.Degradations = a.esm.Degradations()
+	}
+	if plan := a.esm.LastPlan(); plan != nil {
+		snap.PatternMix = map[string]int{}
+		for _, p := range plan.Patterns {
+			snap.PatternMix[p.String()]++
+		}
+	}
+	if a.trc != nil {
+		// Settle the power-state accumulators so the attribution
+		// reflects energy actually drawn.
+		a.arr.Finish()
+		snap.Latency = a.trc.LatencySummary()
+		snap.Attribution = a.trc.Attribute(now, a.arr.EnclosureEnergy)
+	}
+	a.snapMu.Lock()
+	a.snap = snap
+	a.snapMu.Unlock()
+}
+
+// sampleLocked assembles one whole-system flight sample at simulated
+// time now (the fleet twin of replay.Execute's snapshot closure); the
+// caller holds a.mu. It settles the power meter, like every sampler.
+func (a *Array) sampleLocked(now time.Duration) obs.FlightSample {
+	a.arr.Finish()
+	m := a.arr.Meter()
+	occ := a.arr.CacheOccupancy()
+	st := a.arr.Stats()
+	s := obs.FlightSample{
+		T:                 now,
+		EnclosureEnergyJ:  m.EnclosureEnergyJ(),
+		TotalEnergyJ:      m.TotalEnergyJ(now),
+		SpinUps:           m.SpinUps(),
+		CacheGeneralPages: occ.GeneralPages,
+		CachePreloadBytes: occ.PreloadUsedBytes,
+		CacheDirtyBytes:   occ.WriteDelayDirtyBytes,
+		Determinations:    a.esm.Determinations(),
+		Migrations:        st.Migrations,
+		MigratedBytes:     st.MigratedBytes,
+		PhysicalReads:     st.PhysicalReads,
+		PhysicalWrites:    st.PhysicalWrites,
+		CacheHits:         st.CacheHits,
+		RespCount:         a.resp.Count(),
+		RespMean:          a.resp.Mean(),
+		RespP95:           a.resp.Percentile(0.95),
+		RespP99:           a.resp.Percentile(0.99),
+		Faults:            a.inj.Counters().Total(),
+		Degraded:          a.esm.Degraded(),
+	}
+	for e := 0; e < a.arr.Enclosures(); e++ {
+		es := obs.EnclosureSample{UsedBytes: a.arr.Used(e)}
+		switch since, idle := a.arr.IdleSince(e, now); {
+		case !a.arr.EnclosureOn(e, now):
+			es.State = obs.EnclosureOff
+		case idle:
+			es.State = obs.EnclosureIdle
+			es.IdleFor = now - since
+		default:
+			es.State = obs.EnclosureActive
+		}
+		s.Enclosures = append(s.Enclosures, es)
+	}
+	return s
+}
+
+// Report writes the end-of-stream summary (single-array esmd's final
+// report, prefixed with the array name).
+func (a *Array) Report(w io.Writer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.clk.Now()
+	fmt.Fprintf(w, "\n[%s] processed %d records over %v\n", a.name, a.records, now.Round(time.Second))
+	fmt.Fprintf(w, "determinations     %d\n", a.esm.Determinations())
+	fmt.Fprintf(w, "avg enclosure      %.1f W\n", a.arr.Meter().AverageEnclosureW(now))
+	fmt.Fprintf(w, "avg total          %.1f W\n", a.arr.Meter().AverageTotalW(now))
+	fmt.Fprintf(w, "spin-ups           %d\n", a.arr.Meter().SpinUps())
+	st := a.arr.Stats()
+	fmt.Fprintf(w, "migrated           %.2f GB\n", float64(st.MigratedBytes)/(1<<30))
+	fmt.Fprintf(w, "cache hits         %d\n", st.CacheHits)
+	fmt.Fprintf(w, "delayed writes     %d\n", st.DelayedWrites)
+	if a.inj != nil {
+		c := a.inj.Counters()
+		fmt.Fprintf(w, "injected faults    %d (%d failed app I/Os, %d failed migrations)\n",
+			c.Total(), c.FailedAppIOs, c.FailedMigrations)
+		fmt.Fprintf(w, "degradations       %d\n", a.esm.Degradations())
+	}
+}
+
+// Close flushes and closes the array's event and span sinks.
+func (a *Array) Close() error {
+	err := a.rec.Close()
+	if terr := a.trc.Close(); err == nil {
+		err = terr
+	}
+	return err
+}

@@ -1,0 +1,314 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"esm/internal/core"
+	"esm/internal/obs"
+	"esm/internal/replay"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+// postNDJSON streams recs to the array's ingest endpoint in chunks of
+// chunk records per request, finalizing with the last one.
+func postNDJSON(t *testing.T, base, array string, recs []trace.LogicalRecord, chunk int) {
+	t.Helper()
+	for start := 0; start < len(recs); start += chunk {
+		end := start + chunk
+		if end > len(recs) {
+			end = len(recs)
+		}
+		var buf bytes.Buffer
+		w := trace.NewNDJSONWriter(&buf)
+		for _, rec := range recs[start:end] {
+			if err := w.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+		url := base + "/arrays/" + array + "/ingest"
+		if end == len(recs) {
+			url += "?final=1"
+		}
+		resp, err := http.Post(url, "application/x-ndjson", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest [%d:%d]: %s: %s", start, end, resp.Status, body)
+		}
+	}
+}
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body
+}
+
+// TestLiveIngestMatchesOfflineReplay is the acceptance gate of the
+// control plane: two arrays fed the same trace over live chunked
+// NDJSON ingest must produce flight series and energy totals
+// byte-identical to an offline replay.Execute of the same trace on the
+// same sampling grid — the wire adds nothing and loses nothing.
+func TestLiveIngestMatchesOfflineReplay(t *testing.T) {
+	span := 30 * time.Minute
+	interval := time.Minute
+	_, _, recs := fixture(t, span)
+	last := recs[len(recs)-1].Time
+
+	// Offline reference: replay the same records with the same flight
+	// grid. Fresh catalog so no state leaks between the sides.
+	cat, placement, _ := fixture(t, span)
+	esm, err := core.NewESM(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight := obs.NewFlightRecorder(obs.FlightOptions{Interval: interval})
+	res, err := replay.Execute(replay.Run{
+		Catalog:   cat,
+		Source:    trace.NewSliceSource(recs),
+		Placement: placement,
+		Storage:   storage.DefaultConfig(2),
+		Policy:    esm,
+		Duration:  last,
+		Series:    flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offlineCSV bytes.Buffer
+	if err := res.Series.WriteCSV(&offlineCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live side: two identically configured arrays behind the HTTP
+	// control plane, fed the same records in different chunkings.
+	var specs []ArraySpec
+	for _, name := range []string{"alpha", "beta"} {
+		c, p, _ := fixture(t, span)
+		specs = append(specs, ArraySpec{Name: name, Catalog: c, Placement: p, SeriesInterval: interval})
+	}
+	f, err := New(Options{Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	postNDJSON(t, srv.URL, "alpha", recs, 97)
+	postNDJSON(t, srv.URL, "beta", recs, len(recs))
+
+	for _, name := range []string{"alpha", "beta"} {
+		liveCSV := get(t, srv.URL+"/arrays/"+name+"/series?format=csv")
+		if !bytes.Equal(liveCSV, offlineCSV.Bytes()) {
+			t.Errorf("%s: live series differs from offline replay (%d vs %d bytes)",
+				name, len(liveCSV), offlineCSV.Len())
+		}
+		var st Status
+		if err := json.Unmarshal(get(t, srv.URL+"/arrays/"+name+"/status"), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.EnergyJ != res.EnergyJ {
+			t.Errorf("%s: live energy %v J, offline %v J", name, st.EnergyJ, res.EnergyJ)
+		}
+		if st.SpinUps != res.SpinUps || st.MigratedBytes != res.Storage.MigratedBytes ||
+			st.CacheHits != res.Storage.CacheHits || st.Determinations != res.Determinations {
+			t.Errorf("%s: counters diverge: %+v vs %+v", name, st, res)
+		}
+		if st.Records != int64(len(recs)) || !st.Finished {
+			t.Errorf("%s: records %d finished %v", name, st.Records, st.Finished)
+		}
+	}
+
+	// The /fleet roll-up over the finalized arrays conserves the summed
+	// per-array joules to 1e-9 relative.
+	var roll Rollup
+	if err := json.Unmarshal(get(t, srv.URL+"/fleet"), &roll); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, line := range roll.Arrays {
+		sum += line.MeteredJ
+	}
+	if diff := roll.Fleet.MeteredJ - sum; diff > 1e-9*sum || diff < -1e-9*sum {
+		t.Fatalf("fleet %v J vs sum %v J", roll.Fleet.MeteredJ, sum)
+	}
+	if want := 2 * res.EnergyJ; roll.Fleet.MeteredJ != want {
+		t.Fatalf("fleet metered %v J, twice the offline run is %v J", roll.Fleet.MeteredJ, want)
+	}
+}
+
+// TestConcurrentScrapes drives two arrays while HTTP clients hammer
+// every read endpoint — the -race gate for the shared registry,
+// status snapshots and roll-up locking.
+func TestConcurrentScrapes(t *testing.T) {
+	f, recs := newTestFleet(t, "a", "b")
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, path := range []string{"/metrics", "/status", "/fleet", "/arrays/", "/arrays/a/status", "/arrays/a/series", "/arrays/b/series?format=csv"} {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(srv.URL + path)
+	}
+
+	var feeders sync.WaitGroup
+	for _, name := range []string{"a", "b"} {
+		feeders.Add(1)
+		go func(a *Array) {
+			defer feeders.Done()
+			for _, rec := range recs {
+				if err := a.Feed(rec); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := a.Finish(); err != nil {
+				t.Error(err)
+			}
+		}(f.Array(name))
+	}
+	feeders.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Post-race sanity: both arrays processed everything and the
+	// roll-up still conserves.
+	r := f.Rollup()
+	if r.Fleet.Records != int64(2*len(recs)) {
+		t.Fatalf("fleet records %d, want %d", r.Fleet.Records, 2*len(recs))
+	}
+	sum := r.Arrays[0].MeteredJ + r.Arrays[1].MeteredJ
+	if diff := r.Fleet.MeteredJ - sum; diff > 1e-9*sum || diff < -1e-9*sum {
+		t.Fatalf("fleet %v J vs sum %v J", r.Fleet.MeteredJ, sum)
+	}
+}
+
+// TestHTTPEndpoints covers the control-plane routing: listing,
+// unknown arrays and verbs, content-type negotiation, final
+// semantics and policy hot-swap over the wire.
+func TestHTTPEndpoints(t *testing.T) {
+	f, recs := newTestFleet(t, "a")
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	var list struct {
+		Arrays []string `json:"arrays"`
+	}
+	if err := json.Unmarshal(get(t, srv.URL+"/arrays/"), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Arrays) != 1 || list.Arrays[0] != "a" {
+		t.Fatalf("array list %v", list.Arrays)
+	}
+
+	status := func(method, url, ctype string, body io.Reader) int {
+		req, err := http.NewRequest(method, url, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctype != "" {
+			req.Header.Set("Content-Type", ctype)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status(http.MethodGet, srv.URL+"/arrays/nope/status", "", nil); got != http.StatusNotFound {
+		t.Errorf("unknown array: %d", got)
+	}
+	if got := status(http.MethodGet, srv.URL+"/arrays/a/bogus", "", nil); got != http.StatusNotFound {
+		t.Errorf("unknown verb: %d", got)
+	}
+	if got := status(http.MethodGet, srv.URL+"/arrays/a/ingest", "", nil); got != http.StatusMethodNotAllowed {
+		t.Errorf("GET ingest: %d", got)
+	}
+	if got := status(http.MethodPost, srv.URL+"/arrays/a/ingest", "application/x-tar", strings.NewReader("x")); got != http.StatusUnsupportedMediaType {
+		t.Errorf("bad content type: %d", got)
+	}
+	if got := status(http.MethodPost, srv.URL+"/arrays/a/ingest", "application/x-ndjson", strings.NewReader("not json\n")); got != http.StatusBadRequest {
+		t.Errorf("garbage body: %d", got)
+	}
+
+	// CSV ingest over the wire, with a charset parameter to exercise
+	// media-type parsing.
+	var csv bytes.Buffer
+	if err := trace.WriteCSV(&csv, recs[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if got := status(http.MethodPost, srv.URL+"/arrays/a/ingest", "text/csv; charset=utf-8", &csv); got != http.StatusOK {
+		t.Errorf("csv ingest: %d", got)
+	}
+
+	// Hot-swap over the wire.
+	swap := `{"policy": {"name": "esm", "alpha": 1.5}}`
+	if got := status(http.MethodPost, srv.URL+"/arrays/a/config", "application/json", strings.NewReader(swap)); got != http.StatusOK {
+		t.Errorf("config swap: %d", got)
+	}
+	if got := status(http.MethodPost, srv.URL+"/arrays/a/config", "application/json", strings.NewReader(`{"policy":{"name":"maid"}}`)); got != http.StatusConflict {
+		t.Errorf("foreign policy swap: %d", got)
+	}
+
+	// Finalize with an empty final POST, then further ingest conflicts.
+	if got := status(http.MethodPost, srv.URL+"/arrays/a/ingest?final=1", "application/x-ndjson", strings.NewReader("")); got != http.StatusOK {
+		t.Errorf("final: %d", got)
+	}
+	var st Status
+	if err := json.Unmarshal(get(t, srv.URL+"/arrays/a/status"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Finished || st.Records != 100 || st.IngestRequests != 3 {
+		t.Fatalf("final status %+v", st)
+	}
+	var bad bytes.Buffer
+	fmt.Fprintln(&bad, `{"t_ns":99999999999999,"item":0,"off":0,"size":1,"op":"R"}`)
+	if got := status(http.MethodPost, srv.URL+"/arrays/a/ingest", "application/x-ndjson", &bad); got != http.StatusBadRequest {
+		t.Errorf("ingest after final: %d", got)
+	}
+}

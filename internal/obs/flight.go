@@ -141,6 +141,22 @@ func (f *FlightRecorder) Interval() time.Duration {
 	return f.interval
 }
 
+// Stats reports the recorder's liveness: how many samples are stored
+// and the simulated time of the most recent one (zero when empty).
+// Status endpoints surface both so a stalled ingest is visible at a
+// glance. Nil-safe.
+func (f *FlightRecorder) Stats() (samples int, last time.Duration) {
+	if f == nil {
+		return 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n := len(f.times); n > 0 {
+		return n, time.Duration(f.times[n-1])
+	}
+	return 0, 0
+}
+
 // SetClassCounts installs the P0–P3 item distribution of the latest
 // placement determination; subsequent samples carry it. The policy
 // calls this once per determination.

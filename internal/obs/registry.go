@@ -118,6 +118,107 @@ func metricName(name string) string {
 	return name
 }
 
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// parseLabels decodes a {k="v",...} suffix (as produced by WithLabel and
+// the instrument constructors in this package) into key/value pairs.
+// Escaped quotes and backslashes inside values are handled.
+func parseLabels(s string) [][2]string {
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	var out [][2]string
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			// Not our format; keep the remainder as an opaque key.
+			out = append(out, [2]string{s, ""})
+			return out
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		var val strings.Builder
+		i := 0
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out = append(out, [2]string{key, val.String()})
+		s = rest[i:]
+		s = strings.TrimPrefix(s, `"`)
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out
+}
+
+// WithLabel merges the label key="value" into name's {…} suffix,
+// keeping the label set sorted by key so one logical label combination
+// always yields one instrument name. An existing label with the same
+// key is replaced. The fleet control plane uses this to namespace every
+// per-array instrument with an array="name" label.
+func WithLabel(name, key, value string) string {
+	base := metricName(name)
+	labels := parseLabels(name[len(base):])
+	replaced := false
+	for i := range labels {
+		if labels[i][0] == key {
+			labels[i][1] = value
+			replaced = true
+		}
+	}
+	if !replaced {
+		labels = append(labels, [2]string{key, value})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i][0] < labels[j][0] })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // WritePrometheus renders every instrument in the text exposition
 // format, sorted by name.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -146,7 +247,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		rows = append(rows, row{name: f.name, help: f.help, typ: "gauge", value: f.fn()})
 	}
 
-	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	// Sort by family first, then by the full labeled name. Sorting on
+	// the raw name alone would split a family whose name prefixes
+	// another ("esm_io" vs "esm_io_phase": '_' < '{'), re-emitting
+	// HELP/TYPE mid-scrape — invalid exposition and nondeterministic
+	// grouping. With the family as the primary key every labeled
+	// variant stays contiguous and consecutive scrapes of the same
+	// instruments render byte-identically.
+	sort.SliceStable(rows, func(i, j int) bool {
+		fi, fj := metricName(rows[i].name), metricName(rows[j].name)
+		if fi != fj {
+			return fi < fj
+		}
+		return rows[i].name < rows[j].name
+	})
 	// Labeled variants of one family sort adjacently; HELP/TYPE are
 	// emitted once per family, as the exposition format requires.
 	lastFamily := ""

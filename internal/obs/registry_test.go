@@ -87,3 +87,117 @@ func TestRegistryConcurrentUse(t *testing.T) {
 		t.Fatalf("counter = %d, want 8000", got)
 	}
 }
+
+func TestWithLabel(t *testing.T) {
+	cases := []struct {
+		name, key, value, want string
+	}{
+		{"esm_spin_ups_total", "array", "a", `esm_spin_ups_total{array="a"}`},
+		// Merged labels stay sorted by key regardless of insertion order.
+		{`esm_io_latency_seconds{cause="demand",quantile="0.5"}`, "array", "b",
+			`esm_io_latency_seconds{array="b",cause="demand",quantile="0.5"}`},
+		{`m{zz="1"}`, "aa", "2", `m{aa="2",zz="1"}`},
+		// Same key replaces.
+		{`m{array="old"}`, "array", "new", `m{array="new"}`},
+		// Values are escaped.
+		{"m", "array", `a"b\c`, `m{array="a\"b\\c"}`},
+	}
+	for _, c := range cases {
+		if got := WithLabel(c.name, c.key, c.value); got != c.want {
+			t.Errorf("WithLabel(%q, %q, %q) = %q, want %q", c.name, c.key, c.value, got, c.want)
+		}
+	}
+}
+
+// TestWritePrometheusFamilyGrouping: a family whose name prefixes
+// another ("esm_io" vs "esm_io_phase") must still render contiguously,
+// with HELP/TYPE exactly once per family — raw byte order would split
+// it because '_' sorts before '{'.
+func TestWritePrometheusFamilyGrouping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge(`esm_io{array="b"}`, "io help").Set(1)
+	reg.Gauge(`esm_io_phase{phase="queue"}`, "phase help").Set(2)
+	reg.Gauge(`esm_io{array="a"}`, "io help").Set(3)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE esm_io gauge"); n != 1 {
+		t.Errorf("TYPE esm_io emitted %d times, want 1:\n%s", n, out)
+	}
+	if n := strings.Count(out, "# TYPE esm_io_phase gauge"); n != 1 {
+		t.Errorf("TYPE esm_io_phase emitted %d times, want 1:\n%s", n, out)
+	}
+	// Both esm_io variants precede the esm_io_phase family.
+	if strings.Index(out, `esm_io{array="b"}`) > strings.Index(out, "esm_io_phase{") {
+		t.Errorf("family esm_io split across esm_io_phase:\n%s", out)
+	}
+	// Label sets are sorted within the family.
+	if strings.Index(out, `esm_io{array="a"}`) > strings.Index(out, `esm_io{array="b"}`) {
+		t.Errorf("labeled variants not sorted:\n%s", out)
+	}
+}
+
+// TestWritePrometheusDeterministic pins byte-identical consecutive
+// scrapes of a registry holding labeled families registered in
+// scrambled order — the /metrics contract for diffing and scraping.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func(names []string) *Registry {
+		reg := NewRegistry()
+		for i, n := range names {
+			if i%2 == 0 {
+				reg.Counter(n, "help for "+n).Add(int64(i))
+			} else {
+				reg.Gauge(n, "help for "+n).Set(float64(i))
+			}
+		}
+		reg.GaugeFunc(`esm_fn{array="z"}`, "fn", func() float64 { return 7 })
+		reg.GaugeFunc(`esm_fn{array="a"}`, "fn", func() float64 { return 8 })
+		return reg
+	}
+	names := []string{
+		`esm_x_total{array="b"}`, `esm_x_total{array="a"}`,
+		`esm_y{array="b",cause="demand"}`, `esm_y{array="a",cause="flush"}`,
+		"esm_x_totals", "esm_yy",
+	}
+	reg := build(names)
+	var first bytes.Buffer
+	if err := reg.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		var again bytes.Buffer
+		if err := reg.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("scrape %d differs:\n%s\nvs\n%s", i+2, first.String(), again.String())
+		}
+	}
+	// A registry built with the same instruments in reverse order
+	// renders the same bytes: exposition depends only on content.
+	rev := make([]string, len(names))
+	for i, n := range names {
+		rev[len(names)-1-i] = n
+	}
+	// Counter/gauge kinds must match per name across both builds.
+	reg2 := NewRegistry()
+	for i, n := range names {
+		if i%2 == 0 {
+			reg2.Counter(n, "help for "+n).Add(int64(i))
+		} else {
+			reg2.Gauge(n, "help for "+n).Set(float64(i))
+		}
+	}
+	_ = rev
+	reg2.GaugeFunc(`esm_fn{array="a"}`, "fn", func() float64 { return 8 })
+	reg2.GaugeFunc(`esm_fn{array="z"}`, "fn", func() float64 { return 7 })
+	var other bytes.Buffer
+	if err := reg2.WritePrometheus(&other); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), other.Bytes()) {
+		t.Fatalf("registration order leaked into exposition:\n%s\nvs\n%s", first.String(), other.String())
+	}
+}

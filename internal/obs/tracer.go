@@ -101,6 +101,9 @@ type TracerOptions struct {
 	// Registry, when non-nil, is populated with render-time latency
 	// percentile and energy-attribution gauges.
 	Registry *Registry
+	// Instance, when non-empty, namespaces every registry gauge with an
+	// array="<instance>" label (fleet arrays share one registry).
+	Instance string
 	// Enclosures pre-sizes the energy ledger (it grows on demand).
 	Enclosures int
 }
@@ -124,7 +127,7 @@ type Tracer struct {
 func NewTracer(opts TracerOptions) *Tracer {
 	t := &Tracer{sink: opts.Sink, ledger: NewEnergyLedger(opts.Enclosures)}
 	if reg := opts.Registry; reg != nil {
-		t.register(reg)
+		t.register(reg, opts.Instance)
 	}
 	return t
 }
@@ -293,15 +296,23 @@ func (t *Tracer) quantileOf(h *Histogram, q float64) float64 {
 }
 
 // register installs the render-time latency and attribution gauges.
-func (t *Tracer) register(reg *Registry) {
+// instance, when non-empty, becomes an array="<instance>" label on
+// every gauge name.
+func (t *Tracer) register(reg *Registry, instance string) {
+	scoped := func(n string) string {
+		if instance == "" {
+			return n
+		}
+		return WithLabel(n, "array", instance)
+	}
 	quants := []struct {
 		label string
 		q     float64
 	}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}, {"1", 1}}
 	for c := IOCause(0); c < IOCauseCount; c++ {
 		h := &t.lat.ByCause[c]
-		name := c.String()
-		reg.GaugeFunc("esm_io_latency_count{cause=\""+name+"\"}",
+		cname := c.String()
+		reg.GaugeFunc(scoped("esm_io_latency_count{cause=\""+cname+"\"}"),
 			"Application I/Os by serve cause.",
 			func() float64 {
 				t.mu.Lock()
@@ -310,24 +321,24 @@ func (t *Tracer) register(reg *Registry) {
 			})
 		for _, qu := range quants {
 			q := qu.q
-			reg.GaugeFunc("esm_io_latency_seconds{cause=\""+name+"\",quantile=\""+qu.label+"\"}",
+			reg.GaugeFunc(scoped("esm_io_latency_seconds{cause=\""+cname+"\",quantile=\""+qu.label+"\"}"),
 				"Application I/O response-time quantiles by serve cause.",
 				func() float64 { return t.quantileOf(h, q) })
 		}
 	}
 	for p := Phase(0); p < PhaseCount; p++ {
 		h := &t.lat.ByPhase[p]
-		name := p.String()
+		pname := p.String()
 		for _, qu := range quants {
 			q := qu.q
-			reg.GaugeFunc("esm_io_phase_seconds{phase=\""+name+"\",quantile=\""+qu.label+"\"}",
+			reg.GaugeFunc(scoped("esm_io_phase_seconds{phase=\""+pname+"\",quantile=\""+qu.label+"\"}"),
 				"Application I/O phase-duration quantiles.",
 				func() float64 { return t.quantileOf(h, q) })
 		}
 	}
 	for i := 0; i < 5; i++ {
 		idx := i
-		reg.GaugeFunc("esm_energy_attributed_joules{class=\""+ClassName(i)+"\"}",
+		reg.GaugeFunc(scoped("esm_energy_attributed_joules{class=\""+ClassName(i)+"\"}"),
 			"Enclosure joules attributed per logical I/O pattern class.",
 			func() float64 {
 				t.mu.Lock()
@@ -340,7 +351,7 @@ func (t *Tracer) register(reg *Registry) {
 	}
 	for f := EnergyFunc(0); f < EnergyFuncCount; f++ {
 		fn := f
-		reg.GaugeFunc("esm_energy_function_joules{function=\""+fn.String()+"\"}",
+		reg.GaugeFunc(scoped("esm_energy_function_joules{function=\""+fn.String()+"\"}"),
 			"Enclosure joules attributed per management function.",
 			func() float64 {
 				t.mu.Lock()

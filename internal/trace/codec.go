@@ -326,3 +326,22 @@ func ReadPlacement(r io.Reader) ([]int, error) {
 	}
 	return placement, nil
 }
+
+// ParseCSVRecord decodes one "time_ns,item,offset,size,op" data line —
+// the per-line form of ReadCSV for streaming consumers (stdin daemons,
+// live ingest). line is the 1-based line number used in error messages.
+// Beyond the field syntax it enforces the stream invariants a batch
+// reader can leave to the caller: non-negative time, positive size.
+func ParseCSVRecord(text string, line int) (LogicalRecord, error) {
+	rec, err := parseCSVLine(text, line)
+	if err != nil {
+		return LogicalRecord{}, err
+	}
+	if rec.Time < 0 {
+		return LogicalRecord{}, fmt.Errorf("trace: line %d: negative time %d", line, int64(rec.Time))
+	}
+	if rec.Size <= 0 {
+		return LogicalRecord{}, fmt.Errorf("trace: line %d: non-positive size %d", line, rec.Size)
+	}
+	return rec, nil
+}

@@ -1,0 +1,169 @@
+// NDJSON access to logical traces: one JSON object per line, the wire
+// format of the fleet control plane's live ingest endpoint. It is the
+// self-describing sibling of the binary stream codec — trivially
+// produced by anything that can print JSON, at the cost of a fatter
+// encoding.
+
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ndjsonRecord is the wire form of one LogicalRecord.
+type ndjsonRecord struct {
+	TimeNS int64  `json:"t_ns"`
+	Item   int64  `json:"item"`
+	Offset int64  `json:"off"`
+	Size   int32  `json:"size"`
+	Op     string `json:"op"`
+}
+
+// NDJSONWriter encodes logical records as newline-delimited JSON.
+// Records must be appended in time order. Close flushes the underlying
+// buffer; it does not close the writer.
+type NDJSONWriter struct {
+	bw    *bufio.Writer
+	prev  time.Duration
+	count int64
+}
+
+// NewNDJSONWriter returns a writer targeting w.
+func NewNDJSONWriter(w io.Writer) *NDJSONWriter {
+	return &NDJSONWriter{bw: bufio.NewWriter(w)}
+}
+
+// Append encodes one record.
+func (w *NDJSONWriter) Append(r LogicalRecord) error {
+	if r.Time < w.prev {
+		return fmt.Errorf("trace: ndjson record %d out of order (%v after %v)", w.count, r.Time, w.prev)
+	}
+	line, err := json.Marshal(ndjsonRecord{
+		TimeNS: int64(r.Time), Item: int64(r.Item),
+		Offset: r.Offset, Size: r.Size, Op: r.Op.String(),
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(line); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	w.prev = r.Time
+	w.count++
+	return nil
+}
+
+// Count returns how many records have been appended.
+func (w *NDJSONWriter) Count() int64 { return w.count }
+
+// Close flushes buffered output.
+func (w *NDJSONWriter) Close() error { return w.bw.Flush() }
+
+// NDJSONReader decodes logical records from newline-delimited JSON.
+// Blank lines are skipped. Records must be in time order.
+type NDJSONReader struct {
+	sc    *bufio.Scanner
+	prev  time.Duration
+	line  int64
+	count int64
+	err   error
+}
+
+// NewNDJSONReader returns a reader over r. Lines up to 1 MiB are
+// accepted.
+func NewNDJSONReader(r io.Reader) *NDJSONReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &NDJSONReader{sc: sc}
+}
+
+// Next returns the next record. It returns io.EOF at the clean end of
+// the input and a line-numbered error on corruption.
+func (r *NDJSONReader) Next() (LogicalRecord, error) {
+	if r.err != nil {
+		return LogicalRecord{}, r.err
+	}
+	for r.sc.Scan() {
+		r.line++
+		line := r.sc.Bytes()
+		if len(trimSpace(line)) == 0 {
+			continue
+		}
+		var rec ndjsonRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			r.err = fmt.Errorf("trace: ndjson line %d: %w", r.line, err)
+			return LogicalRecord{}, r.err
+		}
+		out, err := rec.toLogical()
+		if err != nil {
+			r.err = fmt.Errorf("trace: ndjson line %d: %w", r.line, err)
+			return LogicalRecord{}, r.err
+		}
+		if out.Time < r.prev {
+			r.err = fmt.Errorf("trace: ndjson line %d: records out of order (%v after %v)", r.line, out.Time, r.prev)
+			return LogicalRecord{}, r.err
+		}
+		r.prev = out.Time
+		r.count++
+		return out, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		r.err = err
+		return LogicalRecord{}, err
+	}
+	r.err = io.EOF
+	return LogicalRecord{}, io.EOF
+}
+
+// Count returns how many records have been decoded so far.
+func (r *NDJSONReader) Count() int64 { return r.count }
+
+func (rec ndjsonRecord) toLogical() (LogicalRecord, error) {
+	if rec.TimeNS < 0 {
+		return LogicalRecord{}, fmt.Errorf("negative time %d", rec.TimeNS)
+	}
+	if rec.Size <= 0 {
+		return LogicalRecord{}, fmt.Errorf("non-positive size %d", rec.Size)
+	}
+	if rec.Item < 0 || rec.Item > int64(maxItemID) {
+		return LogicalRecord{}, fmt.Errorf("item %d out of range", rec.Item)
+	}
+	var op Op
+	switch rec.Op {
+	case "R":
+		op = OpRead
+	case "W":
+		op = OpWrite
+	default:
+		return LogicalRecord{}, fmt.Errorf("invalid op %q", rec.Op)
+	}
+	return LogicalRecord{
+		Time:   time.Duration(rec.TimeNS),
+		Item:   ItemID(rec.Item),
+		Offset: rec.Offset,
+		Size:   rec.Size,
+		Op:     op,
+	}, nil
+}
+
+// maxItemID is the largest ItemID (int32) value.
+const maxItemID = int32(1<<31 - 1)
+
+// trimSpace is a tiny allocation-free space trim for line emptiness
+// checks.
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

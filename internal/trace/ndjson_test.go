@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	recs := []LogicalRecord{
+		{Time: 0, Item: 0, Offset: 0, Size: 512, Op: OpRead},
+		{Time: 1500 * time.Millisecond, Item: 3, Offset: 4096, Size: 8192, Op: OpWrite},
+		{Time: 1500 * time.Millisecond, Item: 2, Offset: 0, Size: 1 << 20, Op: OpRead},
+		{Time: time.Hour, Item: 1<<31 - 1, Offset: 1 << 40, Size: 1<<31 - 1, Op: OpWrite},
+	}
+	var buf bytes.Buffer
+	w := NewNDJSONWriter(&buf)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(recs)) {
+		t.Fatalf("writer count %d, want %d", w.Count(), len(recs))
+	}
+
+	r := NewNDJSONReader(&buf)
+	var got []LogicalRecord
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestNDJSONWriterRejectsOutOfOrder(t *testing.T) {
+	w := NewNDJSONWriter(io.Discard)
+	if err := w.Append(LogicalRecord{Time: time.Second, Size: 1, Op: OpRead}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(LogicalRecord{Time: 0, Size: 1, Op: OpRead}); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+}
+
+func TestNDJSONReaderErrors(t *testing.T) {
+	cases := []struct {
+		name, in, frag string
+	}{
+		{"garbage", "not json\n", "line 1"},
+		{"negative time", `{"t_ns":-1,"item":0,"off":0,"size":1,"op":"R"}` + "\n", "negative time"},
+		{"zero size", `{"t_ns":0,"item":0,"off":0,"size":0,"op":"R"}` + "\n", "size"},
+		{"bad op", `{"t_ns":0,"item":0,"off":0,"size":1,"op":"Q"}` + "\n", "invalid op"},
+		{"item overflow", `{"t_ns":0,"item":2147483648,"off":0,"size":1,"op":"R"}` + "\n", "out of range"},
+		{"out of order", `{"t_ns":5,"item":0,"off":0,"size":1,"op":"R"}` + "\n" +
+			`{"t_ns":1,"item":0,"off":0,"size":1,"op":"R"}` + "\n", "out of order"},
+	}
+	for _, c := range cases {
+		r := NewNDJSONReader(strings.NewReader(c.in))
+		var err error
+		for err == nil {
+			_, err = r.Next()
+		}
+		if errors.Is(err, io.EOF) || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %v, want fragment %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestNDJSONReaderSkipsBlankLinesAndIsSticky(t *testing.T) {
+	in := "\n" + `{"t_ns":0,"item":0,"off":0,"size":1,"op":"R"}` + "\n  \n" +
+		`{"t_ns":1,"item":1,"off":0,"size":1,"op":"W"}` + "\n"
+	r := NewNDJSONReader(strings.NewReader(in))
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Count() != 2 {
+		t.Fatalf("count %d, want 2", r.Count())
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	// EOF is sticky.
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("second Next after EOF: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+#!/bin/sh
+# fleet-smoke: boot the esmd fleet control plane with two arrays,
+# stream two deterministic tracegen workloads into it over live NDJSON
+# ingest, and gate on the roll-up: /fleet joules must equal the summed
+# per-array /status joules (esmstat fleet exits 1 on violation).
+set -eu
+
+GO=${GO:-go}
+DIR=${FLEET_SMOKE_DIR:-/tmp/esm-fleet-smoke}
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+cleanup() {
+    if [ -n "${ESMD_PID:-}" ] && kill -0 "$ESMD_PID" 2>/dev/null; then
+        kill "$ESMD_PID" 2>/dev/null || true
+        wait "$ESMD_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT INT TERM
+
+echo "== generating workloads"
+$GO run ./cmd/tracegen -workload fileserver -scale 0.05 -format ndjson \
+    -out "$DIR/fs.ndjson" -catalog "$DIR/fs.items" -placement "$DIR/fs.layout"
+$GO run ./cmd/tracegen -workload sensor -scale 0.1 -format ndjson \
+    -out "$DIR/sensor.ndjson" -catalog "$DIR/sensor.items" -placement "$DIR/sensor.layout"
+
+cat > "$DIR/fleet.json" <<EOF
+{
+  "listen": "127.0.0.1:0",
+  "cost": {"pue": 1.4, "replication_factor": 3},
+  "arrays": [
+    {"name": "fileserver", "catalog": "$DIR/fs.items", "placement": "$DIR/fs.layout"},
+    {"name": "sensor", "catalog": "$DIR/sensor.items", "placement": "$DIR/sensor.layout"}
+  ]
+}
+EOF
+
+echo "== booting the control plane"
+$GO build -o "$DIR/esmd" ./cmd/esmd
+$GO build -o "$DIR/esmstat" ./cmd/esmstat
+"$DIR/esmd" -fleet "$DIR/fleet.json" > "$DIR/esmd.log" 2>&1 &
+ESMD_PID=$!
+
+# The daemon prints "fleet control plane: 2 arrays [...] on ADDR" once
+# the listener is up; poll for the bound address.
+ADDR=
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$DIR/esmd.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$ESMD_PID" 2>/dev/null || { cat "$DIR/esmd.log"; echo "esmd died"; exit 1; }
+    sleep 0.2
+done
+[ -n "$ADDR" ] || { cat "$DIR/esmd.log"; echo "esmd never reported its address"; exit 1; }
+BASE="http://$ADDR"
+echo "   control plane at $BASE"
+
+echo "== streaming live NDJSON ingest"
+for name in fileserver sensor; do
+    case $name in
+        fileserver) body="$DIR/fs.ndjson" ;;
+        sensor)     body="$DIR/sensor.ndjson" ;;
+    esac
+    curl -sfS -X POST -H 'Content-Type: application/x-ndjson' \
+        --data-binary "@$body" "$BASE/arrays/$name/ingest?final=1" > "$DIR/$name.ingest.json"
+    echo "   $name: $(tr -d ' \n' < "$DIR/$name.ingest.json")"
+done
+
+echo "== fleet roll-up and conservation gate"
+curl -sfS "$BASE/fleet" > "$DIR/fleet-rollup.json"
+"$DIR/esmstat" fleet "$BASE"
+
+echo "fleet-smoke OK"
