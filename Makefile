@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json trace-smoke bench-smoke fleet-smoke clean
+.PHONY: all build vet test race check bench bench-json trace-smoke bench-smoke shard-smoke fleet-smoke clean
 
 all: build
 
@@ -43,15 +43,39 @@ trace-smoke:
 
 # bench-smoke is the CI regression gate: a short flight-recorded run of
 # the file-server figure diffed against the committed baseline manifest
-# with loose +/-25% thresholds (the replay is deterministic).
+# with loose +/-25% thresholds (the replay is deterministic). The same
+# figure then reruns on the sharded engine (-shards 4): its manifest is
+# diffed against the committed baseline with the same thresholds, and
+# against the serial run of this very invocation with zero thresholds
+# in both directions — sharding must not move any gated signal at all.
 bench-smoke:
-	rm -rf /tmp/esm-bench-smoke
+	rm -rf /tmp/esm-bench-smoke /tmp/esm-bench-smoke-sharded
 	$(GO) run ./cmd/esmbench -workload fileserver -scale 0.1 -fig 8 \
 		-series /tmp/esm-bench-smoke
 	$(GO) run ./cmd/esmstat diff \
 		-energy 0.25 -resp 0.25 -spinups 0.25 -migrations 0.25 \
 		ci/baseline/BENCH_fileserver-esm.json \
 		/tmp/esm-bench-smoke/BENCH_fileserver-esm.json
+	$(GO) run ./cmd/esmbench -workload fileserver -scale 0.1 -fig 8 \
+		-shards 4 -series /tmp/esm-bench-smoke-sharded
+	$(GO) run ./cmd/esmstat diff \
+		-energy 0.25 -resp 0.25 -spinups 0.25 -migrations 0.25 \
+		ci/baseline/BENCH_fileserver-esm.json \
+		/tmp/esm-bench-smoke-sharded/BENCH_fileserver-esm.json
+	$(GO) run ./cmd/esmstat diff -energy 0 -resp 0 -spinups 0 -migrations 0 \
+		/tmp/esm-bench-smoke/BENCH_fileserver-esm.json \
+		/tmp/esm-bench-smoke-sharded/BENCH_fileserver-esm.json
+	$(GO) run ./cmd/esmstat diff -energy 0 -resp 0 -spinups 0 -migrations 0 \
+		/tmp/esm-bench-smoke-sharded/BENCH_fileserver-esm.json \
+		/tmp/esm-bench-smoke/BENCH_fileserver-esm.json
+
+# shard-smoke drives the sharded engine's byte-identity gates under the
+# race detector — the replay equality/adversarial-migration tests and
+# the fleet's sharded live-feed gate — then runs a real figure at
+# -shards 4 with the race runtime armed.
+shard-smoke:
+	$(GO) test -race -count=1 -run 'TestSharded' ./internal/replay/ ./internal/fleet/
+	$(GO) run -race ./cmd/esmbench -workload fileserver -scale 0.1 -fig 8 -shards 4
 
 # fleet-smoke boots the multi-array control plane, streams two
 # tracegen workloads into it over live NDJSON HTTP ingest, and gates

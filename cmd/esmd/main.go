@@ -67,6 +67,7 @@ func main() {
 	seriesPath := flag.String("series", "", "write the flight-recorder series here as CSV on exit (also served live on /series)")
 	seriesInterval := flag.Duration("series-interval", 30*time.Second, "flight-recorder sampling interval (simulated time)")
 	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m")
+	shards := flag.Int("shards", 0, "shard count for the sharded deterministic engine (0 or 1 = serial; ignored with -faults)")
 	flag.Parse()
 
 	opts := daemonOpts{
@@ -83,6 +84,7 @@ func main() {
 		seriesPath:    *seriesPath,
 		seriesEvery:   *seriesInterval,
 		faults:        *faultSpec,
+		shards:        *shards,
 	}
 	if opts.fleetPath == "" && (opts.catalogPath == "" || opts.placementPath == "") {
 		fmt.Fprintln(os.Stderr, "esmd: -catalog and -placement are required (or -fleet)")
@@ -108,6 +110,7 @@ type daemonOpts struct {
 	seriesPath    string
 	seriesEvery   time.Duration
 	faults        string
+	shards        int
 }
 
 func run(opts daemonOpts, in io.Reader, out io.Writer) error {
@@ -137,6 +140,7 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 		Placement: opts.placementPath,
 		Config:    opts.configPath,
 		Faults:    opts.faults,
+		Shards:    opts.shards,
 	})
 	if err != nil {
 		return nil, err

@@ -215,6 +215,7 @@ func EvaluateOpts(w *workload.Workload, factories []PolicyFactory, o Observers) 
 			Policy:     pol,
 			Duration:   w.Duration,
 			ClosedLoop: w.ClosedLoop,
+			Shards:     Shards(),
 			Faults:     o.Faults,
 		}
 		if o.Recorder != nil {

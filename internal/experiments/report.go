@@ -37,8 +37,20 @@ type FigureResult struct {
 type Report struct {
 	// Date is the run date (YYYY-MM-DD).
 	Date string `json:"date"`
-	// Parallel is the scheduler's replay concurrency bound for the run.
+	// Parallel is the configured replay concurrency bound for the run
+	// (-parallel, or GOMAXPROCS when unset).
 	Parallel int `json:"parallel"`
+	// ParallelEffective is the widest worker pool the scheduler actually
+	// spawned: Parallel clamped to the largest job batch. When this is
+	// below Parallel, the bound was wider than the evaluation.
+	ParallelEffective int `json:"parallel_effective"`
+	// GOMAXPROCS is the Go runtime's CPU parallelism cap at run time —
+	// the hard ceiling on how many replays (or shard workers) make
+	// progress simultaneously regardless of the flags.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Shards is the per-replay shard count (-shards; 0 or 1 means the
+	// serial engine).
+	Shards int `json:"shards"`
 	// Figures holds one entry per (workload, policy) replay, in
 	// evaluation order.
 	Figures []FigureResult `json:"figures"`

@@ -17,6 +17,8 @@ import (
 var (
 	parMu       sync.Mutex
 	parallelism int
+	shards      int
+	peakWorkers int
 )
 
 // SetParallelism bounds how many replays the schedulers run at once.
@@ -40,6 +42,49 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// SetShards sets the per-replay shard count: every open-loop replay the
+// schedulers build runs on the sharded engine with n worker lanes.
+// n <= 1 restores the serial engine. Results are byte-identical either
+// way; sharding trades intra-replay parallelism against the scheduler's
+// inter-replay parallelism, so it pays off when the matrix has fewer
+// independent replays than cores.
+func SetShards(n int) {
+	parMu.Lock()
+	defer parMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	shards = n
+}
+
+// Shards returns the per-replay shard count (0 or 1 means serial).
+func Shards() int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return shards
+}
+
+// EffectiveParallelism returns the widest worker pool executeJobs has
+// actually spawned so far in this process: the -parallel bound clamped
+// to the largest job batch. It is what the bound really bought — asking
+// for 64 workers on a 3-policy evaluation still runs 3-wide — and is
+// what esmbench reports alongside GOMAXPROCS so over-asked bounds are
+// visible instead of silently echoed back.
+func EffectiveParallelism() int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return peakWorkers
+}
+
+// noteWorkers records the worker count a batch actually ran with.
+func noteWorkers(n int) {
+	parMu.Lock()
+	defer parMu.Unlock()
+	if n > peakWorkers {
+		peakWorkers = n
+	}
+}
+
 // runJob is one schedulable replay. The label names the run
 // (workload/policy, plus the sweep point where applicable) so failures
 // from concurrent runs stay attributable.
@@ -61,6 +106,10 @@ func executeJobs(jobs []runJob) ([]*replay.Result, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	noteWorkers(workers)
 	if workers <= 1 {
 		for i := range jobs {
 			results[i], errs[i] = replay.Execute(jobs[i].run)

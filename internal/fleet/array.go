@@ -25,6 +25,7 @@ import (
 	"esm/internal/metrics"
 	"esm/internal/obs"
 	"esm/internal/policy"
+	"esm/internal/replay"
 	"esm/internal/simclock"
 	"esm/internal/storage"
 	"esm/internal/trace"
@@ -54,6 +55,12 @@ type ArraySpec struct {
 	// Faults, when non-nil, is the fault scenario injected into the
 	// array's simulation.
 	Faults *faults.Config
+	// Shards is the shard count for the sharded deterministic engine:
+	// 0 or 1 feeds the stream serially, N > 1 runs enclosure groups on
+	// N worker lanes (clamped to the enclosure count) with byte-identical
+	// results. Ignored when Faults is set — fault draws consume one
+	// shared RNG stream in global order, so fault runs stay serial.
+	Shards int
 	// SeriesInterval is the flight-recorder sampling interval on the
 	// simulated clock (0 = 30s, like esmd -series-interval).
 	SeriesInterval time.Duration
@@ -106,6 +113,8 @@ type Status struct {
 	SeriesLastTNS  int64 `json:"series_last_t_ns"`
 	PolicySwaps    int64 `json:"policy_swaps,omitempty"`
 	Finished       bool  `json:"finished,omitempty"`
+	// Shards is the sharded engine's worker-lane count (0 = serial feed).
+	Shards int `json:"shards,omitempty"`
 }
 
 // Array is one live simulated storage unit. All simulation state is
@@ -135,6 +144,12 @@ type Array struct {
 	rec    *obs.Recorder
 	trc    *obs.Tracer
 	flight *obs.FlightRecorder
+
+	// feeder, when non-nil, routes fault-free feeds through the sharded
+	// deterministic engine; shards is its effective lane count (for
+	// status). The feeder is serialized under mu like everything else.
+	feeder *replay.ShardedFeeder
+	shards int
 
 	ingestRequests atomic.Int64
 	ingestRecords  atomic.Int64
@@ -260,6 +275,22 @@ func newArray(spec ArraySpec, reg *obs.Registry) (*Array, error) {
 	}
 	esm.Init(&policy.Context{Array: arr, Catalog: spec.Catalog, Clock: clk, Queue: evq, End: planningHorizon})
 
+	// With shards > 1 and no fault injector, the live feed runs on the
+	// sharded deterministic engine: the feeder owns the event pump and
+	// installs itself as the array's sync hook, so status snapshots and
+	// policy actions barrier transparently. The OnLogical indirection
+	// keeps a hot-swapped policy wired, like the observers above.
+	if smap := storage.NewShardMap(enclosures, spec.Shards); smap.Shards() > 1 && inj == nil {
+		a.feeder = replay.NewShardedFeeder(replay.FeederOptions{
+			Array: arr, Clock: clk, Queue: evq, Shards: smap,
+			OnLogical: func(rec trace.LogicalRecord) { a.esm.OnLogical(rec) },
+			Resp:      &a.resp,
+			Tracer:    trc,
+			Physical:  func(rec trace.PhysicalRecord) { a.esm.OnPhysical(rec) },
+		})
+		a.shards = smap.Shards()
+	}
+
 	// Self-rescheduling flight sampler on the simulated clock, the same
 	// grid replay.Execute uses: a t=0 baseline row, then one sample per
 	// interval as the feed's RunUntil sweeps past it.
@@ -316,15 +347,23 @@ func (a *Array) feedLocked(rec trace.LogicalRecord) error {
 		return fmt.Errorf("fleet: array %q: record out of order (%v after %v)", a.name, rec.Time, a.now)
 	}
 	a.now = rec.Time
-	a.evq.RunUntil(a.clk, rec.Time)
-	a.esm.OnLogical(rec)
-	if out, err := a.arr.Submit(rec); err != nil {
-		var fe *storage.FaultError
-		if !errors.As(err, &fe) {
+	if a.feeder != nil {
+		// Sharded path: the feeder pumps the event queue with barriers,
+		// delivers OnLogical and accumulates into a.resp itself.
+		if err := a.feeder.Feed(rec); err != nil {
 			return fmt.Errorf("fleet: array %q: %w", a.name, err)
 		}
 	} else {
-		a.resp.Add(rec.Op, out.Response)
+		a.evq.RunUntil(a.clk, rec.Time)
+		a.esm.OnLogical(rec)
+		if out, err := a.arr.Submit(rec); err != nil {
+			var fe *storage.FaultError
+			if !errors.As(err, &fe) {
+				return fmt.Errorf("fleet: array %q: %w", a.name, err)
+			}
+		} else {
+			a.resp.Add(rec.Op, out.Response)
+		}
 	}
 	a.records++
 	a.afterRecordLocked()
@@ -384,10 +423,21 @@ func (a *Array) finishLocked() error {
 	if a.clk.Now() > end {
 		end = a.clk.Now()
 	}
-	a.evq.RunUntil(a.clk, end)
+	if a.feeder != nil {
+		a.feeder.RunUntil(end)
+	} else {
+		a.evq.RunUntil(a.clk, end)
+	}
 	a.esm.Finish(end)
 	a.arr.FlushAll()
 	a.arr.Finish()
+	if a.feeder != nil {
+		err := a.feeder.Close()
+		a.feeder = nil
+		if err != nil {
+			return fmt.Errorf("fleet: array %q: %w", a.name, err)
+		}
+	}
 	a.flight.Final(a.sampleLocked(end))
 	a.updateSnapshotLocked(end)
 	return nil
@@ -572,6 +622,7 @@ func (a *Array) updateSnapshotLocked(now time.Duration) {
 		IngestRecords:  a.ingestRecords.Load(),
 		PolicySwaps:    a.swaps,
 		Finished:       a.done,
+		Shards:         a.shards,
 	}
 	samples, last := a.flight.Stats()
 	snap.SeriesSamples = samples
@@ -672,8 +723,15 @@ func (a *Array) Report(w io.Writer) {
 	}
 }
 
-// Close flushes and closes the array's event and span sinks.
+// Close stops the sharded feeder (if the stream was never finalized)
+// and flushes and closes the array's event and span sinks.
 func (a *Array) Close() error {
+	a.mu.Lock()
+	if a.feeder != nil {
+		a.feeder.Close()
+		a.feeder = nil
+	}
+	a.mu.Unlock()
 	err := a.rec.Close()
 	if terr := a.trc.Close(); err == nil {
 		err = terr

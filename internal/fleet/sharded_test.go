@@ -1,0 +1,123 @@
+// The fleet's sharded-feed acceptance gate: an array fed a live record
+// stream on the sharded deterministic engine must settle to the same
+// energy, counters, flight series and telemetry event stream — to the
+// byte — as an identically configured array fed serially. This is the
+// live-ingest twin of replay's TestShardedMatchesSerial.
+
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"esm/internal/config"
+	"esm/internal/obs"
+	"esm/internal/trace"
+)
+
+// shardFixture spreads a skewed workload over 4 enclosures, one item
+// pair per enclosure, with the hot pair rotating across enclosure
+// groups every 5 minutes — every determination sees a different skew,
+// so the proposed method keeps migrating items between shards (the same
+// shape as replay's adversarial migration gate).
+func shardFixture(t *testing.T, span time.Duration) (*trace.Catalog, []int, []trace.LogicalRecord) {
+	t.Helper()
+	cat := trace.NewCatalog()
+	placement := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	var items []trace.ItemID
+	for i := range placement {
+		items = append(items, cat.Add(fmt.Sprintf("it%d", i), 192<<20))
+	}
+	rng := rand.New(rand.NewSource(4321))
+	var recs []trace.LogicalRecord
+	for tm := time.Duration(0); tm < span; tm += time.Duration(300+rng.Intn(700)) * time.Millisecond {
+		phase := int(tm/(5*time.Minute)) % len(items)
+		k := (phase + rng.Intn(2)) % len(items)
+		if rng.Intn(5) == 0 {
+			k = rng.Intn(len(items))
+		}
+		op := trace.OpRead
+		if rng.Intn(3) == 0 {
+			op = trace.OpWrite
+		}
+		recs = append(recs, trace.LogicalRecord{
+			Time: tm, Item: items[k],
+			Offset: int64(rng.Intn(128)) * 4096, Size: int32(4096 * (1 + rng.Intn(4))),
+			Op: op,
+		})
+	}
+	trace.SortLogical(recs)
+	return cat, placement, recs
+}
+
+// feedRun builds one array with the given shard count, streams the
+// whole fixture through Feed, finalizes, and returns the final status
+// plus the byte-exact flight-series CSV and telemetry event stream.
+func feedRun(t *testing.T, span time.Duration, shards int) (Status, string, string) {
+	t.Helper()
+	cat, placement, recs := shardFixture(t, span)
+	// A short monitoring period makes the ESM replan (and migrate)
+	// several times within the 30-minute fixture.
+	period := config.Duration(3 * time.Minute)
+	var events bytes.Buffer
+	a, err := newArray(ArraySpec{
+		Name:           "x",
+		Catalog:        cat,
+		Placement:      placement,
+		Config:         &config.File{Policy: &config.PolicyConfig{InitialPeriod: &period}},
+		SeriesInterval: time.Minute,
+		EventSink:      obs.NewJSONLSink(&events),
+		Shards:         shards,
+	}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, a, recs)
+	if err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	a.RefreshStatus()
+	st := a.Status()
+	var series bytes.Buffer
+	if err := a.Series().WriteCSV(&series); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return st, series.String(), events.String()
+}
+
+func TestShardedFeedMatchesSerialFeed(t *testing.T) {
+	span := 30 * time.Minute
+	serial, serialSeries, serialEvents := feedRun(t, span, 0)
+	if serial.MigratedBytes == 0 {
+		t.Fatal("fixture produced no migrations; the gate is not exercising cross-shard traffic")
+	}
+	for _, shards := range []int{2, 4} {
+		st, series, events := feedRun(t, span, shards)
+		if st.Shards != shards {
+			t.Errorf("shards=%d: status reports %d lanes", shards, st.Shards)
+		}
+		if st.EnergyJ != serial.EnergyJ {
+			t.Errorf("shards=%d: energy %v J, serial %v J", shards, st.EnergyJ, serial.EnergyJ)
+		}
+		if st.AvgEnclosureW != serial.AvgEnclosureW {
+			t.Errorf("shards=%d: avg %v W, serial %v W", shards, st.AvgEnclosureW, serial.AvgEnclosureW)
+		}
+		if st.Records != serial.Records || st.SpinUps != serial.SpinUps ||
+			st.MigratedBytes != serial.MigratedBytes || st.CacheHits != serial.CacheHits ||
+			st.Determinations != serial.Determinations {
+			t.Errorf("shards=%d: counters diverge: %+v vs %+v", shards, st, serial)
+		}
+		if series != serialSeries {
+			t.Errorf("shards=%d: flight series CSV diverges from serial", shards)
+		}
+		if events != serialEvents {
+			t.Errorf("shards=%d: telemetry event stream diverges from serial", shards)
+		}
+	}
+}

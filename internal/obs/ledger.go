@@ -200,6 +200,25 @@ func ClassName(i int) string {
 	return "unknown"
 }
 
+// sortedKeys returns w's keys in (item, fn) order. Attribution sums
+// floats while walking these maps; a fixed iteration order makes the
+// computed shares bit-for-bit reproducible across runs (and across the
+// serial and sharded replay engines), where raw map order would perturb
+// the last ULP from run to run.
+func sortedKeys(w map[itemFn]float64) []itemFn {
+	keys := make([]itemFn, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].item != keys[j].item {
+			return keys[i].item < keys[j].item
+		}
+		return keys[i].fn < keys[j].fn
+	})
+	return keys
+}
+
 // split distributes total proportionally to the weights in w, charging
 // the remainder (all of it, when w is empty or sums to zero) to
 // UnattributedItem under fallbackFn.
@@ -207,16 +226,17 @@ func split(total float64, w map[itemFn]float64, into map[itemFn]float64, fallbac
 	if total == 0 {
 		return
 	}
+	keys := sortedKeys(w)
 	var sum float64
-	for _, v := range w {
-		sum += v
+	for _, k := range keys {
+		sum += w[k]
 	}
 	if sum <= 0 {
 		into[itemFn{UnattributedItem, fallbackFn}] += total
 		return
 	}
-	for k, v := range w {
-		into[k] += total * v / sum
+	for _, k := range keys {
+		into[k] += total * w[k] / sum
 	}
 }
 
@@ -247,15 +267,21 @@ func (l *EnergyLedger) Attribute(end time.Duration, encEnergy func(enc int) Encl
 
 		ea := EnclosureAttribution{Enclosure: encID, TotalJ: energy.Total()}
 		perItem := map[int64]float64{}
-		for k, j := range shares {
+		var items []int64
+		for _, k := range sortedKeys(shares) {
+			j := shares[k]
 			ea.ByFunc[k.fn] += j
 			a.ByFunc[k.fn] += j
+			if _, seen := perItem[k.item]; !seen {
+				items = append(items, k.item)
+			}
 			perItem[k.item] += j
 			if k.item == UnattributedItem {
 				a.UnattributedJ += j
 			}
 		}
-		for item, j := range perItem {
+		for _, item := range items {
+			j := perItem[item]
 			class := ClassUnknown
 			if item != UnattributedItem {
 				class = classOf(item)

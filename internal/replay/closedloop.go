@@ -15,11 +15,16 @@ import (
 // itemCursor walks one data item's records through the shifted timeline.
 type itemCursor struct {
 	item trace.ItemID
-	// queue holds the item's demuxed, not-yet-issued records in time
-	// order. Only records the demuxer has had to read ahead of the
-	// current issue point are buffered, so live memory stays O(items)
-	// plus the read-ahead horizon, not O(records).
-	queue []trace.LogicalRecord
+	// buf is a power-of-two ring buffer holding the item's demuxed,
+	// not-yet-issued records in time order. Only records the demuxer has
+	// had to read ahead of the current issue point are buffered, so live
+	// memory stays O(items) plus the read-ahead horizon, not O(records).
+	// The ring is kept across activations: once it has grown to the
+	// item's read-ahead peak, the steady-state demux-issue cycle
+	// allocates nothing.
+	buf  []trace.LogicalRecord
+	head int
+	n    int
 	// delay is how far the item's timeline has been pushed back by
 	// stalls; notBefore is the completion time of the item's last I/O.
 	delay     time.Duration
@@ -27,6 +32,33 @@ type itemCursor struct {
 	// eff is the effective issue time of the next record.
 	eff   time.Duration
 	index int // heap index; -1 while the cursor has no queued records
+}
+
+// push appends rec to the cursor's ring, growing it in powers of two.
+func (c *itemCursor) push(rec trace.LogicalRecord) {
+	if c.n == len(c.buf) {
+		size := len(c.buf) * 2
+		if size == 0 {
+			size = 8
+		}
+		grown := make([]trace.LogicalRecord, size)
+		for i := 0; i < c.n; i++ {
+			grown[i] = c.buf[(c.head+i)&(len(c.buf)-1)]
+		}
+		c.buf, c.head = grown, 0
+	}
+	c.buf[(c.head+c.n)&(len(c.buf)-1)] = rec
+	c.n++
+}
+
+// front returns the oldest queued record; the cursor must be non-empty.
+func (c *itemCursor) front() trace.LogicalRecord { return c.buf[c.head] }
+
+// pop discards the oldest queued record.
+func (c *itemCursor) pop() {
+	c.buf[c.head] = trace.LogicalRecord{}
+	c.head = (c.head + 1) & (len(c.buf) - 1)
+	c.n--
 }
 
 type cursorHeap []*itemCursor
@@ -103,7 +135,7 @@ func runClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQue
 				c = &itemCursor{item: pending.Item, index: -1}
 				cursors[pending.Item] = c
 			}
-			c.queue = append(c.queue, pending)
+			c.push(pending)
 			havePending = false
 			if c.index < 0 {
 				eff := pending.Time + c.delay
@@ -125,7 +157,7 @@ func runClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQue
 			return nil
 		}
 		c := h[0]
-		rec := c.queue[0]
+		rec := c.front()
 		issueAt := c.eff
 		if issueAt < clk.Now() {
 			// Another item's stall moved the global clock past this
@@ -141,12 +173,11 @@ func runClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQue
 		}
 		c.notBefore = issueAt + resp
 		c.delay = issueAt - rec.Time
-		c.queue = c.queue[1:]
-		if len(c.queue) == 0 {
+		c.pop()
+		if c.n == 0 {
 			heap.Pop(&h)
-			c.queue = nil
 		} else {
-			next := c.queue[0]
+			next := c.front()
 			eff := next.Time + c.delay
 			if eff < c.notBefore {
 				eff = c.notBefore

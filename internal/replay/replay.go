@@ -48,6 +48,14 @@ type Run struct {
 	// Duration is the measurement span. When zero, the time of the last
 	// record is used.
 	Duration time.Duration
+	// Shards, when greater than 1, replays the open loop on the sharded
+	// engine: enclosures are partitioned into Shards contiguous groups,
+	// each with its own worker lane and clock, synchronized by
+	// conservative barriers at every cross-shard interaction. Results
+	// are byte-identical to the serial engine (DESIGN.md §14). The value
+	// is clamped to the enclosure count; closed-loop runs and
+	// single-enclosure arrays fall back to the serial engine.
+	Shards int
 	// ClosedLoop, when set, replays each data item's I/O stream with a
 	// queue depth of one: an I/O cannot be issued before the item's
 	// previous I/O completed, and the stall shifts the item's remaining
@@ -221,10 +229,11 @@ func Execute(r Run) (*Result, error) {
 			arr.SetFaultObserver(p.OnFault)
 		}
 	}
-	arr.SetPhysicalObserver(func(rec trace.PhysicalRecord) {
+	physObs := func(rec trace.PhysicalRecord) {
 		stMon.RecordPhysical(rec)
 		pol.OnPhysical(rec)
-	})
+	}
+	arr.SetPhysicalObserver(physObs)
 	arr.SetPowerObserver(func(enc int, at time.Duration, on bool) {
 		stMon.RecordPower(enc, at, on)
 		pol.OnPower(enc, at, on)
@@ -353,6 +362,16 @@ func Execute(r Run) (*Result, error) {
 
 	if r.ClosedLoop {
 		if err := runClosedLoop(src, &clk, &evq, submit); err != nil {
+			return nil, err
+		}
+	} else if smap := storage.NewShardMap(r.Storage.Enclosures, r.Shards); smap.Shards() > 1 {
+		en := newShardEngine(FeederOptions{
+			Array: arr, Clock: &clk, Queue: &evq, Shards: smap,
+			OnLogical: pol.OnLogical, Resp: &res.Resp,
+			Windows: r.Windows, WindowOut: res.Windows,
+			Tracer: r.Tracer, Physical: physObs,
+		}, inj != nil, submit)
+		if err := en.run(src); err != nil {
 			return nil, err
 		}
 	} else {

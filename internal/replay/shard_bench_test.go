@@ -1,0 +1,81 @@
+// Throughput of the sharded replay engine versus the serial engine on a
+// physical-I/O-heavy open-loop workload. Run with -cpu 1,2,4 to see how
+// the same shard count behaves as GOMAXPROCS changes; on a single-core
+// host the sharded engine's conductor/worker handoffs are pure overhead,
+// so the speedup claim must be measured on a multi-core box.
+//
+//	go test ./internal/replay/ -bench ReplayShards -cpu 1,2,4 -benchtime 2x
+
+package replay
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"esm/internal/policy"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+// shardBenchWorkload builds a materialized open-loop trace spread over 8
+// enclosures: advancing offsets defeat the cache, so nearly every record
+// is a physical I/O eligible for shard deferral under an always-on
+// policy.
+func shardBenchWorkload(n int64) (*trace.Catalog, []trace.LogicalRecord, []int, time.Duration) {
+	cat := trace.NewCatalog()
+	const items = 64
+	const itemBytes = 256 << 20
+	placement := make([]int, items)
+	for i := 0; i < items; i++ {
+		cat.Add(fmt.Sprintf("sb%02d", i), itemBytes)
+		placement[i] = i % 8
+	}
+	recs := make([]trace.LogicalRecord, 0, n)
+	const gap = 500 * time.Microsecond
+	for i := int64(0); i < n; i++ {
+		rec := trace.LogicalRecord{
+			Time:   time.Duration(i) * gap,
+			Item:   trace.ItemID(i % items),
+			Offset: (i * 37 * 4096) % (itemBytes - 4096),
+			Size:   4096,
+			Op:     trace.OpRead,
+		}
+		if i%5 == 0 {
+			rec.Op = trace.OpWrite
+		}
+		recs = append(recs, rec)
+	}
+	return cat, recs, placement, time.Duration(n) * gap
+}
+
+func BenchmarkReplayShards(b *testing.B) {
+	n := int64(200_000)
+	if testing.Short() {
+		n = 50_000
+	}
+	cat, recs, placement, dur := shardBenchWorkload(n)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Execute(Run{
+					Catalog:   cat,
+					Records:   recs,
+					Placement: placement,
+					Storage:   storage.DefaultConfig(8),
+					Policy:    policy.NoPowerSaving{},
+					Duration:  dur,
+					Shards:    shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Resp.Count() != n {
+					b.Fatalf("replayed %d of %d records", res.Resp.Count(), n)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+		})
+	}
+}

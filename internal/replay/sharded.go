@@ -1,0 +1,502 @@
+// Sharded open-loop replay: byte-identical parallel execution.
+//
+// The engine keeps ONE conductor goroutine in charge of everything that
+// defines global order — trace consumption, the event queue, the cache
+// phase of every I/O, policy callbacks, migrations, telemetry — and
+// farms out only the enclosure physics of provably independent I/Os to
+// per-shard workers. An I/O may defer exactly when its arrival cannot
+// observe or produce any cross-shard effect (storage.CanDefer: no fault
+// injector, enclosure on, spin-down disabled); everything else runs on
+// the conductor in the serial engine's order.
+//
+// The conservative barrier protocol has one synchronization primitive:
+// syncAll, which flushes the per-shard op batches, waits for every lane
+// to drain, merges shard-local response/window aggregates in fixed
+// shard order, and replays buffered telemetry spans from the mailbox in
+// deterministic (time, seq, shard) order. syncAll runs before any
+// cross-shard interaction: it is installed as the array's sync hook (so
+// every policy action that touches enclosure state barriers first,
+// transparently), and the conductor invokes it before firing any global
+// event while deferred work is pending. DESIGN.md §14 documents the
+// protocol and its equivalence argument.
+
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"esm/internal/metrics"
+	"esm/internal/obs"
+	"esm/internal/simclock"
+	"esm/internal/storage"
+	"esm/internal/trace"
+)
+
+// shardBatch is how many deferred ops accumulate per shard before the
+// conductor ships them as one work item; it bounds per-dispatch
+// overhead without holding results back from the next barrier.
+const shardBatch = 256
+
+// shardOp is one deferred application I/O plus the bookkeeping a worker
+// needs to accumulate response metrics and spans shard-locally.
+type shardOp struct {
+	op storage.DeferredOp
+	// origTime is the record's original trace time, for window
+	// attribution (identical to op.At under the open loop).
+	origTime time.Duration
+	// seq is the op's global sequence number, carried into mailbox
+	// messages so buffered spans replay in serial emission order.
+	seq uint64
+}
+
+// laneState is one shard's private metric accumulators. Workers write
+// them between barriers; the conductor merges and clears them at every
+// syncAll, in ascending shard order. All fields are counts, sums or
+// maxima, so the merge reproduces the serial accumulation exactly.
+type laneState struct {
+	resp metrics.ResponseStats
+	win  []WindowResult
+	err  error
+}
+
+// FeederOptions wires the sharded engine onto live simulation state.
+// The batch engine and NewShardedFeeder (the fleet's live-ingest entry
+// point) both construct the same conductor from it.
+type FeederOptions struct {
+	// Array, Clock and Queue are the simulation the conductor drives.
+	Array *storage.Array
+	Clock *simclock.Clock
+	Queue *simclock.EventQueue
+	// Shards maps enclosures to worker lanes (storage.NewShardMap).
+	Shards storage.ShardMap
+	// OnLogical is the policy's record callback, delivered before the
+	// cache phase exactly like the serial loop. Indirect through a
+	// closure when the policy can be hot-swapped.
+	OnLogical func(rec trace.LogicalRecord)
+	// Resp accumulates application response times. Worker lanes keep
+	// shard-local aggregates and merge into it at every barrier.
+	Resp *metrics.ResponseStats
+	// Windows/WindowOut optionally collect per-window read aggregates
+	// (the batch engine's TPC-H query spans); both nil for live feeds.
+	Windows   []Window
+	WindowOut []WindowResult
+	// Tracer, when non-nil, receives per-I/O spans; deferred ops buffer
+	// theirs through the mailbox to preserve emission order.
+	Tracer *obs.Tracer
+	// Physical delivers the physical observation (storage monitor +
+	// policy) in record order.
+	Physical func(rec trace.PhysicalRecord)
+}
+
+type shardEngine struct {
+	arr       *storage.Array
+	clk       *simclock.Clock
+	evq       *simclock.EventQueue
+	onLogical func(rec trace.LogicalRecord)
+	resp      *metrics.ResponseStats
+	windows   []Window
+	winOut    []WindowResult
+	trc       *obs.Tracer
+	sq        *simclock.ShardedQueue
+	mb        *simclock.Mailbox
+	smap      storage.ShardMap
+
+	// inline, set on fault runs, routes every record through the serial
+	// submit path: fault draws consume one shared RNG stream in global
+	// order, so nothing may defer. The barrier machinery stays armed but
+	// idle.
+	inline bool
+	submit func(rec trace.LogicalRecord, origTime time.Duration) (time.Duration, error)
+	physCb func(rec trace.PhysicalRecord)
+
+	batch [][]shardOp
+	lanes []laneState
+	// pool recycles batch slices between the conductor and the workers.
+	pool sync.Pool
+	// dirty is true while any op has been batched or dispatched since
+	// the last syncAll. While dirty, workers may be running: the
+	// conductor must not read the mailbox (pending() short-circuits on
+	// dirty for exactly that reason).
+	dirty bool
+	seq   uint64
+	err   error
+}
+
+func newShardEngine(
+	o FeederOptions, inline bool,
+	submit func(rec trace.LogicalRecord, origTime time.Duration) (time.Duration, error),
+) *shardEngine {
+	n := o.Shards.Shards()
+	en := &shardEngine{
+		arr: o.Array, clk: o.Clock, evq: o.Queue,
+		onLogical: o.OnLogical, resp: o.Resp,
+		windows: o.Windows, winOut: o.WindowOut, trc: o.Tracer,
+		sq: simclock.NewShardedQueue(n), mb: simclock.NewMailbox(n), smap: o.Shards,
+		inline: inline, submit: submit, physCb: o.Physical,
+		batch: make([][]shardOp, n),
+		lanes: make([]laneState, n),
+	}
+	en.pool.New = func() any {
+		s := make([]shardOp, 0, shardBatch)
+		return &s
+	}
+	for s := range en.batch {
+		en.batch[s] = make([]shardOp, 0, shardBatch)
+	}
+	for s := range en.lanes {
+		en.lanes[s].win = make([]WindowResult, len(o.Windows))
+	}
+	return en
+}
+
+// pending reports whether any deferred work or buffered telemetry is
+// outstanding. The dirty check must come first: while dirty, workers
+// may still be appending to their mailbox slots, so Pending() is only
+// safe to evaluate when dirty is false.
+func (en *shardEngine) pending() bool { return en.dirty || en.mb.Pending() }
+
+// run consumes the trace on the conductor. It mirrors the serial
+// open-loop engine record for record; only the execution of deferrable
+// enclosure physics moves to the shard lanes.
+func (en *shardEngine) run(src trace.Source) error {
+	en.arr.SetSyncHook(en.syncAll)
+	defer func() {
+		en.syncAll()
+		en.sq.Close()
+		en.arr.SetSyncHook(nil)
+	}()
+	var prev time.Duration
+	var i int64
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if rec.Time < prev {
+			return fmt.Errorf("replay: record %d out of order", i)
+		}
+		prev = rec.Time
+		i++
+		en.runGlobalUntil(rec.Time)
+		if en.inline {
+			if _, err := en.submit(rec, rec.Time); err != nil {
+				return err
+			}
+		} else if err := en.step(rec); err != nil {
+			return err
+		}
+		if en.err != nil {
+			return fmt.Errorf("replay: %w", en.err)
+		}
+	}
+	if err := src.Err(); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	en.syncAll()
+	if en.err != nil {
+		return fmt.Errorf("replay: %w", en.err)
+	}
+	return nil
+}
+
+// runGlobalUntil dispatches every pending global event up to limit and
+// advances the conductor clock, like EventQueue.RunUntil — but with a
+// barrier before each event while deferred work is outstanding: events
+// (power samples, migration chunks, policy wakes, battery windows)
+// touch enclosure and aggregate state, so they must observe fully
+// settled shards.
+func (en *shardEngine) runGlobalUntil(limit time.Duration) {
+	for {
+		at, ok := en.evq.PeekTime()
+		if !ok || at > limit {
+			break
+		}
+		if en.pending() {
+			en.syncAll()
+		}
+		e := en.evq.Pop()
+		en.clk.Advance(e.At)
+		e.Fire(e.At)
+		en.evq.Release(e)
+	}
+	en.clk.Advance(limit)
+}
+
+// step replays one fault-free record: plan the cache phase on the
+// conductor, defer or execute the enclosure physics, then deliver the
+// physical observation and cache admission at the serial engine's
+// points.
+func (en *shardEngine) step(rec trace.LogicalRecord) error {
+	en.onLogical(rec)
+	now := en.clk.Now()
+	plan, err := en.arr.PlanSubmit(rec)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	en.seq++
+
+	if plan.Served {
+		en.resp.Add(rec.Op, plan.Response)
+		if rec.Op == trace.OpRead {
+			en.addWindows(rec.Time, plan.Response)
+		}
+		if en.trc != nil {
+			en.emitCacheHit(now, plan, rec.Op == trace.OpRead)
+		}
+		if plan.NeedFlush {
+			// The serial Submit destages inline at this point; FlushAll
+			// barriers first via the sync hook, then destages.
+			en.arr.FlushAll()
+		}
+		return nil
+	}
+
+	dop := storage.DeferredOp{
+		At: now, Enc: plan.Enc, Block: plan.Block,
+		Size: rec.Size, Read: plan.Read, Item: plan.Item,
+	}
+	s := en.smap.ShardOf(plan.Enc)
+	deferred := en.arr.CanDefer(plan.Enc)
+	var resp time.Duration
+	var info *storage.ExecInfo
+	if deferred {
+		en.batch[s] = append(en.batch[s], shardOp{op: dop, origTime: rec.Time, seq: en.seq})
+		en.dirty = true
+		if len(en.batch[s]) >= shardBatch {
+			en.flushShard(s)
+		}
+	} else {
+		// A possible power transition must run on the conductor in
+		// global order, with every shard settled first.
+		if en.pending() {
+			en.syncAll()
+		}
+		if en.trc != nil {
+			info = &storage.ExecInfo{}
+		}
+		resp, err = en.arr.ExecPlanned(dop, info)
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		if en.trc != nil {
+			en.trc.Service(dop.Enc, int64(dop.Item), obs.FnServing, info.Service)
+			if info.SpinUpAttempts > 0 {
+				en.trc.SpinUps(dop.Enc, int64(dop.Item), obs.FnServing, info.SpinUpAttempts)
+			}
+		}
+	}
+
+	// The physical observation (storage monitor + policy) is delivered
+	// in record order, before admission, exactly as the serial Submit
+	// does. If the policy reacts by touching enclosure state, the sync
+	// hook barriers first, so a just-batched op completes before the
+	// reaction — the serial order.
+	en.physCb(trace.PhysicalRecord{
+		Time: now, Enclosure: int32(plan.Enc), Block: plan.Block,
+		Size: rec.Size, Op: rec.Op,
+	})
+	if !deferred && en.trc != nil {
+		en.emitIO(now, dop, resp, info)
+	}
+	en.arr.AdmitPlanned(plan)
+	if !deferred {
+		en.resp.Add(rec.Op, resp)
+		if rec.Op == trace.OpRead {
+			en.addWindows(rec.Time, resp)
+		}
+	}
+	return nil
+}
+
+func (en *shardEngine) addWindows(origTime time.Duration, resp time.Duration) {
+	for wi, w := range en.windows {
+		if origTime >= w.Start && origTime < w.End {
+			en.winOut[wi].Reads++
+			en.winOut[wi].ReadSum += resp
+		}
+	}
+}
+
+// emitCacheHit records a cache-resolved I/O's span. While deferred work
+// or buffered spans are outstanding, the span is posted to the mailbox
+// (conductor slot, this op's seq) so the sink still sees spans in
+// serial emission order.
+func (en *shardEngine) emitCacheHit(now time.Duration, plan storage.Plan, read bool) {
+	sp := obs.IOSpan{
+		Start: now, Response: plan.Response,
+		Item: int64(plan.Item), Enclosure: -1, Read: read,
+		Cause: obs.IOCacheHit,
+	}
+	if en.pending() {
+		en.mb.Post(-1, simclock.Message{At: now, Seq: en.seq, Fire: func() { en.trc.IO(sp) }})
+	} else {
+		en.trc.IO(sp)
+	}
+}
+
+// emitIO records the span of a conductor-executed physical I/O, after
+// the physical observer has run (the serial emission point).
+func (en *shardEngine) emitIO(now time.Duration, dop storage.DeferredOp, resp time.Duration, info *storage.ExecInfo) {
+	cause := obs.IODiskOn
+	if info.SpinUpWait > 0 {
+		cause = obs.IOSpinUpBlocked
+	}
+	en.trc.IO(obs.IOSpan{
+		Start: now, Response: resp,
+		Item: int64(dop.Item), Enclosure: dop.Enc, Read: dop.Read,
+		PowerState: info.PowerState, Cause: cause,
+		SpinUpWait: info.SpinUpWait, QueueWait: info.QueueWait, Service: info.Service,
+	})
+}
+
+// flushShard ships shard s's batched ops to its lane. The worker runs
+// each op's enclosure physics at the op's own timestamp, accumulates
+// response and window aggregates into the shard's laneState, and (when
+// tracing) posts the op's spans to the mailbox keyed by its global seq.
+func (en *shardEngine) flushShard(s int) {
+	ops := en.batch[s]
+	if len(ops) == 0 {
+		return
+	}
+	next := en.pool.Get().(*[]shardOp)
+	en.batch[s] = (*next)[:0]
+	lane := &en.lanes[s]
+	en.sq.Dispatch(s, func(clk *simclock.Clock) {
+		for i := range ops {
+			o := &ops[i]
+			if clk.Now() < o.op.At {
+				clk.Advance(o.op.At)
+			}
+			var info *storage.ExecInfo
+			if en.trc != nil {
+				info = &storage.ExecInfo{}
+			}
+			resp, err := en.arr.ExecPlanned(o.op, info)
+			if err != nil {
+				// Impossible for a deferrable op (no injector, enclosure
+				// on); surfaced at the next barrier just in case.
+				if lane.err == nil {
+					lane.err = err
+				}
+				return
+			}
+			op := trace.OpWrite
+			if o.op.Read {
+				op = trace.OpRead
+			}
+			lane.resp.Add(op, resp)
+			if o.op.Read {
+				for wi, w := range en.windows {
+					if o.origTime >= w.Start && o.origTime < w.End {
+						lane.win[wi].Reads++
+						lane.win[wi].ReadSum += resp
+					}
+				}
+			}
+			if en.trc != nil {
+				enc, item, svc := o.op.Enc, int64(o.op.Item), info.Service
+				en.mb.Post(s, simclock.Message{At: o.op.At, Seq: o.seq, Fire: func() {
+					en.trc.Service(enc, item, obs.FnServing, svc)
+				}})
+				sp := obs.IOSpan{
+					Start: o.op.At, Response: resp,
+					Item: item, Enclosure: enc, Read: o.op.Read,
+					PowerState: info.PowerState, Cause: obs.IODiskOn,
+					QueueWait: info.QueueWait, Service: info.Service,
+				}
+				en.mb.Post(s, simclock.Message{At: o.op.At, Seq: o.seq, Fire: func() {
+					en.trc.IO(sp)
+				}})
+			}
+		}
+		ops = ops[:0]
+		en.pool.Put(&ops)
+	})
+}
+
+// syncAll is the conservative barrier: flush every batch, wait for all
+// lanes, advance lane clocks to global time, merge shard aggregates in
+// fixed shard order, and replay buffered spans in (time, seq, shard)
+// order. It is idempotent and cheap when nothing is outstanding, and it
+// is the array's sync hook — every policy action that touches enclosure
+// state funnels through here before proceeding.
+func (en *shardEngine) syncAll() {
+	for s := range en.batch {
+		en.flushShard(s)
+	}
+	en.sq.Barrier()
+	en.sq.AdvanceAll(en.clk.Now())
+	for s := range en.lanes {
+		l := &en.lanes[s]
+		if l.err != nil && en.err == nil {
+			en.err = l.err
+		}
+		en.resp.Merge(&l.resp)
+		l.resp = metrics.ResponseStats{}
+		for wi := range l.win {
+			en.winOut[wi].Reads += l.win[wi].Reads
+			en.winOut[wi].ReadSum += l.win[wi].ReadSum
+			l.win[wi] = WindowResult{}
+		}
+	}
+	en.mb.Drain()
+	en.dirty = false
+}
+
+// ShardedFeeder is the live-ingest form of the sharded engine: the
+// fleet's record-at-a-time twin of the batch run loop. Feed replays one
+// record (pumping global events up to its time with barriers, then
+// planning, deferring or executing it exactly as the batch engine's
+// step), RunUntil drives the event queue for the end-of-stream
+// sequence, and Close settles everything and stops the worker lanes.
+// The feeder installs itself as the array's sync hook on construction,
+// so any policy or management action that touches enclosure state
+// barriers transparently. It is not safe for concurrent use; the fleet
+// serializes it under the array mutex. Fault injection requires the
+// serial path (one shared RNG stream in global draw order), so callers
+// must not attach a feeder to an array with a fault injector.
+type ShardedFeeder struct {
+	en *shardEngine
+}
+
+// NewShardedFeeder builds a feeder over o and arms the barrier hook.
+func NewShardedFeeder(o FeederOptions) *ShardedFeeder {
+	en := newShardEngine(o, false, nil)
+	en.arr.SetSyncHook(en.syncAll)
+	return &ShardedFeeder{en: en}
+}
+
+// Feed replays one record. Records must arrive in time order (the
+// caller checks; the feeder assumes it).
+func (f *ShardedFeeder) Feed(rec trace.LogicalRecord) error {
+	f.en.runGlobalUntil(rec.Time)
+	if err := f.en.step(rec); err != nil {
+		return err
+	}
+	if f.en.err != nil {
+		return f.en.err
+	}
+	return nil
+}
+
+// RunUntil dispatches global events up to limit with barriers and
+// advances the conductor clock — EventQueue.RunUntil for a sharded
+// simulation.
+func (f *ShardedFeeder) RunUntil(limit time.Duration) {
+	f.en.runGlobalUntil(limit)
+}
+
+// Sync forces a barrier: every deferred op executes, every shard-local
+// aggregate merges and every buffered span lands.
+func (f *ShardedFeeder) Sync() { f.en.syncAll() }
+
+// Close syncs, stops the worker lanes and unhooks the array. The
+// feeder must not be used afterwards.
+func (f *ShardedFeeder) Close() error {
+	f.en.syncAll()
+	f.en.sq.Close()
+	f.en.arr.SetSyncHook(nil)
+	return f.en.err
+}

@@ -1,0 +1,206 @@
+// Sharded virtual time: per-shard clocks and work lanes under a
+// conservative barrier protocol.
+//
+// A ShardedQueue runs N shards, each with its own Clock and a FIFO work
+// lane served by one worker goroutine. A single conductor goroutine owns
+// the global timeline: it dispatches causally independent work (batches
+// of I/O bound for one shard's enclosures) onto the lanes and calls
+// Barrier before anything that could couple shards — cache state shared
+// across enclosure groups, migrations between shards, policy
+// determinations, sampling. Between barriers a lane's work items execute
+// in dispatch order on the lane's own clock, so each shard replays its
+// slice of the timeline exactly as the serial engine would, and the
+// barrier re-establishes one global time.
+//
+// Determinism falls out of three rules: (1) the conductor dispatches in
+// global record order, (2) each lane is FIFO, and (3) everything a worker
+// wants to say to the world goes into the Mailbox, which the conductor
+// drains at the barrier in a deterministic (time, seq, shard) order. No
+// worker ever touches another shard's state or any global state.
+package simclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ShardedQueue fans work out to per-shard worker lanes. The conductor
+// (the goroutine that built the queue) is the only legal caller of
+// Dispatch, Barrier and Close; workers only execute the dispatched
+// functions.
+type ShardedQueue struct {
+	lanes []*lane
+}
+
+// lane is one shard's worker: a FIFO channel, a private clock and a
+// pending-work counter the conductor waits on at barriers.
+type lane struct {
+	clk Clock
+	ch  chan func(clk *Clock)
+	// wg counts dispatched-but-unfinished work items. Only the conductor
+	// Adds and Waits, only the worker Dones, so Add can never race Wait.
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// laneBuffer is the lane channel depth: deep enough that the conductor
+// rarely blocks behind a slow shard, small enough to bound the work
+// in flight.
+const laneBuffer = 256
+
+// NewShardedQueue starts n worker lanes. n must be at least 1.
+func NewShardedQueue(n int) *ShardedQueue {
+	s := &ShardedQueue{lanes: make([]*lane, n)}
+	for i := range s.lanes {
+		l := &lane{
+			ch:   make(chan func(clk *Clock), laneBuffer),
+			done: make(chan struct{}),
+		}
+		s.lanes[i] = l
+		go func() {
+			defer close(l.done)
+			for fn := range l.ch {
+				fn(&l.clk)
+				l.wg.Done()
+			}
+		}()
+	}
+	return s
+}
+
+// Shards returns the number of lanes.
+func (s *ShardedQueue) Shards() int { return len(s.lanes) }
+
+// Dispatch enqueues fn on shard i's lane. fn runs on the lane's worker
+// with the lane clock; it must confine itself to shard-local state and
+// the Mailbox. Dispatch blocks when the lane buffer is full
+// (backpressure from a skewed shard).
+func (s *ShardedQueue) Dispatch(i int, fn func(clk *Clock)) {
+	l := s.lanes[i]
+	l.wg.Add(1)
+	l.ch <- fn
+}
+
+// BarrierShard blocks until shard i's lane has executed everything
+// dispatched to it.
+func (s *ShardedQueue) BarrierShard(i int) { s.lanes[i].wg.Wait() }
+
+// Barrier blocks until every lane has drained: the conservative
+// synchronization point before any cross-shard interaction.
+func (s *ShardedQueue) Barrier() {
+	for _, l := range s.lanes {
+		l.wg.Wait()
+	}
+}
+
+// AdvanceAll moves every lane clock forward to the global time t. Call
+// it only at a barrier; it panics (via Clock.Advance) if any lane ran
+// past t, which would mean work was dispatched beyond the barrier time.
+func (s *ShardedQueue) AdvanceAll(t time.Duration) {
+	for _, l := range s.lanes {
+		if l.clk.Now() < t {
+			l.clk.Advance(t)
+		}
+	}
+}
+
+// Clock returns shard i's clock. Outside a Dispatch callback it may only
+// be read at a barrier.
+func (s *ShardedQueue) Clock(i int) *Clock { return &s.lanes[i].clk }
+
+// Close drains and stops every worker. The queue is unusable afterwards.
+func (s *ShardedQueue) Close() {
+	for _, l := range s.lanes {
+		l.wg.Wait()
+		close(l.ch)
+	}
+	for _, l := range s.lanes {
+		<-l.done
+	}
+}
+
+// Message is one cross-shard mailbox entry: a deferred effect (typically
+// a telemetry emission) produced on a shard between barriers, to be
+// replayed on the conductor in global order.
+type Message struct {
+	// At is the simulated time the effect belongs to.
+	At time.Duration
+	// Seq is the global sequence number of the originating operation,
+	// assigned by the conductor at dispatch. Messages about the same
+	// operation share its Seq and stay in posting order.
+	Seq uint64
+	// Shard is the posting shard, the final tie-break for messages that
+	// carry no operation Seq.
+	Shard int
+	// Fire applies the effect; it runs on the conductor at the drain.
+	Fire func()
+}
+
+// Mailbox buffers cross-shard messages between barriers. Each shard
+// posts only to its own slot, so posting is lock- and coordination-free;
+// the conductor drains at the barrier, merging all slots into the
+// deterministic (At, Seq, Shard, posting order) sequence. The conductor
+// may also post (conventionally as shard -1, stored in slot 0's
+// neighbour list) so its own effects interleave correctly with shard
+// messages carrying neighbouring Seqs.
+type Mailbox struct {
+	slots [][]Message
+}
+
+// NewMailbox builds a mailbox with one slot per shard plus one conductor
+// slot.
+func NewMailbox(shards int) *Mailbox {
+	return &Mailbox{slots: make([][]Message, shards+1)}
+}
+
+// Post appends msg to shard's slot. shard -1 is the conductor's slot.
+// Workers must pass their own shard index; the conductor may pass -1.
+func (m *Mailbox) Post(shard int, msg Message) {
+	msg.Shard = shard
+	m.slots[shard+1] = append(m.slots[shard+1], msg)
+}
+
+// Pending reports whether any message is buffered.
+func (m *Mailbox) Pending() bool {
+	for _, s := range m.slots {
+		if len(s) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain merges every slot into (At, Seq, Shard, posting-order) order,
+// runs each message's Fire on the calling goroutine, and clears the
+// mailbox. Call it only at a barrier.
+func (m *Mailbox) Drain() {
+	var n int
+	for _, s := range m.slots {
+		n += len(s)
+	}
+	if n == 0 {
+		return
+	}
+	all := make([]Message, 0, n)
+	for _, s := range m.slots {
+		all = append(all, s...)
+	}
+	// SliceStable keeps posting order within (At, Seq, Shard): a worker
+	// posts a single operation's messages in their serial emission order.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		if all[i].Seq != all[j].Seq {
+			return all[i].Seq < all[j].Seq
+		}
+		return all[i].Shard < all[j].Shard
+	})
+	for i := range m.slots {
+		m.slots[i] = m.slots[i][:0]
+	}
+	for i := range all {
+		all[i].Fire()
+	}
+}

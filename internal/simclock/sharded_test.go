@@ -1,0 +1,157 @@
+package simclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardedQueueLanesAreFIFO(t *testing.T) {
+	const shards = 4
+	sq := NewShardedQueue(shards)
+	defer sq.Close()
+
+	var got [shards][]int
+	for round := 0; round < 100; round++ {
+		for s := 0; s < shards; s++ {
+			s, round := s, round
+			sq.Dispatch(s, func(clk *Clock) {
+				clk.Advance(time.Duration(round) * time.Millisecond)
+				got[s] = append(got[s], round)
+			})
+		}
+	}
+	sq.Barrier()
+	for s := 0; s < shards; s++ {
+		if len(got[s]) != 100 {
+			t.Fatalf("shard %d ran %d of 100 items", s, len(got[s]))
+		}
+		for i, v := range got[s] {
+			if v != i {
+				t.Fatalf("shard %d executed out of order: item %d at position %d", s, v, i)
+			}
+		}
+		if now := sq.Clock(s).Now(); now != 99*time.Millisecond {
+			t.Fatalf("shard %d clock = %v, want 99ms", s, now)
+		}
+	}
+}
+
+func TestShardedQueueBarrierWaitsForAllLanes(t *testing.T) {
+	sq := NewShardedQueue(3)
+	defer sq.Close()
+
+	var done atomic.Int32
+	for i := 0; i < 3; i++ {
+		sq.Dispatch(i, func(clk *Clock) {
+			time.Sleep(5 * time.Millisecond)
+			done.Add(1)
+		})
+	}
+	sq.Barrier()
+	if n := done.Load(); n != 3 {
+		t.Fatalf("barrier returned with %d of 3 items done", n)
+	}
+}
+
+func TestShardedQueueAdvanceAll(t *testing.T) {
+	sq := NewShardedQueue(2)
+	defer sq.Close()
+
+	sq.Dispatch(0, func(clk *Clock) { clk.Advance(3 * time.Second) })
+	sq.Barrier()
+	sq.AdvanceAll(10 * time.Second)
+	for s := 0; s < 2; s++ {
+		if now := sq.Clock(s).Now(); now != 10*time.Second {
+			t.Fatalf("shard %d clock = %v after AdvanceAll(10s)", s, now)
+		}
+	}
+}
+
+// TestMailboxDrainOrder pins the deterministic drain order: (At, Seq,
+// Shard), with posting order preserved inside a tie.
+func TestMailboxDrainOrder(t *testing.T) {
+	mb := NewMailbox(3)
+	var got []string
+	post := func(shard int, at time.Duration, seq uint64, label string) {
+		mb.Post(shard, Message{At: at, Seq: seq, Fire: func() { got = append(got, label) }})
+	}
+	// Posted deliberately out of global order, across shards.
+	post(2, 2*time.Second, 7, "t2-s7-sh2")
+	post(2, time.Second, 3, "t1-s3-sh2/a")
+	post(2, time.Second, 3, "t1-s3-sh2/b") // same key: posting order holds
+	post(0, time.Second, 3, "t1-s3-sh0")   // same (At,Seq): lower shard first
+	post(1, time.Second, 2, "t1-s2-sh1")
+	post(-1, time.Second, 2, "t1-s2-conductor") // conductor slot sorts before shard 0… no: shard -1
+	post(0, 500*time.Millisecond, 9, "t0.5-s9-sh0")
+
+	mb.Drain()
+	want := []string{
+		"t0.5-s9-sh0",
+		"t1-s2-conductor", // shard -1 ties before shard 1 at (1s, seq 2)
+		"t1-s2-sh1",
+		"t1-s3-sh0",
+		"t1-s3-sh2/a",
+		"t1-s3-sh2/b",
+		"t2-s7-sh2",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d messages, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if mb.Pending() {
+		t.Fatal("mailbox still pending after drain")
+	}
+	// A second drain is a no-op.
+	mb.Drain()
+	if len(got) != len(want) {
+		t.Fatal("second drain re-fired messages")
+	}
+}
+
+// TestEventQueueRecyclesEvents verifies the free-pool actually bounds
+// allocation: scheduling and dispatching in steady state must reuse
+// Event structs instead of allocating one per Schedule.
+func TestEventQueueRecyclesEvents(t *testing.T) {
+	var q EventQueue
+	var clk Clock
+	// Prime: one event in flight, dispatched, released.
+	fired := 0
+	q.Schedule(time.Second, func(now time.Duration) { fired++ })
+	q.RunUntil(&clk, time.Second)
+
+	fire := func(now time.Duration) { fired++ } // hoisted: one closure for all runs
+	allocs := testing.AllocsPerRun(1000, func() {
+		at := clk.Now() + time.Millisecond
+		q.Schedule(at, fire)
+		q.RunUntil(&clk, at)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule+RunUntil allocates %.1f/op, want 0", allocs)
+	}
+	if fired < 1000 {
+		t.Fatalf("fired %d events", fired)
+	}
+}
+
+// TestEventQueueCancelAfterPooling: cancelling a pending event still
+// works with the free pool in place, and the cancelled Event is not
+// recycled (it was never dispatched).
+func TestEventQueueCancelAfterPooling(t *testing.T) {
+	var q EventQueue
+	var clk Clock
+	ran := false
+	e := q.Schedule(time.Second, func(time.Duration) { ran = true })
+	q.Cancel(e)
+	q.RunUntil(&clk, 2*time.Second)
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}

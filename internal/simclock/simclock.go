@@ -56,15 +56,41 @@ func (e *Event) Cancelled() bool { return e.index < 0 }
 type EventQueue struct {
 	h      eventHeap
 	nextSq uint64
+	// free holds dispatched Event structs for reuse, so steady-state
+	// scheduling (power samples, migration chunks, policy wakes) does not
+	// allocate. Its length is bounded by the peak number of pending
+	// events, not by the number of events ever scheduled.
+	free []*Event
 }
 
 // Schedule enqueues fire to run at time at and returns the event handle,
-// which may be passed to Cancel.
+// which may be passed to Cancel. The handle is valid until the event
+// fires: once Fire has been invoked the queue may reuse the Event for a
+// later Schedule, so holders must drop (or nil out) their handle from
+// inside Fire — as every repo policy does — rather than Cancel it later.
 func (q *EventQueue) Schedule(at time.Duration, fire func(now time.Duration)) *Event {
-	e := &Event{At: at, Fire: fire, seq: q.nextSq}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.At, e.Fire = at, fire
+		e.seq = q.nextSq
+	} else {
+		e = &Event{At: at, Fire: fire, seq: q.nextSq}
+	}
 	q.nextSq++
 	heap.Push(&q.h, e)
 	return e
+}
+
+// Release returns a dispatched event's storage to the queue's free pool.
+// Only events already popped and fired may be released; releasing a
+// pending event corrupts the heap. RunUntil releases the events it
+// dispatches itself.
+func (q *EventQueue) Release(e *Event) {
+	e.Fire = nil
+	q.free = append(q.free, e)
 }
 
 // Cancel removes e from the queue if it is still pending. Cancelling an
@@ -114,6 +140,7 @@ func (q *EventQueue) RunUntil(clk *Clock, limit time.Duration) {
 		// pending events but never before the clock; Advance enforces that.
 		clk.Advance(e.At)
 		e.Fire(e.At)
+		q.Release(e)
 	}
 	clk.Advance(limit)
 }

@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"esm/internal/trace"
+)
+
+func TestShardMapContiguousBalanced(t *testing.T) {
+	m := NewShardMap(10, 4)
+	if m.Shards() != 4 {
+		t.Fatalf("shards = %d", m.Shards())
+	}
+	// Contiguous, non-decreasing, balanced to within one enclosure.
+	counts := make([]int, 4)
+	prev := 0
+	for e := 0; e < 10; e++ {
+		s := m.ShardOf(e)
+		if s < prev {
+			t.Fatalf("shard map not contiguous: enc %d on shard %d after shard %d", e, s, prev)
+		}
+		prev = s
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c < 2 || c > 3 {
+			t.Fatalf("shard %d owns %d enclosures, want 2 or 3", s, c)
+		}
+	}
+}
+
+func TestShardMapClamps(t *testing.T) {
+	if got := NewShardMap(3, 8).Shards(); got != 3 {
+		t.Fatalf("shards clamped to %d, want 3", got)
+	}
+	if got := NewShardMap(3, 0).Shards(); got != 1 {
+		t.Fatalf("shards clamped to %d, want 1", got)
+	}
+	m := NewShardMap(1, 1)
+	if m.ShardOf(0) != 0 {
+		t.Fatal("single enclosure not on shard 0")
+	}
+}
+
+// TestPlanExecAdmitMatchesSubmit drives two identical arrays through the
+// same randomized workload — one via the serial Submit, one via the
+// decomposed PlanSubmit / ExecPlanned / AdmitPlanned path the sharded
+// engine uses — and requires identical per-op results, counters and
+// integrated joules. Policy-style actions (write-delay and preload
+// re-selection, item migration, destages) are interleaved so both cache
+// phases and the physical path are exercised.
+func TestPlanExecAdmitMatchesSubmit(t *testing.T) {
+	const encls = 4
+	sizes := []int64{64 << 20, 48 << 20, 32 << 20, 24 << 20, 16 << 20, 8 << 20, 96 << 20, 40 << 20}
+
+	serial, sClk, _, sIDs := testArray(t, encls, sizes...)
+	split, pClk, _, pIDs := testArray(t, encls, sizes...)
+
+	rng := rand.New(rand.NewSource(42))
+	now := time.Duration(0)
+	for i := 0; i < 4000; i++ {
+		now += time.Duration(rng.Intn(2000)) * time.Microsecond
+		sClk.Advance(now)
+		pClk.Advance(now)
+
+		// Interleave policy-style actions at fixed points.
+		switch {
+		case i%997 == 500:
+			k := rng.Intn(len(sIDs))
+			dst := rng.Intn(encls)
+			_ = serial.MigrateItem(sIDs[k], dst, nil)
+			_ = split.MigrateItem(pIDs[k], dst, nil)
+		case i%613 == 100:
+			k := rng.Intn(len(sIDs))
+			serial.SetWriteDelay(sIDs[k : k+1])
+			split.SetWriteDelay(pIDs[k : k+1])
+		case i%451 == 50:
+			k := rng.Intn(len(sIDs))
+			serial.SetPreload(sIDs[k : k+1])
+			split.SetPreload(pIDs[k : k+1])
+		}
+
+		k := rng.Intn(len(sIDs))
+		op := trace.OpRead
+		if rng.Intn(3) == 0 {
+			op = trace.OpWrite
+		}
+		off := int64(rng.Intn(1 << 20))
+		size := int32(512 * (1 + rng.Intn(64)))
+		sr := trace.LogicalRecord{Time: now, Item: sIDs[k], Offset: off, Size: size, Op: op}
+		pr := trace.LogicalRecord{Time: now, Item: pIDs[k], Offset: off, Size: size, Op: op}
+
+		wantRes, wantErr := serial.Submit(sr)
+
+		plan, err := split.PlanSubmit(pr)
+		var gotRes Result
+		if err == nil {
+			if plan.Served {
+				gotRes = Result{Response: plan.Response, CacheHit: plan.CacheHit, Enclosure: -1}
+				if plan.NeedFlush {
+					split.FlushAll()
+				}
+			} else {
+				op := DeferredOp{At: now, Enc: plan.Enc, Block: plan.Block, Size: size, Read: plan.Read, Item: plan.Item}
+				resp, execErr := split.ExecPlanned(op, nil)
+				if execErr != nil {
+					t.Fatalf("op %d: ExecPlanned failed on fault-free run: %v", i, execErr)
+				}
+				gotRes = Result{Response: resp, Enclosure: plan.Enc}
+				split.AdmitPlanned(plan)
+			}
+		}
+		if (wantErr == nil) != (err == nil) {
+			t.Fatalf("op %d: error mismatch: serial=%v split=%v", i, wantErr, err)
+		}
+		if wantErr == nil && gotRes != wantRes {
+			t.Fatalf("op %d (%+v): result mismatch: serial=%+v split=%+v", i, sr, wantRes, gotRes)
+		}
+	}
+
+	serial.Finish()
+	split.Finish()
+
+	if s, p := serial.Stats(), split.Stats(); s != p {
+		t.Fatalf("stats diverged:\nserial %+v\nsplit  %+v", s, p)
+	}
+	if s, p := serial.Meter().EnclosureEnergyJ(), split.Meter().EnclosureEnergyJ(); s != p {
+		t.Fatalf("joules diverged: serial=%v split=%v", s, p)
+	}
+	for e := 0; e < encls; e++ {
+		if s, p := serial.EnclosureEnergy(e), split.EnclosureEnergy(e); s != p {
+			t.Fatalf("enclosure %d energy diverged:\nserial %+v\nsplit  %+v", e, s, p)
+		}
+		if s, p := serial.Meter().Enclosure(e).SpinUps(), split.Meter().Enclosure(e).SpinUps(); s != p {
+			t.Fatalf("enclosure %d spin-ups diverged: serial=%d split=%d", e, s, p)
+		}
+	}
+}
+
+// TestCanDefer pins the deferral-safety invariant's three conditions.
+func TestCanDefer(t *testing.T) {
+	arr, _, _, _ := testArray(t, 2, 8<<20)
+	if !arr.CanDefer(0) {
+		t.Fatal("fault-free, on, no-spin-down enclosure should be deferrable")
+	}
+	arr.SetSpinDownEnabled(0, true)
+	if arr.CanDefer(0) {
+		t.Fatal("spin-down-enabled enclosure must not be deferrable")
+	}
+	if !arr.CanDefer(1) {
+		t.Fatal("enclosure 1 unaffected by enclosure 0's spin-down toggle")
+	}
+}
+
+// TestSyncHookRunsOnEntryPoints verifies the conductor barrier hook fires
+// on the public methods that touch shard-owned enclosure state.
+func TestSyncHookRunsOnEntryPoints(t *testing.T) {
+	arr, _, _, ids := testArray(t, 2, 8<<20)
+	calls := 0
+	arr.SetSyncHook(func() { calls++ })
+
+	arr.Submit(trace.LogicalRecord{Item: ids[0], Size: 4096, Op: trace.OpRead})
+	arr.MigrateItem(ids[0], 1, nil)
+	arr.SetWriteDelay(ids)
+	arr.SetPreload(nil)
+	arr.SetSpinDownEnabled(0, true)
+	arr.FlushAll()
+	arr.EnclosureOn(0, 0)
+	arr.Finish()
+	if calls < 8 {
+		t.Fatalf("sync hook ran %d times, want at least one per entry point (8)", calls)
+	}
+}
