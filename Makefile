@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json trace-smoke bench-smoke shard-smoke fleet-smoke clean
+.PHONY: all build vet test race check bench bench-json trace-smoke bench-smoke shard-smoke cloudblock-smoke fleet-smoke clean
 
 all: build
 
@@ -76,6 +76,44 @@ bench-smoke:
 shard-smoke:
 	$(GO) test -race -count=1 -run 'TestSharded' ./internal/replay/ ./internal/fleet/
 	$(GO) run -race ./cmd/esmbench -workload fileserver -scale 0.1 -fig 8 -shards 4
+
+# cloudblock-smoke gates the multi-tenant cloud-block path end to end.
+# tracegen streams the same seeded trace twice and the files must be
+# byte-identical (the stream format is written straight off the lazy
+# source — the trace is never materialized); esmreplay then replays it
+# on the sharded engine; finally esmbench regenerates Fig. 20 with the
+# flight recorder on, serial and at -shards 4, and the ESM manifests
+# are diffed against the committed baseline (loose +/-25% thresholds)
+# and serial-vs-sharded with zero thresholds in both directions.
+cloudblock-smoke:
+	rm -rf /tmp/esm-cloudblock-smoke
+	mkdir -p /tmp/esm-cloudblock-smoke/serial /tmp/esm-cloudblock-smoke/sharded
+	$(GO) run ./cmd/tracegen -workload cloudblock -scale 0.02 -format stream \
+		-out /tmp/esm-cloudblock-smoke/cb.trace \
+		-catalog /tmp/esm-cloudblock-smoke/cb.items \
+		-placement /tmp/esm-cloudblock-smoke/cb.layout
+	$(GO) run ./cmd/tracegen -workload cloudblock -scale 0.02 -format stream \
+		-out /tmp/esm-cloudblock-smoke/cb-again.trace \
+		-catalog /tmp/esm-cloudblock-smoke/cb-again.items \
+		-placement /tmp/esm-cloudblock-smoke/cb-again.layout
+	cmp /tmp/esm-cloudblock-smoke/cb.trace /tmp/esm-cloudblock-smoke/cb-again.trace
+	$(GO) run ./cmd/esmreplay -trace /tmp/esm-cloudblock-smoke/cb.trace \
+		-catalog /tmp/esm-cloudblock-smoke/cb.items \
+		-placement /tmp/esm-cloudblock-smoke/cb.layout -policy esm -shards 4
+	$(GO) run ./cmd/esmbench -workload cloudblock -fig 20 \
+		-series /tmp/esm-cloudblock-smoke/serial
+	$(GO) run ./cmd/esmstat diff \
+		-energy 0.25 -resp 0.25 -spinups 0.25 -migrations 0.25 \
+		ci/baseline/BENCH_cloudblock-esm.json \
+		/tmp/esm-cloudblock-smoke/serial/BENCH_cloudblock-esm.json
+	$(GO) run ./cmd/esmbench -workload cloudblock -fig 20 -shards 4 \
+		-series /tmp/esm-cloudblock-smoke/sharded
+	$(GO) run ./cmd/esmstat diff -energy 0 -resp 0 -spinups 0 -migrations 0 \
+		/tmp/esm-cloudblock-smoke/serial/BENCH_cloudblock-esm.json \
+		/tmp/esm-cloudblock-smoke/sharded/BENCH_cloudblock-esm.json
+	$(GO) run ./cmd/esmstat diff -energy 0 -resp 0 -spinups 0 -migrations 0 \
+		/tmp/esm-cloudblock-smoke/sharded/BENCH_cloudblock-esm.json \
+		/tmp/esm-cloudblock-smoke/serial/BENCH_cloudblock-esm.json
 
 # fleet-smoke boots the multi-array control plane, streams two
 # tracegen workloads into it over live NDJSON HTTP ingest, and gates

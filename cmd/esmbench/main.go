@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	esmbench [-scale f] [-workload fileserver|oltp|dss|all] [-fig N]
+//	esmbench [-scale f] [-workload fileserver|oltp|dss|cloudblock|all] [-fig N]
 //	         [-parallel N] [-shards N] [-json out.json] [-series dir] [-list]
 //
 // -scale 1.0 reproduces the paper's full durations (hours of simulated
@@ -44,8 +44,8 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 0, "time-scale factor (1.0 = paper-scale durations; 0 = per-workload default)")
-	kind := flag.String("workload", "all", "fileserver, oltp, dss or all")
-	fig := flag.Int("fig", 0, "regenerate a single figure (6, 8..19); 0 = all")
+	kind := flag.String("workload", "all", "fileserver, oltp, dss, cloudblock or all (all = the paper's three)")
+	fig := flag.Int("fig", 0, "regenerate a single figure (6, 8..19, 20 = cloudblock); 0 = all")
 	list := flag.Bool("list", false, "print Table I / Table II parameters and exit")
 	sweep := flag.Bool("sweep", false, "run the sensitivity sweeps instead of the figures")
 	extended := flag.Bool("extended", false, "also evaluate the extended baselines (timeout, MAID, write off-loading)")
@@ -129,11 +129,14 @@ func writeSeriesAndManifests(dir string, scale float64, fc *faults.Config, ev *e
 	return nil
 }
 
-// figsOf maps each application to its figure numbers in the paper.
+// figsOf maps each application to its figure numbers: the paper's
+// figures for its three workloads, plus figure 20 for the cloud-block
+// workload this repository adds beyond the paper.
 var figsOf = map[experiments.Kind][]int{
 	experiments.FileServer: {8, 9, 10, 17},
 	experiments.OLTP:       {11, 12, 13, 18},
 	experiments.DSS:        {14, 15, 16, 19},
+	experiments.CloudBlock: {20},
 }
 
 func runSweeps(scale float64, kindFlag string) error {
@@ -205,6 +208,11 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tra
 			ks := scale
 			if ks == 0 {
 				ks = 1.0 // classification alone is cheap at paper scale
+				if k == experiments.CloudBlock {
+					// ... except at 100M records; the mix is stable from a
+					// fraction of the trace.
+					ks = experiments.DefaultScale(k)
+				}
 			}
 			w, err := experiments.Build(k, ks)
 			if err != nil {
@@ -238,9 +246,16 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tra
 		}
 		// The same trace replays once per policy; materialize it so the
 		// concurrent runs share one slice (a single streaming run would
-		// not need this).
-		fmt.Printf("\n-- %s: %d records, %d items, %d enclosures, %v --\n",
-			w.Name, len(w.EnsureRecords()), w.Catalog.Len(), w.Enclosures, w.Duration)
+		// not need this). The cloud-block trace is the exception: at
+		// production scale it runs to 100M records and must never
+		// materialize — each replay streams its own generator.
+		if k == experiments.CloudBlock {
+			fmt.Printf("\n-- %s: streaming, %d items, %d enclosures, %v --\n",
+				w.Name, w.Catalog.Len(), w.Enclosures, w.Duration)
+		} else {
+			fmt.Printf("\n-- %s: %d records, %d items, %d enclosures, %v --\n",
+				w.Name, len(w.EnsureRecords()), w.Catalog.Len(), w.Enclosures, w.Duration)
+		}
 		start := time.Now()
 		pols := experiments.PoliciesFor(ks)
 		if extended {
@@ -350,6 +365,14 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tra
 			maybe(fig, 19, func() {
 				experiments.IntervalTable("Fig. 19 — TPC-H I/O intervals", ev, experiments.DefaultIntervalThresholds()).Fprint(os.Stdout)
 			})
+		case experiments.CloudBlock:
+			maybe(fig, 20, func() {
+				experiments.PowerTable("Fig. 20 — Cloud block storage power consumption", ev).Fprint(os.Stdout)
+				experiments.PowerSeriesChart("Cloud block storage power over time", ev).Fprint(os.Stdout)
+				experiments.StateMixTable("Cloud block storage enclosure state residency", ev).Fprint(os.Stdout)
+				experiments.ResponseTable("Cloud block storage avg I/O response time", ev).Fprint(os.Stdout)
+				experiments.MigrationTable("Cloud block storage migrated data size", ev).Fprint(os.Stdout)
+			})
 		}
 	}
 	fmt.Printf("\nreplay concurrency: %d effective workers (bound %d, GOMAXPROCS %d), %d shards per replay\n",
@@ -400,4 +423,6 @@ func printParameters() {
 	fmt.Printf("  fileserver: %d volumes on %d enclosures, %v\n", fs.Volumes, fs.Enclosures, fs.Duration)
 	fmt.Printf("  oltp:       %d warehouses, DB on %d enclosures + log, %v\n", ol.Warehouses, ol.DBEnclosures, ol.Duration)
 	fmt.Printf("  dss:        SF=%.0f, Q1..Q22, DB on %d enclosures + log/work, %v\n", ds.ScaleFactor, ds.DBEnclosures, ds.Duration)
+	cb := workload.DefaultCloudBlockConfig()
+	fmt.Printf("  cloudblock: %d volumes / %d tenants on %d enclosures, %v (beyond the paper)\n", cb.Volumes, cb.Tenants, cb.Enclosures, cb.Duration)
 }

@@ -1,5 +1,6 @@
 // Command tracegen generates the synthetic application traces used by
-// the evaluation (file server, OLTP, DSS, or a generic synthetic mix)
+// the evaluation (file server, OLTP, DSS, the multi-tenant cloud-block
+// workload, or a generic synthetic mix)
 // and writes them to disk together with their item catalog, in the
 // compact binary format, CSV, the appendable stream format, or NDJSON
 // (the wire format of esmd's fleet ingest endpoint). The stream and
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("workload", "fileserver", "fileserver, oltp, dss, sensor or synthetic")
+	kind := flag.String("workload", "fileserver", "fileserver, oltp, dss, cloudblock, sensor or synthetic")
 	scale := flag.Float64("scale", 1.0, "time-scale factor (1.0 = paper-scale durations)")
 	seed := flag.Int64("seed", 0, "override the workload's default seed (0 = keep)")
 	format := flag.String("format", "binary", "binary, csv, stream or ndjson")
@@ -213,6 +214,12 @@ func buildWithSeed(kind experiments.Kind, scale float64, seed int64) (*workload.
 			cfg.Seed = seed
 		}
 		return workload.GenerateDSS(cfg)
+	case experiments.CloudBlock:
+		cfg := workload.DefaultCloudBlockConfig().Scaled(scale)
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return workload.GenerateCloudBlock(cfg)
 	default:
 		return nil, fmt.Errorf("unknown workload %q", kind)
 	}

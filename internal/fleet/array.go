@@ -10,11 +10,9 @@
 package fleet
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -507,30 +505,22 @@ func (a *Array) IngestStream(r io.Reader) (int64, error) {
 func (a *Array) IngestCSV(r io.Reader) (int64, error) {
 	a.ingestRequests.Add(1)
 	defer a.RefreshStatus()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
+	dec := trace.NewCSVReader(r)
 	var n int64
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "time_ns") {
-			continue
+	for {
+		rec, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
 		}
-		rec, err := trace.ParseCSVRecord(text, line)
 		if err != nil {
 			return n, err
 		}
 		if err := a.Feed(rec); err != nil {
-			return n, fmt.Errorf("line %d: %w", line, err)
+			return n, fmt.Errorf("line %d: %w", dec.Line(), err)
 		}
 		n++
 		a.ingestRecords.Add(1)
 	}
-	if err := sc.Err(); err != nil {
-		return n, err
-	}
-	return n, nil
 }
 
 // ingest drains next into Feed, counting the request and its records.

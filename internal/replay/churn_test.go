@@ -1,0 +1,110 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"esm/internal/simclock"
+	"esm/internal/trace"
+)
+
+// churnSource generates a high-churn trace lazily: recsPerItem
+// consecutive records per item, items retiring forever afterwards, one
+// record per microsecond. It never materializes the trace, so the test
+// measures the engine's memory profile, not the fixture's.
+type churnSource struct {
+	n, total    int64
+	recsPerItem int64
+}
+
+func (s *churnSource) Next() (trace.LogicalRecord, bool) {
+	if s.n >= s.total {
+		return trace.LogicalRecord{}, false
+	}
+	rec := trace.LogicalRecord{
+		Time: time.Duration(s.n) * time.Microsecond,
+		Item: trace.ItemID(s.n / s.recsPerItem),
+		Size: 4096,
+		Op:   trace.OpRead,
+	}
+	s.n++
+	return rec, true
+}
+
+func (s *churnSource) Err() error { return nil }
+
+// TestClosedLoopChurnBoundedCursors is the flat-memory gate for volume
+// churn: 1M records over 62.5k items that each recur 16 times and then
+// never again. Without eviction the demux keeps one ring-buffer cursor
+// per item ever seen (62.5k at the end); with the sweep, the cursor map
+// must stay bounded by the churn window, not the item population.
+func TestClosedLoopChurnBoundedCursors(t *testing.T) {
+	const total = 1_000_000
+	const perItem = 16
+	src := &churnSource{total: total, recsPerItem: perItem}
+	submit := func(rec trace.LogicalRecord, orig time.Duration) (time.Duration, error) {
+		return time.Microsecond, nil
+	}
+	var clk simclock.Clock
+	var evq simclock.EventQueue
+	cl := newClosedLoop(src, &clk, &evq, submit)
+	if err := cl.run(); err != nil {
+		t.Fatal(err)
+	}
+	// Items touched per sweep window: sweepEvery/perItem, plus up to one
+	// full window of eviction lag and the live read-ahead. Anything near
+	// the 62.5k item population means eviction is broken.
+	bound := 3 * sweepEvery / perItem
+	if cl.peakCursors > bound {
+		t.Fatalf("peak live cursors %d exceeds churn-window bound %d (population %d)",
+			cl.peakCursors, bound, total/perItem)
+	}
+	if cl.peakParked > bound {
+		t.Fatalf("peak parked entries %d exceeds churn-window bound %d", cl.peakParked, bound)
+	}
+}
+
+// TestClosedLoopEvictionPreservesStall pins the semantic half of
+// eviction: an item whose last I/O left a far-future completion fence
+// must issue its next record at that fence even if its cursor was
+// evicted and revived in between.
+func TestClosedLoopEvictionPreservesStall(t *testing.T) {
+	const fillers = 3 * sweepEvery // enough demuxed records to force sweeps
+	stall := 10 * time.Second
+	recs := make([]trace.LogicalRecord, 0, fillers+2)
+	recs = append(recs, trace.LogicalRecord{Time: 0, Item: 0, Size: 4096, Op: trace.OpRead})
+	for i := 0; i < fillers; i++ {
+		recs = append(recs, trace.LogicalRecord{
+			Time: time.Duration(i+1) * time.Microsecond,
+			Item: trace.ItemID(i + 1), Size: 4096, Op: trace.OpRead,
+		})
+	}
+	last := trace.LogicalRecord{
+		Time: time.Duration(fillers+10) * time.Microsecond,
+		Item: 0, Size: 4096, Op: trace.OpRead,
+	}
+	recs = append(recs, last)
+
+	var issuedAt time.Duration
+	submit := func(rec trace.LogicalRecord, orig time.Duration) (time.Duration, error) {
+		if rec.Item == 0 && orig == last.Time {
+			issuedAt = rec.Time
+		}
+		if rec.Item == 0 && orig == 0 {
+			return stall, nil
+		}
+		return 0, nil
+	}
+	var clk simclock.Clock
+	var evq simclock.EventQueue
+	cl := newClosedLoop(trace.NewSliceSource(recs), &clk, &evq, submit)
+	if err := cl.run(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.peakParked == 0 {
+		t.Fatal("item 0 was never parked; the test did not exercise eviction")
+	}
+	if issuedAt != stall {
+		t.Fatalf("item 0's post-eviction record issued at %v, want the completion fence %v", issuedAt, stall)
+	}
+}

@@ -1,5 +1,13 @@
 // Closed-loop replay: per-data-item streams with queue depth one,
 // demultiplexed incrementally from a streaming source.
+//
+// The demux state is bounded: cursors for items that stop recurring
+// (volume churn) are evicted by a periodic sweep instead of pinning
+// their ring buffers for the rest of the replay. An evicted item's
+// timeline state survives as a two-field parked entry only while it can
+// still affect a future record; once the stream's time high-water
+// passes it, the entry is dropped entirely. Live memory is therefore
+// O(active items + recently touched items), not O(items ever seen).
 
 package replay
 
@@ -32,6 +40,11 @@ type itemCursor struct {
 	// eff is the effective issue time of the next record.
 	eff   time.Duration
 	index int // heap index; -1 while the cursor has no queued records
+	// touch is the demux record counter at the cursor's last activity;
+	// the sweep only evicts cursors that sat drained through a whole
+	// sweep window, so steady-state items are never churned through the
+	// pool.
+	touch int64
 }
 
 // push appends rec to the cursor's ring, growing it in powers of two.
@@ -83,99 +96,193 @@ func (h *cursorHeap) Pop() any {
 	return c
 }
 
-// runClosedLoop replays the stream item by item: each item issues its
-// next I/O at its original spacing, but never before its previous I/O
-// completed. Stalls (queueing, spin-up waits) push the item's remaining
-// records back in time, as a blocked application thread would be.
-//
-// The source is demultiplexed lazily: records are pulled only until the
-// next arrival provably cannot issue before the earliest queued cursor
-// (delays are non-negative, so a record arriving at T activates at or
-// after T).
-func runClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQueue, submit func(rec trace.LogicalRecord, origTime time.Duration) (time.Duration, error)) error {
-	cursors := make(map[trace.ItemID]*itemCursor)
-	var h cursorHeap
-	var (
-		pending     trace.LogicalRecord
-		havePending bool
-		eof         bool
-		prev        time.Duration
-		n           int64
-	)
+// parkedState is the part of an evicted cursor that can still change a
+// future record's issue time: the accumulated timeline shift and the
+// completion fence of the item's last I/O.
+type parkedState struct {
+	delay     time.Duration
+	notBefore time.Duration
+}
 
-	// demux pulls records into per-item queues until the heap's root is
-	// provably the globally next effective issue.
-	demux := func() error {
-		for {
-			if !havePending {
-				if eof {
-					return nil
-				}
-				rec, ok := src.Next()
-				if !ok {
-					eof = true
-					if err := src.Err(); err != nil {
-						return fmt.Errorf("replay: %w", err)
-					}
-					return nil
-				}
-				if rec.Time < prev {
-					return fmt.Errorf("replay: record %d out of order", n)
-				}
-				prev = rec.Time
-				n++
-				pending = rec
-				havePending = true
-			}
-			if len(h) > 0 && pending.Time > h[0].eff {
-				return nil
-			}
-			c := cursors[pending.Item]
-			if c == nil {
-				c = &itemCursor{item: pending.Item, index: -1}
-				cursors[pending.Item] = c
-			}
-			c.push(pending)
-			havePending = false
-			if c.index < 0 {
-				eff := pending.Time + c.delay
-				if eff < c.notBefore {
-					eff = c.notBefore
-				}
-				c.eff = eff
-				heap.Push(&h, c)
-			}
+// sweepEvery is how many demuxed records pass between eviction sweeps.
+// A sweep walks the whole cursor map, so the window amortizes its cost
+// to O(live/sweepEvery) per record while bounding how long a churned
+// item's ring buffer can linger.
+const sweepEvery = 8192
+
+// cursorPoolMax bounds the free list of evicted cursor structs; beyond
+// it, evicted cursors are left to the collector.
+const cursorPoolMax = 256
+
+// closedLoop is the demux state of one closed-loop replay. It exists as
+// a struct (rather than closure locals) so tests can watch the memory
+// profile: peakCursors/peakParked record the high-water of the two maps
+// as observed at sweep boundaries.
+type closedLoop struct {
+	src    trace.Source
+	clk    *simclock.Clock
+	evq    *simclock.EventQueue
+	submit func(rec trace.LogicalRecord, origTime time.Duration) (time.Duration, error)
+
+	cursors map[trace.ItemID]*itemCursor
+	parked  map[trace.ItemID]parkedState
+	pool    []*itemCursor
+	h       cursorHeap
+
+	pending     trace.LogicalRecord
+	havePending bool
+	eof         bool
+	prev        time.Duration
+	n           int64
+	lastSweep   int64
+
+	peakCursors int
+	peakParked  int
+}
+
+func newClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQueue, submit func(rec trace.LogicalRecord, origTime time.Duration) (time.Duration, error)) *closedLoop {
+	return &closedLoop{
+		src: src, clk: clk, evq: evq, submit: submit,
+		cursors: make(map[trace.ItemID]*itemCursor),
+		parked:  make(map[trace.ItemID]parkedState),
+	}
+}
+
+// activate returns the item's cursor, reviving parked state or a pooled
+// struct as needed. The returned cursor is in the map but may not be in
+// the heap (index -1).
+func (cl *closedLoop) activate(item trace.ItemID) *itemCursor {
+	if c := cl.cursors[item]; c != nil {
+		return c
+	}
+	var c *itemCursor
+	if k := len(cl.pool); k > 0 {
+		c = cl.pool[k-1]
+		cl.pool[k-1] = nil
+		cl.pool = cl.pool[:k-1]
+	} else {
+		c = &itemCursor{}
+	}
+	*c = itemCursor{buf: c.buf, item: item, index: -1}
+	if p, ok := cl.parked[item]; ok {
+		c.delay, c.notBefore = p.delay, p.notBefore
+		delete(cl.parked, item)
+	}
+	cl.cursors[item] = c
+	return c
+}
+
+// sweep evicts cursors that sat drained through the whole previous
+// window and drops parked state the stream has provably passed. Map
+// iteration order only affects which evicted structs land in the
+// bounded pool — pooled structs are fully reset on reuse, so results
+// are unchanged.
+func (cl *closedLoop) sweep() {
+	if len(cl.cursors) > cl.peakCursors {
+		cl.peakCursors = len(cl.cursors)
+	}
+	for item, c := range cl.cursors {
+		if c.n != 0 || c.index >= 0 || c.touch >= cl.lastSweep {
+			continue
+		}
+		delete(cl.cursors, item)
+		// A future record r has r.Time >= prev, so a zero delay and a
+		// fence the stream has passed can never move its issue time:
+		// only then is the state forgettable.
+		if c.delay != 0 || c.notBefore > cl.prev {
+			cl.parked[item] = parkedState{delay: c.delay, notBefore: c.notBefore}
+		}
+		if len(cl.pool) < cursorPoolMax {
+			cl.pool = append(cl.pool, c)
 		}
 	}
+	for item, p := range cl.parked {
+		if p.delay == 0 && p.notBefore <= cl.prev {
+			delete(cl.parked, item)
+		}
+	}
+	if len(cl.parked) > cl.peakParked {
+		cl.peakParked = len(cl.parked)
+	}
+	cl.lastSweep = cl.n
+}
 
+// demux pulls records into per-item queues until the heap's root is
+// provably the globally next effective issue (delays are non-negative,
+// so a record arriving at T activates at or after T).
+func (cl *closedLoop) demux() error {
 	for {
-		if err := demux(); err != nil {
+		if !cl.havePending {
+			if cl.eof {
+				return nil
+			}
+			rec, ok := cl.src.Next()
+			if !ok {
+				cl.eof = true
+				if err := cl.src.Err(); err != nil {
+					return fmt.Errorf("replay: %w", err)
+				}
+				return nil
+			}
+			if rec.Time < cl.prev {
+				return fmt.Errorf("replay: record %d out of order", cl.n)
+			}
+			cl.prev = rec.Time
+			cl.n++
+			if cl.n-cl.lastSweep > sweepEvery {
+				cl.sweep()
+			}
+			cl.pending = rec
+			cl.havePending = true
+		}
+		if len(cl.h) > 0 && cl.pending.Time > cl.h[0].eff {
+			return nil
+		}
+		c := cl.activate(cl.pending.Item)
+		c.push(cl.pending)
+		c.touch = cl.n
+		cl.havePending = false
+		if c.index < 0 {
+			eff := cl.pending.Time + c.delay
+			if eff < c.notBefore {
+				eff = c.notBefore
+			}
+			c.eff = eff
+			heap.Push(&cl.h, c)
+		}
+	}
+}
+
+func (cl *closedLoop) run() error {
+	for {
+		if err := cl.demux(); err != nil {
 			return err
 		}
-		if len(h) == 0 {
+		if len(cl.h) == 0 {
 			// Source drained and every queued record issued.
 			return nil
 		}
-		c := h[0]
+		c := cl.h[0]
 		rec := c.front()
 		issueAt := c.eff
-		if issueAt < clk.Now() {
+		if issueAt < cl.clk.Now() {
 			// Another item's stall moved the global clock past this
 			// record's effective time; issue immediately.
-			issueAt = clk.Now()
+			issueAt = cl.clk.Now()
 		}
-		evq.RunUntil(clk, issueAt)
+		cl.evq.RunUntil(cl.clk, issueAt)
 		shifted := rec
 		shifted.Time = issueAt
-		resp, err := submit(shifted, rec.Time)
+		resp, err := cl.submit(shifted, rec.Time)
 		if err != nil {
 			return err
 		}
 		c.notBefore = issueAt + resp
 		c.delay = issueAt - rec.Time
 		c.pop()
+		c.touch = cl.n
 		if c.n == 0 {
-			heap.Pop(&h)
+			heap.Pop(&cl.h)
 		} else {
 			next := c.front()
 			eff := next.Time + c.delay
@@ -183,7 +290,15 @@ func runClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQue
 				eff = c.notBefore
 			}
 			c.eff = eff
-			heap.Fix(&h, 0)
+			heap.Fix(&cl.h, 0)
 		}
 	}
+}
+
+// runClosedLoop replays the stream item by item: each item issues its
+// next I/O at its original spacing, but never before its previous I/O
+// completed. Stalls (queueing, spin-up waits) push the item's remaining
+// records back in time, as a blocked application thread would be.
+func runClosedLoop(src trace.Source, clk *simclock.Clock, evq *simclock.EventQueue, submit func(rec trace.LogicalRecord, origTime time.Duration) (time.Duration, error)) error {
+	return newClosedLoop(src, clk, evq, submit).run()
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -87,8 +88,9 @@ func ReadBinary(r io.Reader) ([]LogicalRecord, error) {
 	}
 	recs := make([]LogicalRecord, 0, n)
 	var prev time.Duration
+	off := int64(len(binaryMagic) + len(hdr))
 	for i := uint64(0); i < n; i++ {
-		rec, err := readBinaryRecord(br, &prev, i)
+		rec, err := readBinaryRecord(br, &prev, i, &off)
 		if err != nil {
 			return nil, err
 		}
@@ -97,39 +99,40 @@ func ReadBinary(r io.Reader) ([]LogicalRecord, error) {
 	return recs, nil
 }
 
+// binaryFieldNames maps readVarintRecord's field indices to the batch
+// format's error vocabulary.
+var binaryFieldNames = [...]string{"time", "item", "offset", "size", "op"}
+
 // readBinaryRecord decodes one delta/varint record from br, advancing
-// *prev to the record's absolute time. i is only used in error messages.
-func readBinaryRecord(br *bufio.Reader, prev *time.Duration, i uint64) (LogicalRecord, error) {
-	dt, err := binary.ReadUvarint(br)
+// *prev to the record's absolute time and *off past the record's encoded
+// bytes. i is only used in error messages. The decode is allocation-free
+// on the hot path: the whole record is peeked out of the reader's buffer
+// and consumed in one Discard.
+func readBinaryRecord(br *bufio.Reader, prev *time.Duration, i uint64, off *int64) (LogicalRecord, error) {
+	raw, n, err := readVarintRecord(br, func(field int, err error) error {
+		return fmt.Errorf("trace: record %d %s: %w", i, binaryFieldNames[field], err)
+	})
 	if err != nil {
-		return LogicalRecord{}, fmt.Errorf("trace: record %d time: %w", i, err)
+		return LogicalRecord{}, err
 	}
-	item, err := binary.ReadUvarint(br)
-	if err != nil {
-		return LogicalRecord{}, fmt.Errorf("trace: record %d item: %w", i, err)
+	if raw.op > uint8(OpWrite) {
+		return LogicalRecord{}, fmt.Errorf("trace: record %d has invalid op %d", i, raw.op)
 	}
-	off, err := binary.ReadUvarint(br)
-	if err != nil {
-		return LogicalRecord{}, fmt.Errorf("trace: record %d offset: %w", i, err)
+	t, ok := addDelta(*prev, raw.dt)
+	if !ok {
+		return LogicalRecord{}, &OrderError{
+			Format: "binary", Record: int64(i), Offset: *off,
+			Prev: *prev, Got: time.Duration(*prev + time.Duration(raw.dt)),
+		}
 	}
-	size, err := binary.ReadUvarint(br)
-	if err != nil {
-		return LogicalRecord{}, fmt.Errorf("trace: record %d size: %w", i, err)
-	}
-	op, err := br.ReadByte()
-	if err != nil {
-		return LogicalRecord{}, fmt.Errorf("trace: record %d op: %w", i, err)
-	}
-	if op > uint8(OpWrite) {
-		return LogicalRecord{}, fmt.Errorf("trace: record %d has invalid op %d", i, op)
-	}
-	*prev += time.Duration(dt)
+	*prev = t
+	*off += int64(n)
 	return LogicalRecord{
-		Time:   *prev,
-		Item:   ItemID(item),
-		Offset: int64(off),
-		Size:   int32(size),
-		Op:     Op(op),
+		Time:   t,
+		Item:   ItemID(raw.item),
+		Offset: int64(raw.off),
+		Size:   int32(raw.size),
+		Op:     Op(raw.op),
 	}, nil
 }
 
@@ -149,64 +152,75 @@ func WriteCSV(w io.Writer, recs []LogicalRecord) error {
 	return bw.Flush()
 }
 
-// ReadCSV decodes a trace written by WriteCSV.
+// ReadCSV decodes a trace written by WriteCSV. Records must be in time
+// order; an unsorted line returns a typed *OrderError at decode time.
 func ReadCSV(r io.Reader) ([]LogicalRecord, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	cr := NewCSVReader(r)
 	var recs []LogicalRecord
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if line == 1 && strings.HasPrefix(text, "time_ns") {
-			continue
+	for {
+		rec, err := cr.Next()
+		if err == io.EOF {
+			return recs, nil
 		}
-		if text == "" {
-			continue
-		}
-		rec, err := parseCSVLine(text, line)
 		if err != nil {
 			return nil, err
 		}
 		recs = append(recs, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return recs, nil
 }
 
 // parseCSVLine decodes one non-empty "time_ns,item,offset,size,op" data
-// line. line is the 1-based line number, used in error messages.
+// line. line is the 1-based line number, used in error messages. The
+// streaming readers bypass it and hand their scanner's byte slice
+// straight to parseCSVFields, which never allocates on success.
 func parseCSVLine(text string, line int) (LogicalRecord, error) {
-	fields := strings.Split(text, ",")
-	if len(fields) != 5 {
-		return LogicalRecord{}, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(fields))
+	return parseCSVFields([]byte(text), line)
+}
+
+// parseCSVFields decodes one non-empty data line from its raw bytes
+// without allocating: fields are split in place and the integers parsed
+// with parseIntBytes. Error paths fall back to allocating formatting.
+func parseCSVFields(b []byte, line int) (LogicalRecord, error) {
+	var fields [5][]byte
+	n := 0
+	start := 0
+	for i := 0; i <= len(b); i++ {
+		if i == len(b) || b[i] == ',' {
+			if n == 5 {
+				return LogicalRecord{}, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, countFields(b))
+			}
+			fields[n] = b[start:i]
+			n++
+			start = i + 1
+		}
 	}
-	t, err := strconv.ParseInt(fields[0], 10, 64)
+	if n != 5 {
+		return LogicalRecord{}, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, n)
+	}
+	t, err := parseIntBytes(fields[0], math.MaxInt64)
 	if err != nil {
 		return LogicalRecord{}, fmt.Errorf("trace: line %d time: %w", line, err)
 	}
-	item, err := strconv.ParseInt(fields[1], 10, 32)
+	item, err := parseIntBytes(fields[1], math.MaxInt32)
 	if err != nil {
 		return LogicalRecord{}, fmt.Errorf("trace: line %d item: %w", line, err)
 	}
-	off, err := strconv.ParseInt(fields[2], 10, 64)
+	off, err := parseIntBytes(fields[2], math.MaxInt64)
 	if err != nil {
 		return LogicalRecord{}, fmt.Errorf("trace: line %d offset: %w", line, err)
 	}
-	size, err := strconv.ParseInt(fields[3], 10, 32)
+	size, err := parseIntBytes(fields[3], math.MaxInt32)
 	if err != nil {
 		return LogicalRecord{}, fmt.Errorf("trace: line %d size: %w", line, err)
 	}
 	var op Op
-	switch fields[4] {
-	case "R":
+	switch {
+	case len(fields[4]) == 1 && fields[4][0] == 'R':
 		op = OpRead
-	case "W":
+	case len(fields[4]) == 1 && fields[4][0] == 'W':
 		op = OpWrite
 	default:
-		return LogicalRecord{}, fmt.Errorf("trace: line %d: invalid op %q", line, fields[4])
+		return LogicalRecord{}, fmt.Errorf("trace: line %d: invalid op %q", line, string(fields[4]))
 	}
 	return LogicalRecord{
 		Time:   time.Duration(t),
@@ -215,6 +229,62 @@ func parseCSVLine(text string, line int) (LogicalRecord, error) {
 		Size:   int32(size),
 		Op:     op,
 	}, nil
+}
+
+// countFields counts comma-separated fields for the too-many-fields
+// error message (matching what strings.Split would have reported).
+func countFields(b []byte) int {
+	n := 1
+	for _, c := range b {
+		if c == ',' {
+			n++
+		}
+	}
+	return n
+}
+
+// parseIntBytes parses a signed decimal integer bounded by max without
+// allocating on the success path. It accepts what
+// strconv.ParseInt(s, 10, bits) accepts for the codec's field widths
+// and returns strconv-shaped errors so the messages stay stable.
+func parseIntBytes(b []byte, max int64) (int64, error) {
+	fail := func(err error) (int64, error) {
+		return 0, &strconv.NumError{Func: "ParseInt", Num: string(b), Err: err}
+	}
+	if len(b) == 0 {
+		return fail(strconv.ErrSyntax)
+	}
+	neg := false
+	i := 0
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		i++
+		if len(b) == 1 {
+			return fail(strconv.ErrSyntax)
+		}
+	}
+	var v uint64
+	limit := uint64(max)
+	if neg {
+		limit++
+	}
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return fail(strconv.ErrSyntax)
+		}
+		if v > limit/10 {
+			return fail(strconv.ErrRange)
+		}
+		v = v*10 + uint64(c-'0')
+		if v > limit {
+			return fail(strconv.ErrRange)
+		}
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
 }
 
 // WriteCatalog encodes a catalog as "id,size,name" lines.

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"time"
 )
 
@@ -67,7 +68,9 @@ func (w *NDJSONWriter) Count() int64 { return w.count }
 func (w *NDJSONWriter) Close() error { return w.bw.Flush() }
 
 // NDJSONReader decodes logical records from newline-delimited JSON.
-// Blank lines are skipped. Records must be in time order.
+// Blank lines are skipped. Records must be in time order. After any
+// error (including io.EOF) the reader is sticky: further Next calls
+// return the same error and Count stops advancing.
 type NDJSONReader struct {
 	sc    *bufio.Scanner
 	prev  time.Duration
@@ -96,10 +99,19 @@ func (r *NDJSONReader) Next() (LogicalRecord, error) {
 		if len(trimSpace(line)) == 0 {
 			continue
 		}
-		var rec ndjsonRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			r.err = fmt.Errorf("trace: ndjson line %d: %w", r.line, err)
-			return LogicalRecord{}, r.err
+		rec, ok := parseNDJSONLine(line)
+		if !ok {
+			// Anything the fast path does not recognize (escapes, floats,
+			// unknown keys, reordered whitespace) goes through the full
+			// JSON decoder, so the accepted language is unchanged. The
+			// decoder works on its own variable so rec's address is never
+			// taken and the fast path stays allocation-free.
+			var slow ndjsonRecord
+			if err := json.Unmarshal(line, &slow); err != nil {
+				r.err = fmt.Errorf("trace: ndjson line %d: %w", r.line, err)
+				return LogicalRecord{}, r.err
+			}
+			rec = slow
 		}
 		out, err := rec.toLogical()
 		if err != nil {
@@ -107,7 +119,10 @@ func (r *NDJSONReader) Next() (LogicalRecord, error) {
 			return LogicalRecord{}, r.err
 		}
 		if out.Time < r.prev {
-			r.err = fmt.Errorf("trace: ndjson line %d: records out of order (%v after %v)", r.line, out.Time, r.prev)
+			r.err = &OrderError{
+				Format: "ndjson", Record: r.count, Line: r.line, Offset: -1,
+				Prev: r.prev, Got: out.Time,
+			}
 			return LogicalRecord{}, r.err
 		}
 		r.prev = out.Time
@@ -115,8 +130,8 @@ func (r *NDJSONReader) Next() (LogicalRecord, error) {
 		return out, nil
 	}
 	if err := r.sc.Err(); err != nil {
-		r.err = err
-		return LogicalRecord{}, err
+		r.err = fmt.Errorf("trace: ndjson line %d: %w", r.line+1, err)
+		return LogicalRecord{}, r.err
 	}
 	r.err = io.EOF
 	return LogicalRecord{}, io.EOF
@@ -155,6 +170,146 @@ func (rec ndjsonRecord) toLogical() (LogicalRecord, error) {
 
 // maxItemID is the largest ItemID (int32) value.
 const maxItemID = int32(1<<31 - 1)
+
+// parseNDJSONLine decodes the flat integer-and-"R"/"W" object language
+// that NDJSONWriter emits, without allocating. It tolerates any key
+// order and ASCII space/tab padding but nothing fancier — escapes,
+// floats, exponents, nested values, or unknown keys return ok=false and
+// the caller falls back to encoding/json. A malformed line also returns
+// ok=false so the fallback produces the canonical error message.
+func parseNDJSONLine(b []byte) (rec ndjsonRecord, ok bool) {
+	i := 0
+	skip := func() {
+		for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+			i++
+		}
+	}
+	skip()
+	if i >= len(b) || b[i] != '{' {
+		return rec, false
+	}
+	i++
+	// seen guards against duplicate keys, which encoding/json resolves
+	// last-wins; rather than replicate that, bail to the fallback.
+	var seen [5]bool
+	for field := 0; ; field++ {
+		skip()
+		if i < len(b) && b[i] == '}' && field == 0 {
+			i++
+			break
+		}
+		if field > 0 {
+			if i >= len(b) || b[i] != ',' {
+				if i < len(b) && b[i] == '}' {
+					i++
+					break
+				}
+				return rec, false
+			}
+			i++
+			skip()
+		}
+		// Key.
+		if i >= len(b) || b[i] != '"' {
+			return rec, false
+		}
+		i++
+		keyStart := i
+		for i < len(b) && b[i] != '"' {
+			if b[i] == '\\' {
+				return rec, false
+			}
+			i++
+		}
+		if i >= len(b) {
+			return rec, false
+		}
+		key := b[keyStart:i]
+		i++
+		skip()
+		if i >= len(b) || b[i] != ':' {
+			return rec, false
+		}
+		i++
+		skip()
+		var idx int
+		switch string(key) {
+		case "t_ns":
+			idx = 0
+		case "item":
+			idx = 1
+		case "off":
+			idx = 2
+		case "size":
+			idx = 3
+		case "op":
+			idx = 4
+		default:
+			return rec, false
+		}
+		if seen[idx] {
+			return rec, false
+		}
+		seen[idx] = true
+		if idx == 4 {
+			// String value: exactly "R" or "W".
+			if i+2 >= len(b) || b[i] != '"' || b[i+2] != '"' {
+				return rec, false
+			}
+			switch b[i+1] {
+			case 'R':
+				rec.Op = "R"
+			case 'W':
+				rec.Op = "W"
+			default:
+				return rec, false
+			}
+			i += 3
+			continue
+		}
+		// Integer value.
+		numStart := i
+		if i < len(b) && b[i] == '-' {
+			i++
+		}
+		digStart := i
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+		if i < len(b) && (b[i] == '.' || b[i] == 'e' || b[i] == 'E') {
+			return rec, false
+		}
+		if i-digStart > 1 && b[digStart] == '0' {
+			// JSON forbids leading zeros; let the fallback reject them.
+			return rec, false
+		}
+		max := int64(math.MaxInt64)
+		if idx == 3 {
+			max = int64(math.MaxInt32)
+		}
+		v, err := parseIntBytes(b[numStart:i], max)
+		if err != nil {
+			return rec, false
+		}
+		switch idx {
+		case 0:
+			rec.TimeNS = v
+		case 1:
+			rec.Item = v
+		case 2:
+			rec.Offset = v
+		case 3:
+			rec.Size = int32(v)
+		}
+	}
+	skip()
+	if i != len(b) {
+		return rec, false
+	}
+	// encoding/json leaves absent fields at their zero value; require the
+	// fields toLogical validates so the fallback handles partial objects.
+	return rec, seen[0] && seen[3] && seen[4]
+}
 
 // trimSpace is a tiny allocation-free space trim for line emptiness
 // checks.

@@ -14,7 +14,6 @@ import (
 	"io"
 	"iter"
 	"os"
-	"strings"
 	"time"
 )
 
@@ -345,11 +344,12 @@ func NewFileSource(r io.Reader) (*FileSource, error) {
 		}
 		var prev time.Duration
 		var i uint64
+		off := int64(len(binaryMagic) + len(hdr))
 		fs.next = func() (LogicalRecord, error) {
 			if i >= n {
 				return LogicalRecord{}, io.EOF
 			}
-			rec, err := readBinaryRecord(br, &prev, i)
+			rec, err := readBinaryRecord(br, &prev, i, &off)
 			if err != nil {
 				return LogicalRecord{}, err
 			}
@@ -359,24 +359,14 @@ func NewFileSource(r io.Reader) (*FileSource, error) {
 	case string(head) == streamMagic:
 		sr := NewStreamReader(br)
 		fs.next = sr.Next
+	case len(head) > 0 && head[0] == '{':
+		// Self-describing NDJSON: the only text format whose lines start
+		// with an object brace.
+		nr := NewNDJSONReader(br)
+		fs.next = nr.Next
 	default:
-		sc := bufio.NewScanner(br)
-		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-		line := 0
-		fs.next = func() (LogicalRecord, error) {
-			for sc.Scan() {
-				line++
-				text := strings.TrimSpace(sc.Text())
-				if text == "" || (line == 1 && strings.HasPrefix(text, "time_ns")) {
-					continue
-				}
-				return parseCSVLine(text, line)
-			}
-			if err := sc.Err(); err != nil {
-				return LogicalRecord{}, err
-			}
-			return LogicalRecord{}, io.EOF
-		}
+		cr := NewCSVReader(br)
+		fs.next = cr.Next
 	}
 	return fs, nil
 }

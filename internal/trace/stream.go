@@ -73,10 +73,13 @@ func (w *StreamWriter) Close() error {
 	return w.bw.Flush()
 }
 
-// StreamReader decodes logical records incrementally.
+// StreamReader decodes logical records incrementally. After any error
+// (including io.EOF) the reader is sticky: further Next calls return
+// the same error and Count stops advancing.
 type StreamReader struct {
 	br    *bufio.Reader
 	prev  time.Duration
+	off   int64
 	count int64
 	err   error
 	begun bool
@@ -104,44 +107,52 @@ func (r *StreamReader) Next() (LogicalRecord, error) {
 			r.err = errors.New("trace: not an ESM stream trace")
 			return LogicalRecord{}, r.err
 		}
+		r.off = int64(len(streamMagic))
 	}
-	dt, err := binary.ReadUvarint(r.br)
-	if err == io.EOF {
+	// A clean stream ends exactly between records; probe one byte so EOF
+	// there is not a truncation error.
+	if _, err := r.br.Peek(1); err == io.EOF {
 		r.err = io.EOF
 		return LogicalRecord{}, io.EOF
 	}
-	if err != nil {
-		r.err = fmt.Errorf("trace: stream record %d time: %w", r.count, err)
-		return LogicalRecord{}, r.err
-	}
-	var vals [3]uint64
-	for i := range vals {
-		v, err := binary.ReadUvarint(r.br)
-		if err != nil {
-			r.err = fmt.Errorf("trace: stream record %d field %d: %w", r.count, i+1, err)
-			return LogicalRecord{}, r.err
+	raw, n, err := readVarintRecord(r.br, func(field int, err error) error {
+		if field == 0 && err == io.EOF {
+			// Truncation exactly at a record boundary: clean end of stream.
+			return io.EOF
 		}
-		vals[i] = v
-	}
-	op, err := r.br.ReadByte()
+		return fmt.Errorf("trace: stream record %d %s: %w", r.count, streamFieldNames[field], err)
+	})
 	if err != nil {
-		r.err = fmt.Errorf("trace: stream record %d op: %w", r.count, err)
+		r.err = err
 		return LogicalRecord{}, r.err
 	}
-	if op > uint8(OpWrite) {
-		r.err = fmt.Errorf("trace: stream record %d has invalid op %d", r.count, op)
+	if raw.op > uint8(OpWrite) {
+		r.err = fmt.Errorf("trace: stream record %d has invalid op %d", r.count, raw.op)
 		return LogicalRecord{}, r.err
 	}
-	r.prev += time.Duration(dt)
+	t, ok := addDelta(r.prev, raw.dt)
+	if !ok {
+		r.err = &OrderError{
+			Format: "stream", Record: r.count, Offset: r.off,
+			Prev: r.prev, Got: r.prev + time.Duration(raw.dt),
+		}
+		return LogicalRecord{}, r.err
+	}
+	r.prev = t
+	r.off += int64(n)
 	r.count++
 	return LogicalRecord{
-		Time:   r.prev,
-		Item:   ItemID(vals[0]),
-		Offset: int64(vals[1]),
-		Size:   int32(vals[2]),
-		Op:     Op(op),
+		Time:   t,
+		Item:   ItemID(raw.item),
+		Offset: int64(raw.off),
+		Size:   int32(raw.size),
+		Op:     Op(raw.op),
 	}, nil
 }
+
+// streamFieldNames maps readVarintRecord's field indices to the stream
+// format's error vocabulary.
+var streamFieldNames = [...]string{"time", "field 1", "field 2", "field 3", "op"}
 
 // Count returns how many records have been decoded so far.
 func (r *StreamReader) Count() int64 { return r.count }
