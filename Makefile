@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json trace-smoke bench-smoke shard-smoke cloudblock-smoke fleet-smoke clean
+.PHONY: all build vet test race check bench bench-json trace-smoke bench-smoke shard-smoke cloudblock-smoke fleet-smoke alert-smoke clean
 
 all: build
 
@@ -121,6 +121,13 @@ cloudblock-smoke:
 # exits 1 on violation).
 fleet-smoke:
 	sh scripts/fleet-smoke.sh
+
+# alert-smoke gates the SLO watchdog end to end: esmd with a
+# deliberately tight energy budget must leave `esmstat alerts <url>`
+# exiting 1 once the rule fires; a budget far above the workload's
+# total energy must leave it exiting 0 with the rule still evaluated.
+alert-smoke:
+	sh scripts/alert-smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -288,19 +288,20 @@ func BenchmarkTableIIParameters(b *testing.B) {
 }
 
 // BenchmarkTelemetryOverhead measures the cost of the obs layer on the
-// replay hot path. "off" replays with a nil recorder, tracer and flight
-// recorder — every instrumented call site must reduce to one nil check
-// — while "sink" adds a JSONL event sink and registry, "trace" a live
-// per-I/O span tracer (histograms and energy ledger, no span sink),
-// and "series" a flight recorder sampling the whole system on the
-// power grid. Compare the ns/op figures: the off case must not regress
+// replay hot path. "off" replays with a nil recorder, tracer, flight
+// recorder and watchdog — every instrumented call site must reduce to
+// one nil check — while "sink" adds a JSONL event sink and registry,
+// "trace" a live per-I/O span tracer (histograms and energy ledger, no
+// span sink), "series" a flight recorder sampling the whole system on
+// the power grid, and "alerts" a watchdog evaluating three rules on
+// that grid. Compare the ns/op figures: the off case must not regress
 // against a pre-telemetry baseline.
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	w, err := experiments.Build(experiments.FileServer, 0.1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	replayOnce := func(b *testing.B, rec *obs.Recorder, trc *obs.Tracer, fr *obs.FlightRecorder) {
+	replayOnce := func(b *testing.B, rec *obs.Recorder, trc *obs.Tracer, fr *obs.FlightRecorder, wd *obs.Watchdog) {
 		b.Helper()
 		esm, err := core.NewESM(core.DefaultParams())
 		if err != nil {
@@ -317,6 +318,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			Recorder:   rec,
 			Tracer:     trc,
 			Series:     fr,
+			Alerts:     wd,
 		}
 		if _, err := replay.Execute(run); err != nil {
 			b.Fatal(err)
@@ -324,7 +326,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			replayOnce(b, nil, nil, nil)
+			replayOnce(b, nil, nil, nil, nil)
 		}
 	})
 	b.Run("sink", func(b *testing.B) {
@@ -333,7 +335,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				Sink:     obs.NewJSONLSink(io.Discard),
 				Registry: obs.NewRegistry(),
 			})
-			replayOnce(b, rec, nil, nil)
+			replayOnce(b, rec, nil, nil, nil)
 			if err := rec.Close(); err != nil {
 				b.Fatal(err)
 			}
@@ -342,7 +344,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("trace", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			trc := obs.NewTracer(obs.TracerOptions{Enclosures: experiments.StorageFor(w).Enclosures})
-			replayOnce(b, nil, trc, nil)
+			replayOnce(b, nil, trc, nil, nil)
 			if err := trc.Close(); err != nil {
 				b.Fatal(err)
 			}
@@ -350,7 +352,20 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 	b.Run("series", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			replayOnce(b, nil, nil, obs.NewFlightRecorder(obs.FlightOptions{}))
+			replayOnce(b, nil, nil, obs.NewFlightRecorder(obs.FlightOptions{}), nil)
+		}
+	})
+	b.Run("alerts", func(b *testing.B) {
+		rules, err := obs.ParseRules([]string{
+			"budget:total_energy_j>1e6:for=5m",
+			"burn:rate(total_energy_j)>50",
+			"resp:resp_p95_us>2e5",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			replayOnce(b, nil, nil, nil, obs.NewWatchdog(obs.WatchdogOptions{Rules: rules}))
 		}
 	})
 }

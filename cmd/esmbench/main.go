@@ -56,7 +56,23 @@ func main() {
 	shards := flag.Int("shards", 0, "per-replay shard count for the sharded engine (0 or 1 = serial; results are byte-identical)")
 	jsonPath := flag.String("json", "", "also write per-figure results as JSON to this file")
 	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m (see README)")
+	alertSpec := flag.String("alerts", "", "comma-separated watchdog rules evaluated per replay on the flight sampling grid, e.g. budget:total_energy_j>1.5e6:for=30s (see DESIGN.md §16)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("esmbench"))
+		return
+	}
+
+	var alertRules []obs.Rule
+	if *alertSpec != "" {
+		rules, err := obs.ParseRuleList(*alertSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esmbench: -alerts:", err)
+			os.Exit(1)
+		}
+		alertRules = rules
+	}
 
 	var fc *faults.Config
 	if *faultSpec != "" {
@@ -81,7 +97,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scale, *kind, *fig, *extended, *events, *tracePath, *seriesDir, *jsonPath, fc); err != nil {
+	if err := run(*scale, *kind, *fig, *extended, *events, *tracePath, *seriesDir, *jsonPath, fc, alertRules); err != nil {
 		fmt.Fprintln(os.Stderr, "esmbench:", err)
 		os.Exit(1)
 	}
@@ -167,7 +183,7 @@ func runSweeps(scale float64, kindFlag string) error {
 	return nil
 }
 
-func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tracePath, seriesDir, jsonPath string, fc *faults.Config) error {
+func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tracePath, seriesDir, jsonPath string, fc *faults.Config, alertRules []obs.Rule) error {
 	if seriesDir != "" {
 		if err := os.MkdirAll(seriesDir, 0o755); err != nil {
 			return err
@@ -299,8 +315,22 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tra
 				return obs.NewFlightRecorder(obs.FlightOptions{})
 			}
 		}
+		// With -alerts, each replay gets its own watchdog over the shared
+		// rule set; alert transitions land in the -events stream via the
+		// run's recorder, and the summary in the run manifest.
+		var alertsFor func(policy string, rec *obs.Recorder) *obs.Watchdog
+		if len(alertRules) > 0 {
+			name := w.Name
+			alertsFor = func(policy string, rec *obs.Recorder) *obs.Watchdog {
+				return obs.NewWatchdog(obs.WatchdogOptions{
+					Rules:    alertRules,
+					Recorder: rec,
+					Instance: name + "/" + policy,
+				})
+			}
+		}
 		ev, err := experiments.EvaluateOpts(w, pols, experiments.Observers{
-			Recorder: recFor, Tracer: trcFor, Flight: flightFor, Faults: fc,
+			Recorder: recFor, Tracer: trcFor, Flight: flightFor, Alerts: alertsFor, Faults: fc,
 		})
 		for _, t := range tracers {
 			if cerr := t.Close(); cerr != nil && err == nil {
@@ -312,6 +342,9 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tra
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("   (replayed %d policies in %v)\n", len(pols), elapsed.Round(time.Millisecond))
+		if len(alertRules) > 0 {
+			printAlerts(ev)
+		}
 		if seriesDir != "" {
 			if err := writeSeriesAndManifests(seriesDir, ks, fc, ev); err != nil {
 				return err
@@ -394,6 +427,20 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tra
 		fmt.Printf("\nwrote %d figure results to %s\n", len(report.Figures), jsonPath)
 	}
 	return nil
+}
+
+// printAlerts summarizes every replay's end-of-run watchdog state.
+func printAlerts(ev *experiments.Eval) {
+	fmt.Println("   alerts:")
+	for i, f := range ev.Policies {
+		res := ev.Results[i]
+		fmt.Printf("     %-8s firing %d, fired %d, transitions %d\n",
+			f.Name, res.Alerts.Firing, res.Alerts.Fired, res.Alerts.Transitions)
+		for _, st := range res.AlertStates {
+			fmt.Printf("       %-40s %-8s value %g, threshold %g, fired %d\n",
+				st.Spec, st.State, st.Value, st.Threshold, st.Fired)
+		}
+	}
 }
 
 func maybe(fig, want int, f func()) {

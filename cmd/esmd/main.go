@@ -45,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,7 +69,13 @@ func main() {
 	seriesInterval := flag.Duration("series-interval", 30*time.Second, "flight-recorder sampling interval (simulated time)")
 	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m")
 	shards := flag.Int("shards", 0, "shard count for the sharded deterministic engine (0 or 1 = serial; ignored with -faults)")
+	alertSpec := flag.String("alerts", "", "comma-separated watchdog rules for the single array, e.g. budget:total_energy_j>1.5e6:for=30s (fleet mode: declare rules in the fleet file)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("esmd"))
+		return
+	}
 
 	opts := daemonOpts{
 		fleetPath:     *fleetPath,
@@ -85,6 +92,7 @@ func main() {
 		seriesEvery:   *seriesInterval,
 		faults:        *faultSpec,
 		shards:        *shards,
+		alerts:        *alertSpec,
 	}
 	if opts.fleetPath == "" && (opts.catalogPath == "" || opts.placementPath == "") {
 		fmt.Fprintln(os.Stderr, "esmd: -catalog and -placement are required (or -fleet)")
@@ -111,6 +119,7 @@ type daemonOpts struct {
 	seriesEvery   time.Duration
 	faults        string
 	shards        int
+	alerts        string
 }
 
 func run(opts daemonOpts, in io.Reader, out io.Writer) error {
@@ -134,6 +143,10 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 	if opts.name == "" {
 		opts.name = "esm"
 	}
+	var alerts []string
+	if opts.alerts != "" {
+		alerts = strings.Split(opts.alerts, ",")
+	}
 	spec, err := fleet.LoadArraySpec(config.FleetArrayConfig{
 		Name:      opts.name,
 		Catalog:   opts.catalogPath,
@@ -141,6 +154,7 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 		Config:    opts.configPath,
 		Faults:    opts.faults,
 		Shards:    opts.shards,
+		Alerts:    alerts,
 	})
 	if err != nil {
 		return nil, err
@@ -210,13 +224,21 @@ func runSingle(opts daemonOpts, in io.Reader, out io.Writer) error {
 		}
 		defer ln.Close()
 		go http.Serve(ln, d.handler())
-		fmt.Fprintf(out, "serving /metrics /status /series /fleet /arrays/ /debug/pprof on %v\n", ln.Addr())
+		fmt.Fprintf(out, "serving /metrics /status /series /alerts /healthz /fleet /arrays/ /debug/pprof on %v\n", ln.Addr())
 	}
 
 	if err := d.processStream(in); err != nil {
 		return err
 	}
 	d.arr.Report(out)
+	if states := d.arr.Alerts(); len(states) > 0 {
+		sum := d.arr.AlertSummary()
+		fmt.Fprintf(out, "alerts: %d firing, %d fired, %d transitions\n", sum.Firing, sum.Fired, sum.Transitions)
+		for _, st := range states {
+			fmt.Fprintf(out, "  %-40s %-8s value %g, threshold %g, fired %d\n",
+				st.Spec, st.State, st.Value, st.Threshold, st.Fired)
+		}
+	}
 	if opts.seriesPath != "" {
 		if s := d.arr.Series(); s != nil {
 			f, err := os.Create(opts.seriesPath)
@@ -245,6 +267,9 @@ func runSingle(opts daemonOpts, in io.Reader, out io.Writer) error {
 // runFleet boots the multi-array control plane and serves it until
 // interrupted; on SIGINT/SIGTERM every array is finalized and reported.
 func runFleet(opts daemonOpts, out io.Writer) error {
+	if opts.alerts != "" {
+		return fmt.Errorf("fleet mode: declare alert rules in the fleet file (top-level \"alerts\" for fleet_* budgets, per-array \"alerts\" otherwise), not -alerts")
+	}
 	file, err := config.LoadFleet(opts.fleetPath)
 	if err != nil {
 		return err
@@ -280,6 +305,10 @@ func runFleet(opts daemonOpts, out io.Writer) error {
 	}
 	for _, name := range names {
 		fl.Array(name).Report(out)
+	}
+	if rep := fl.Alerts(); rep.Summary.Rules > 0 {
+		fmt.Fprintf(out, "alerts: %d rules, %d firing, %d fired, %d transitions\n",
+			rep.Summary.Rules, rep.Summary.Firing, rep.Summary.Fired, rep.Summary.Transitions)
 	}
 	return fl.Close()
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"esm/internal/experiments"
 )
@@ -24,11 +25,12 @@ func runDiff(args []string) (bool, error) {
 	resp := fs.Float64("resp", def.Resp, "relative threshold on resp_mean_us and resp_p95_us")
 	spinups := fs.Float64("spinups", def.SpinUps, "relative threshold on spin_ups")
 	migrations := fs.Float64("migrations", def.Migrations, "relative threshold on migrations and migrated_bytes")
+	alerts := fs.Float64("alerts", def.Alerts, "allowed absolute increase in alerts_firing and alerts_fired (0 = any new firing alert regresses)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
 	if fs.NArg() != 2 {
-		return false, fmt.Errorf("usage: esmstat diff [-energy F] [-resp F] [-spinups F] [-migrations F] <baseline.json> <new.json>")
+		return false, fmt.Errorf("usage: esmstat diff [-energy F] [-resp F] [-spinups F] [-migrations F] [-alerts N] <baseline.json> <new.json>")
 	}
 	a, err := experiments.ReadManifest(fs.Arg(0))
 	if err != nil {
@@ -39,7 +41,7 @@ func runDiff(args []string) (bool, error) {
 		return false, err
 	}
 	d := experiments.DiffManifests(a, b, experiments.DiffThresholds{
-		Energy: *energy, Resp: *resp, SpinUps: *spinups, Migrations: *migrations,
+		Energy: *energy, Resp: *resp, SpinUps: *spinups, Migrations: *migrations, Alerts: *alerts,
 	})
 	renderDiff(os.Stdout, a, b, d)
 	return d.Regressed(), nil
@@ -64,8 +66,13 @@ func renderDiff(out io.Writer, a, b experiments.Manifest, d *experiments.Diff) {
 			mark = "  REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(out, "  %-16s %14.6g %14.6g %9s %5.0f%%%s\n",
-			r.Signal, r.Old, r.New, delta, r.Threshold*100, mark)
+		// Alert rows gate on absolute count deltas, not percentages.
+		gate := fmt.Sprintf("%5.0f%%", r.Threshold*100)
+		if strings.HasPrefix(r.Signal, "alerts_") {
+			gate = fmt.Sprintf("   +%g", r.Threshold)
+		}
+		fmt.Fprintf(out, "  %-16s %14.6g %14.6g %9s %s%s\n",
+			r.Signal, r.Old, r.New, delta, gate, mark)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(out, "REGRESSION: %d signal(s) over threshold\n", regressions)

@@ -37,6 +37,7 @@ var coveredEventKinds = map[obs.EventType]bool{
 	obs.EvPeriodAdapt:        true,
 	obs.EvFault:              true,
 	obs.EvDegrade:            true,
+	obs.EvAlert:              true,
 }
 
 func runEvents(out io.Writer, path, runLabel string, since, until time.Duration) error {
@@ -155,6 +156,11 @@ func renderRun(out io.Writer, run string, events []obs.Event) {
 				fmt.Fprintf(out, "  [%8v] degraded mode left: %d faults in window\n",
 					time.Duration(ev.T).Round(time.Second), d.Faults)
 			}
+		case obs.EvAlert:
+			a := ev.Alert
+			fmt.Fprintf(out, "  [%8v] alert %s: %s -> %s (%s=%g, threshold %g)\n",
+				time.Duration(ev.T).Round(time.Second), a.Rule, a.Prev, a.State,
+				a.Signal, a.Value, a.Threshold)
 		}
 	}
 

@@ -55,6 +55,10 @@ func TestRenderRunShowsEveryRenderedKind(t *testing.T) {
 		{T: 12e9, Type: obs.EvPeriodAdapt, Period: &obs.PeriodEvent{OldNS: 60e9, NewNS: 120e9}},
 		{T: 13e9, Type: obs.EvFault, Fault: &obs.FaultEvent{Kind: "spinup", Enclosure: 1, Attempt: 1}},
 		{T: 14e9, Type: obs.EvDegrade, Degrade: &obs.DegradeEvent{Entered: true, Faults: 5, WindowNS: 300e9}},
+		{T: 15e9, Type: obs.EvAlert, Alert: &obs.AlertEvent{
+			Rule: "budget", State: "firing", Prev: "pending",
+			Signal: "total_energy_j", Value: 2e6, Threshold: 1.5e6, SinceNS: 10e9,
+		}},
 	}
 	// The fixture must exercise the full vocabulary, or the coverage
 	// claim below is hollow.
@@ -72,16 +76,17 @@ func TestRenderRunShowsEveryRenderedKind(t *testing.T) {
 	renderRun(&sb, "test", events)
 	out := sb.String()
 	for want, why := range map[string]string{
-		"#1":                    "determination line",
-		"1 done (1.00 GB)":      "migration aggregate",
-		"1 skipped, 1 failed":   "migration skip/fail aggregate",
-		"preload=2":             "cache selection aggregate",
-		"app-io=1":              "spin-up cause aggregate",
-		"power-offs: 1":         "power-off aggregate",
-		"trigger i)":            "replan trigger line",
-		"period 1m0s -> 2m0s":   "period adaptation line",
-		"spinup=1":              "fault aggregate",
-		"degraded mode entered": "degrade chronicle line",
+		"#1":                              "determination line",
+		"1 done (1.00 GB)":                "migration aggregate",
+		"1 skipped, 1 failed":             "migration skip/fail aggregate",
+		"preload=2":                       "cache selection aggregate",
+		"app-io=1":                        "spin-up cause aggregate",
+		"power-offs: 1":                   "power-off aggregate",
+		"trigger i)":                      "replan trigger line",
+		"period 1m0s -> 2m0s":             "period adaptation line",
+		"spinup=1":                        "fault aggregate",
+		"degraded mode entered":           "degrade chronicle line",
+		"alert budget: pending -> firing": "alert transition line",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %s (%q):\n%s", why, want, out)

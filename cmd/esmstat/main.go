@@ -22,6 +22,11 @@
 // carbon roll-up, exiting 1 if the fleet joules fail to conserve the
 // summed per-array meters to the tolerance.
 //
+// The alerts subcommand renders watchdog alert state — live from a
+// control plane's /alerts endpoint or reconstructed from the alert
+// transition events of a saved -events log — and exits 1 when any rule
+// is firing at the end: the CI gate for energy/SLO budget rules.
+//
 // Usage:
 //
 //	esmstat -trace fs.trace -catalog fs.items [-break-even 52s] [-top 5]
@@ -29,8 +34,10 @@
 //	esmstat latency run.trace.json
 //	esmstat attrib [-top 3] run.trace.json
 //	esmstat series [-since 10m] [-until 1h] [-csv] fileserver-esm.series.csv
-//	esmstat diff [-energy 0.05] [-resp 0.1] baseline.json new.json
+//	esmstat diff [-energy 0.05] [-resp 0.1] [-alerts 0] baseline.json new.json
 //	esmstat fleet [-tol 1e-9] http://localhost:9090
+//	esmstat alerts http://localhost:9090
+//	esmstat alerts [-run fileserver/esm] events.jsonl
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 
 	"esm/internal/core"
 	"esm/internal/monitor"
+	"esm/internal/obs"
 	"esm/internal/trace"
 )
 
@@ -80,6 +88,16 @@ func main() {
 				os.Exit(1)
 			}
 			return
+		case "alerts":
+			firing, err := runAlerts(os.Stdout, os.Args[2:])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "esmstat:", err)
+				os.Exit(2)
+			}
+			if firing {
+				os.Exit(1)
+			}
+			return
 		}
 	}
 	tracePath := flag.String("trace", "", "binary trace path")
@@ -89,7 +107,12 @@ func main() {
 	eventsPath := flag.String("events", "", "telemetry event log (JSONL) to render instead of a trace")
 	runLabel := flag.String("run", "", "with -events: only render the stream with this run label")
 	since, until := addWindowFlags(flag.CommandLine)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("esmstat"))
+		return
+	}
 
 	if *eventsPath != "" {
 		if err := runEvents(os.Stdout, *eventsPath, *runLabel, *since, *until); err != nil {

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"esm/internal/experiments"
+	"esm/internal/obs"
 	"esm/internal/trace"
 	"esm/internal/workload"
 )
@@ -38,7 +39,12 @@ func main() {
 	catalogPath := flag.String("catalog", "", "catalog output path (required)")
 	placementPath := flag.String("placement", "", "initial-placement output path (required)")
 	shardSkew := flag.Float64("shard-skew", 0, "Zipf exponent for enclosure-group placement skew: items land on enclosure g with probability proportional to (g+1)^-s (0 = keep the workload's own placement)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("tracegen"))
+		return
+	}
 
 	if *out == "" || *catalogPath == "" || *placementPath == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -out, -catalog and -placement are required")

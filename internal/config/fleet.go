@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"esm/internal/obs"
 )
 
 // FleetFile is the top-level fleet configuration document.
@@ -21,6 +23,11 @@ type FleetFile struct {
 	Listen string `json:"listen,omitempty"`
 	// Cost overrides the fleet roll-up's cost/carbon model constants.
 	Cost *CostConfig `json:"cost,omitempty"`
+	// Alerts declares fleet-wide budget rules over the /fleet roll-up
+	// totals, in the "name:condition[:for=DUR]" grammar of
+	// obs.ParseRule. Signals must be fleet_* roll-up totals
+	// (fleet_cost_usd, fleet_total_kgco2, fleet_metered_j, …).
+	Alerts []string `json:"alerts,omitempty"`
 	// Arrays declares the managed arrays. At least one is required.
 	Arrays []FleetArrayConfig `json:"arrays"`
 }
@@ -53,6 +60,11 @@ type FleetArrayConfig struct {
 	// SeriesInterval is the flight-recorder sampling interval on the
 	// simulated clock (default 30s).
 	SeriesInterval *Duration `json:"series_interval,omitempty"`
+	// Alerts declares this array's watchdog rules, evaluated on its
+	// flight-sampling grid. Signals are flight-recorder columns
+	// (total_energy_j, resp_p99_us, spin_ups, degraded, …); fleet_*
+	// signals belong in the top-level alerts list.
+	Alerts []string `json:"alerts,omitempty"`
 }
 
 // CostConfig overrides the fleet cost/carbon model. All fields are
@@ -103,6 +115,15 @@ func (f *FleetFile) Validate() error {
 	if len(f.Arrays) == 0 {
 		return fmt.Errorf("config: fleet declares no arrays")
 	}
+	fleetRules, err := obs.ParseRules(f.Alerts)
+	if err != nil {
+		return fmt.Errorf("config: fleet alerts: %w", err)
+	}
+	for _, r := range fleetRules {
+		if !r.FleetSignal() {
+			return fmt.Errorf("config: fleet alert %q: signal %q is per-array; move the rule into that array's alerts list", r.Name, r.Signal)
+		}
+	}
 	seen := make(map[string]bool, len(f.Arrays))
 	for i, a := range f.Arrays {
 		if err := ValidateArrayName(a.Name); err != nil {
@@ -117,6 +138,15 @@ func (f *FleetFile) Validate() error {
 		}
 		if a.Shards < 0 {
 			return fmt.Errorf("config: fleet array %q: shards must be >= 0, got %d", a.Name, a.Shards)
+		}
+		rules, err := obs.ParseRules(a.Alerts)
+		if err != nil {
+			return fmt.Errorf("config: fleet array %q: alerts: %w", a.Name, err)
+		}
+		for _, r := range rules {
+			if r.FleetSignal() {
+				return fmt.Errorf("config: fleet array %q: alert %q: fleet_* signals belong in the top-level alerts list", a.Name, r.Name)
+			}
 		}
 	}
 	return nil

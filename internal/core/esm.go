@@ -54,6 +54,7 @@ type ESM struct {
 	rec    *obs.Recorder
 	trc    *obs.Tracer
 	flight *obs.FlightRecorder
+	wd     *obs.Watchdog
 	wake   *simclock.Event
 }
 
@@ -81,6 +82,11 @@ func (d *ESM) SetTracer(trc *obs.Tracer) { d.trc = trc }
 // refreshes the recorder's P0–P3 item counts, so every flight sample
 // carries the current pattern distribution.
 func (d *ESM) SetFlightRecorder(fr *obs.FlightRecorder) { d.flight = fr }
+
+// SetWatchdog attaches an alert watchdog. Degraded-mode transitions
+// then evaluate "degraded" rules at the instant they happen, instead of
+// waiting for the next flight sample.
+func (d *ESM) SetWatchdog(wd *obs.Watchdog) { d.wd = wd }
 
 // Params returns the policy parameters.
 func (d *ESM) Params() Params { return d.params }
@@ -202,6 +208,7 @@ func (d *ESM) enterDegraded(now time.Duration) {
 		Faults:   len(d.faultTimes),
 		WindowNS: int64(d.params.FaultWindow),
 	})
+	d.wd.ObserveSignal(now, "degraded", 1)
 }
 
 // Degraded reports whether the policy is currently in degraded mode.
@@ -250,6 +257,7 @@ func (d *ESM) runManagement(now time.Duration, cause obs.Cause) {
 			Entered:  false,
 			WindowNS: int64(d.params.FaultWindow),
 		})
+		d.wd.ObserveSignal(now, "degraded", 0)
 	}
 
 	// Determine logical I/O patterns, hot and cold enclosures, and data

@@ -201,6 +201,12 @@ type Observers struct {
 	Tracer func(policy string) *obs.Tracer
 	// Flight supplies the whole-system flight recorder per policy.
 	Flight func(policy string) *obs.FlightRecorder
+	// Alerts supplies the watchdog per policy (evaluated on the flight
+	// sampling grid; the summary lands in Result.Alerts and the run
+	// manifest). rec is the run's recorder — the one Recorder returned
+	// for the same policy, or nil — so alert transitions can share the
+	// run's event stream.
+	Alerts func(policy string, rec *obs.Recorder) *obs.Watchdog
 	// Faults is the fault scenario injected into every run.
 	Faults *faults.Config
 }
@@ -237,6 +243,9 @@ func EvaluateOpts(w *workload.Workload, factories []PolicyFactory, o Observers) 
 		}
 		if o.Flight != nil {
 			run.Series = o.Flight(f.Name)
+		}
+		if o.Alerts != nil {
+			run.Alerts = o.Alerts(f.Name, run.Recorder)
 		}
 		for _, win := range w.Windows {
 			run.Windows = append(run.Windows, replay.Window{Name: win.Name, Start: win.Start, End: win.End})

@@ -35,6 +35,12 @@ type ManifestTotals struct {
 	CacheHits      int64   `json:"cache_hits"`
 	Records        int64   `json:"records"`
 	SpanNS         int64   `json:"span_ns"`
+	// Alert watchdog aggregates (all zero when the run had no -alerts
+	// rules; absent from pre-watchdog manifests, which decode as zero).
+	AlertRules       int   `json:"alert_rules,omitempty"`
+	AlertsFiring     int   `json:"alerts_firing,omitempty"`
+	AlertsFired      int64 `json:"alerts_fired,omitempty"`
+	AlertTransitions int64 `json:"alert_transitions,omitempty"`
 }
 
 // Manifest describes one replay run well enough to compare it against
@@ -67,18 +73,22 @@ func NewManifest(w *workload.Workload, policyName string, scale float64, fc *fau
 		ConfigHash: configHash(w, scale),
 		GoVersion:  runtime.Version(),
 		Totals: ManifestTotals{
-			EnergyJ:        res.EnergyJ,
-			AvgEnclosureW:  res.AvgEnclosureW,
-			AvgTotalW:      res.AvgTotalW,
-			RespMeanUs:     float64(res.Resp.Mean()) / float64(time.Microsecond),
-			RespP95Us:      float64(res.Resp.Percentile(0.95)) / float64(time.Microsecond),
-			SpinUps:        res.SpinUps,
-			Migrations:     res.Storage.Migrations,
-			MigratedBytes:  res.Storage.MigratedBytes,
-			Determinations: res.Determinations,
-			CacheHits:      res.Storage.CacheHits,
-			Records:        res.Resp.Count(),
-			SpanNS:         int64(res.Span),
+			EnergyJ:          res.EnergyJ,
+			AvgEnclosureW:    res.AvgEnclosureW,
+			AvgTotalW:        res.AvgTotalW,
+			RespMeanUs:       float64(res.Resp.Mean()) / float64(time.Microsecond),
+			RespP95Us:        float64(res.Resp.Percentile(0.95)) / float64(time.Microsecond),
+			SpinUps:          res.SpinUps,
+			Migrations:       res.Storage.Migrations,
+			MigratedBytes:    res.Storage.MigratedBytes,
+			Determinations:   res.Determinations,
+			CacheHits:        res.Storage.CacheHits,
+			Records:          res.Resp.Count(),
+			SpanNS:           int64(res.Span),
+			AlertRules:       res.Alerts.Rules,
+			AlertsFiring:     res.Alerts.Firing,
+			AlertsFired:      res.Alerts.Fired,
+			AlertTransitions: res.Alerts.Transitions,
 		},
 	}
 	if fc != nil {
@@ -136,12 +146,18 @@ type DiffThresholds struct {
 	SpinUps float64
 	// Migrations gates migrations and migrated_bytes.
 	Migrations float64
+	// Alerts gates alerts_firing and alerts_fired ABSOLUTELY: the run
+	// regresses when the new count exceeds the old by more than Alerts
+	// (so 0 means any newly firing alert fails, even against a zero
+	// baseline — unlike the relative signals, which never gate a zero
+	// baseline).
+	Alerts float64
 }
 
 // DefaultDiffThresholds returns the diff's defaults: 5% on energy, 10%
-// on response, spin-ups and migrations.
+// on response, spin-ups and migrations, zero extra firing alerts.
 func DefaultDiffThresholds() DiffThresholds {
-	return DiffThresholds{Energy: 0.05, Resp: 0.10, SpinUps: 0.10, Migrations: 0.10}
+	return DiffThresholds{Energy: 0.05, Resp: 0.10, SpinUps: 0.10, Migrations: 0.10, Alerts: 0}
 }
 
 // DiffRow is one signal's comparison.
@@ -207,5 +223,17 @@ func DiffManifests(a, b Manifest, th DiffThresholds) *Diff {
 	add("spin_ups", float64(ta.SpinUps), float64(tb.SpinUps), th.SpinUps)
 	add("migrations", float64(ta.Migrations), float64(tb.Migrations), th.Migrations)
 	add("migrated_bytes", float64(ta.MigratedBytes), float64(tb.MigratedBytes), th.Migrations)
+	// Alert counts gate absolutely: firing 0 -> N must fail, which the
+	// relative rule above (zero baselines never gate) cannot express.
+	abs := func(signal string, old, new, allowed float64) {
+		row := DiffRow{Signal: signal, Old: old, New: new, Threshold: allowed}
+		if old > 0 {
+			row.DeltaPct = (new/old - 1) * 100
+		}
+		row.Regressed = new > old+allowed
+		d.Rows = append(d.Rows, row)
+	}
+	abs("alerts_firing", float64(ta.AlertsFiring), float64(tb.AlertsFiring), th.Alerts)
+	abs("alerts_fired", float64(ta.AlertsFired), float64(tb.AlertsFired), th.Alerts)
 	return d
 }

@@ -76,6 +76,11 @@ type ArraySpec struct {
 	// StatusOut, when non-nil, gets a human-readable line per placement
 	// determination (single-array esmd's non-quiet mode).
 	StatusOut io.Writer
+	// Alerts is the array's watchdog rule set, evaluated on the flight
+	// sampling grid (and the policy's degrade bridge) against this
+	// array's samples. Fleet-wide fleet_* rules belong in
+	// Options.Alerts, not here.
+	Alerts []obs.Rule
 }
 
 // Status is the JSON liveness snapshot of one array — the fleet form
@@ -102,6 +107,7 @@ type Status struct {
 	Degradations   int64                  `json:"degradations,omitempty"`
 	Latency        *obs.LatencySummary    `json:"latency,omitempty"`
 	Attribution    *obs.Attribution       `json:"attribution,omitempty"`
+	Alerts         *obs.AlertSummary      `json:"alerts,omitempty"`
 
 	// Liveness: how much has arrived over the ingest surfaces, and how
 	// far the flight recorder has sampled.
@@ -142,6 +148,7 @@ type Array struct {
 	rec    *obs.Recorder
 	trc    *obs.Tracer
 	flight *obs.FlightRecorder
+	wd     *obs.Watchdog
 
 	// feeder, when non-nil, routes fault-free feeds through the sharded
 	// deterministic engine; shards is its effective lane count (for
@@ -240,6 +247,15 @@ func newArray(spec ArraySpec, reg *obs.Registry) (*Array, error) {
 		MaxSamples: spec.SeriesMaxSamples,
 	})
 	esm.SetFlightRecorder(flight)
+	// The watchdog shares the array's recorder (sequence-consistent
+	// alert events) and the fleet registry (array-labelled instruments).
+	wd := obs.NewWatchdog(obs.WatchdogOptions{
+		Rules:    spec.Alerts,
+		Recorder: rec,
+		Registry: reg,
+		Instance: spec.Name,
+	})
+	esm.SetWatchdog(wd)
 	var inj *faults.Injector
 	if spec.Faults != nil {
 		inj, err = faults.NewInjector(*spec.Faults)
@@ -262,6 +278,7 @@ func newArray(spec ArraySpec, reg *obs.Registry) (*Array, error) {
 		rec:        rec,
 		trc:        trc,
 		flight:     flight,
+		wd:         wd,
 	}
 	// The array's observers dispatch through the Array so a hot-swapped
 	// policy starts seeing events without rewiring; they only fire
@@ -294,10 +311,14 @@ func newArray(spec ArraySpec, reg *obs.Registry) (*Array, error) {
 	// interval as the feed's RunUntil sweeps past it.
 	var tick func(now time.Duration)
 	tick = func(now time.Duration) {
-		a.flight.Record(a.sampleLocked(now))
+		s := a.sampleLocked(now)
+		a.flight.Record(s)
+		a.wd.Observe(s)
 		a.evq.Schedule(now+every, tick)
 	}
-	flight.Record(a.sampleLocked(0))
+	s0 := a.sampleLocked(0)
+	flight.Record(s0)
+	wd.Observe(s0)
 	evq.Schedule(every, tick)
 	a.updateSnapshotLocked(0)
 	return a, nil
@@ -436,7 +457,9 @@ func (a *Array) finishLocked() error {
 			return fmt.Errorf("fleet: array %q: %w", a.name, err)
 		}
 	}
-	a.flight.Final(a.sampleLocked(end))
+	s := a.sampleLocked(end)
+	a.flight.Final(s)
+	a.wd.Final(s)
 	a.updateSnapshotLocked(end)
 	return nil
 }
@@ -474,6 +497,7 @@ func (a *Array) SwapPolicy(cfg *config.File) error {
 		esm.SetTracer(a.trc)
 	}
 	esm.SetFlightRecorder(a.flight)
+	esm.SetWatchdog(a.wd)
 	a.esm = esm
 	a.lastDet = 0
 	esm.Init(&policy.Context{Array: a.arr, Catalog: a.cat, Clock: a.clk, Queue: a.evq, End: planningHorizon})
@@ -574,6 +598,14 @@ func (a *Array) Series() *obs.Series {
 	return a.flight.Series()
 }
 
+// Alerts returns the watchdog's per-rule states (nil without rules).
+// The watchdog has its own lock, so scrapes never contend with the
+// simulation.
+func (a *Array) Alerts() []obs.AlertStatus { return a.wd.States() }
+
+// AlertSummary returns the watchdog's aggregate state.
+func (a *Array) AlertSummary() obs.AlertSummary { return a.wd.Summary() }
+
 // Status returns the most recent liveness snapshot. Safe from HTTP
 // goroutines; never blocks on the simulation lock.
 func (a *Array) Status() Status {
@@ -632,6 +664,10 @@ func (a *Array) updateSnapshotLocked(now time.Duration) {
 		for _, p := range plan.Patterns {
 			snap.PatternMix[p.String()]++
 		}
+	}
+	if a.wd != nil {
+		sum := a.wd.Summary()
+		snap.Alerts = &sum
 	}
 	if a.trc != nil {
 		// Settle the power-state accumulators so the attribution

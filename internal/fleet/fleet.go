@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"esm/internal/config"
@@ -30,6 +31,11 @@ type Options struct {
 	// Registry, when non-nil, is the shared metric registry the arrays
 	// populate; a fresh one is created otherwise.
 	Registry *obs.Registry
+	// Alerts declares fleet-wide budget rules over the /fleet roll-up
+	// totals. Every rule's signal must be a fleet_* total; per-array
+	// rules live in the specs. Evaluated each time the roll-up is
+	// computed (a scrape of /fleet or /alerts).
+	Alerts []obs.Rule
 }
 
 // Fleet is a fixed set of named live arrays over one shared registry.
@@ -40,6 +46,12 @@ type Fleet struct {
 	cost   CostModel
 	arrays map[string]*Array
 	names  []string
+
+	// wd is the fleet-wide budget watchdog; wdMu/wdLast keep concurrent
+	// roll-up scrapes from feeding it observations out of time order.
+	wd     *obs.Watchdog
+	wdMu   sync.Mutex
+	wdLast time.Duration
 }
 
 // New builds the fleet, creating every array.
@@ -58,7 +70,13 @@ func New(opts Options) (*Fleet, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	for _, r := range opts.Alerts {
+		if !r.FleetSignal() {
+			return nil, fmt.Errorf("fleet: alert %q: signal %q is per-array; declare it on an array spec", r.Name, r.Signal)
+		}
+	}
 	f := &Fleet{reg: reg, cost: cost, arrays: make(map[string]*Array, len(opts.Specs))}
+	f.wd = obs.NewWatchdog(obs.WatchdogOptions{Rules: opts.Alerts, Registry: reg, Instance: "fleet"})
 	for _, spec := range opts.Specs {
 		if _, dup := f.arrays[spec.Name]; dup {
 			f.Close()
@@ -88,9 +106,14 @@ func FromConfig(file *config.FleetFile) (*Fleet, error) {
 		}
 		specs = append(specs, spec)
 	}
+	rules, err := obs.ParseRules(file.Alerts)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
 	return New(Options{
-		Specs: specs,
-		Cost:  DefaultCostModel().ApplyConfig(file.Cost),
+		Specs:  specs,
+		Cost:   DefaultCostModel().ApplyConfig(file.Cost),
+		Alerts: rules,
 	})
 }
 
@@ -122,6 +145,13 @@ func LoadArraySpec(ac config.FleetArrayConfig) (ArraySpec, error) {
 	}
 	if ac.SeriesInterval != nil {
 		spec.SeriesInterval = time.Duration(*ac.SeriesInterval)
+	}
+	if len(ac.Alerts) > 0 {
+		rules, err := obs.ParseRules(ac.Alerts)
+		if err != nil {
+			return fail(err)
+		}
+		spec.Alerts = rules
 	}
 	return spec, nil
 }
@@ -183,7 +213,72 @@ func (f *Fleet) Rollup() Rollup {
 		r.Arrays = append(r.Arrays, line)
 		r.Fleet.add(line)
 	}
+	f.observeRollup(r.Fleet)
 	return r
+}
+
+// observeRollup feeds the fleet totals to the budget watchdog at the
+// roll-up's span time. Scrapes race; only forward-in-time observations
+// are applied, so rate() rules never see a negative interval.
+func (f *Fleet) observeRollup(t Totals) {
+	if f.wd == nil {
+		return
+	}
+	f.wdMu.Lock()
+	defer f.wdMu.Unlock()
+	at := time.Duration(t.SpanNS)
+	if at < f.wdLast {
+		return
+	}
+	f.wdLast = at
+	f.wd.ObserveValues(at, map[string]float64{
+		"fleet_metered_j":         t.MeteredJ,
+		"fleet_facility_j":        t.FacilityJ,
+		"fleet_facility_kwh":      t.FacilityKWh,
+		"fleet_cost_usd":          t.CostUSD,
+		"fleet_operational_kgco2": t.OperationalKgCO2,
+		"fleet_embodied_kgco2":    t.EmbodiedKgCO2,
+		"fleet_total_kgco2":       t.TotalKgCO2,
+		"fleet_stored_tb":         t.StoredTB,
+		"fleet_records":           float64(t.Records),
+		"fleet_spin_ups":          float64(t.SpinUps),
+	})
+}
+
+// AlertsReport is the /alerts payload: fleet-wide budget rules, every
+// array's rules, and the aggregate summary across all watchdogs.
+type AlertsReport struct {
+	Summary obs.AlertSummary             `json:"summary"`
+	Fleet   []obs.AlertStatus            `json:"fleet,omitempty"`
+	Arrays  map[string][]obs.AlertStatus `json:"arrays,omitempty"`
+}
+
+// Alerts recomputes the roll-up (so fleet budget rules reflect the
+// live totals) and assembles the full alert state.
+func (f *Fleet) Alerts() AlertsReport {
+	f.Rollup()
+	rep := AlertsReport{Fleet: f.wd.States()}
+	addSummary(&rep.Summary, f.wd.Summary())
+	for _, name := range f.names {
+		a := f.arrays[name]
+		if sts := a.Alerts(); len(sts) > 0 {
+			if rep.Arrays == nil {
+				rep.Arrays = make(map[string][]obs.AlertStatus)
+			}
+			rep.Arrays[name] = sts
+		}
+		addSummary(&rep.Summary, a.AlertSummary())
+	}
+	return rep
+}
+
+// addSummary folds one watchdog's aggregate into dst.
+func addSummary(dst *obs.AlertSummary, s obs.AlertSummary) {
+	dst.Rules += s.Rules
+	dst.Firing += s.Firing
+	dst.Pending += s.Pending
+	dst.Fired += s.Fired
+	dst.Transitions += s.Transitions
 }
 
 // FinishAll finalizes every array's stream (idempotent).

@@ -3,8 +3,11 @@
 //	GET  /metrics                      shared registry, Prometheus text
 //	GET  /status                       every array's liveness snapshot
 //	GET  /fleet                        energy/cost/carbon roll-up
+//	GET  /alerts                       fleet-wide + per-array alert state
+//	GET  /healthz                      readiness: per-array ingest liveness
 //	GET  /arrays/                      array names
 //	GET  /arrays/<name>/status         one array's snapshot
+//	GET  /arrays/<name>/alerts         one array's alert-rule states
 //	GET  /arrays/<name>/series         flight series (JSON, ?format=csv,
 //	                                   ?since=/?until= windowing)
 //	POST /arrays/<name>/ingest         live trace ingest (NDJSON default,
@@ -42,6 +45,12 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, f.Rollup())
 	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, f.Alerts())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, f.health())
+	})
 	mux.HandleFunc("/arrays/", f.serveArray)
 	obs.RegisterPprof(mux)
 	return mux
@@ -72,6 +81,12 @@ func (f *Fleet) serveArray(w http.ResponseWriter, r *http.Request) {
 	switch verb {
 	case "", "status":
 		writeJSON(w, a.Status())
+	case "alerts":
+		writeJSON(w, struct {
+			Array   string            `json:"array"`
+			Summary obs.AlertSummary  `json:"summary"`
+			Rules   []obs.AlertStatus `json:"rules,omitempty"`
+		}{a.Name(), a.AlertSummary(), a.Alerts()})
 	case "series":
 		obs.ServeSeries(w, r, a.Series())
 	case "ingest":
@@ -81,6 +96,44 @@ func (f *Fleet) serveArray(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, fmt.Sprintf("unknown endpoint %q", verb), http.StatusNotFound)
 	}
+}
+
+// ArrayHealth is one array's line of the /healthz payload: the ingest
+// and flight-recorder liveness counters, plus the derived Live flag —
+// true once the array has either received records or been finalized.
+type ArrayHealth struct {
+	Array          string `json:"array"`
+	Live           bool   `json:"live"`
+	Finished       bool   `json:"finished"`
+	IngestRequests int64  `json:"ingest_requests"`
+	IngestRecords  int64  `json:"ingest_records"`
+	SeriesSamples  int    `json:"series_samples"`
+	SeriesLastTNS  int64  `json:"series_last_t_ns"`
+}
+
+// Health is the /healthz payload. OK is true once every array is
+// constructed and serving — the readiness contract: a 200 with
+// "ok": true means ingest can start.
+type Health struct {
+	OK     bool          `json:"ok"`
+	Arrays []ArrayHealth `json:"arrays"`
+}
+
+// health assembles the readiness payload from the status snapshots.
+func (f *Fleet) health() Health {
+	h := Health{OK: true}
+	for _, st := range f.Status() {
+		h.Arrays = append(h.Arrays, ArrayHealth{
+			Array:          st.Array,
+			Live:           st.Finished || st.IngestRecords > 0,
+			Finished:       st.Finished,
+			IngestRequests: st.IngestRequests,
+			IngestRecords:  st.IngestRecords,
+			SeriesSamples:  st.SeriesSamples,
+			SeriesLastTNS:  st.SeriesLastTNS,
+		})
+	}
+	return h
 }
 
 // ingestResponse is the POST ingest reply.

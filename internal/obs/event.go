@@ -31,6 +31,7 @@ const (
 	EvFault              EventType = "fault"
 	EvDegrade            EventType = "degrade"
 	EvMigrationFail      EventType = "migration_fail"
+	EvAlert              EventType = "alert"
 )
 
 // Event is the envelope every transition is reported in. Exactly one
@@ -54,6 +55,7 @@ type Event struct {
 	Period        *PeriodEvent        `json:"period,omitempty"`
 	Fault         *FaultEvent         `json:"fault,omitempty"`
 	Degrade       *DegradeEvent       `json:"degrade,omitempty"`
+	Alert         *AlertEvent         `json:"alert,omitempty"`
 }
 
 // DeterminationEvent describes one run of the power management
@@ -144,6 +146,24 @@ type DegradeEvent struct {
 	Faults int `json:"faults"`
 	// WindowNS is the sliding-window span the count was taken over.
 	WindowNS int64 `json:"window_ns,omitempty"`
+}
+
+// AlertEvent describes one alert-rule state transition (see Watchdog).
+type AlertEvent struct {
+	// Rule is the rule's name; State the state entered and Prev the one
+	// left.
+	Rule  string `json:"rule"`
+	State string `json:"state"`
+	Prev  string `json:"prev"`
+	// Signal, Value and Threshold restate the condition at transition
+	// time: the evaluated signal (per-second rate for rate() rules) and
+	// the threshold it was compared against.
+	Signal    string  `json:"signal"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// SinceNS is the simulated time the current condition-true streak
+	// began (set while the condition holds, zero otherwise).
+	SinceNS int64 `json:"since_ns,omitempty"`
 }
 
 // Sink consumes events. Implementations must be safe for concurrent
@@ -240,6 +260,7 @@ func AllEventTypes() []EventType {
 		EvPowerOn, EvPowerOff,
 		EvReplanTrigger, EvPeriodAdapt,
 		EvFault, EvDegrade, EvMigrationFail,
+		EvAlert,
 	}
 }
 

@@ -366,6 +366,16 @@ func (r *Recorder) Degradation(t time.Duration, ev DegradeEvent) {
 	r.emit(t, Event{Type: EvDegrade, Degrade: &ev})
 }
 
+// Alert records one alert-rule state transition. The Watchdog calls it
+// so alert events share the run's sequence counter with every other
+// event kind.
+func (r *Recorder) Alert(t time.Duration, ev AlertEvent) {
+	if r == nil {
+		return
+	}
+	r.emit(t, Event{Type: EvAlert, Alert: &ev})
+}
+
 // MigrationFailed records a migration abandoned because its source or
 // destination enclosure was unavailable.
 func (r *Recorder) MigrationFailed(t time.Duration, item int64, src, dst int) {

@@ -85,6 +85,11 @@ type Run struct {
 	// recorded time series; the final sample always matches the Result
 	// totals exactly.
 	Series *obs.FlightRecorder
+	// Alerts, when non-nil, is the watchdog evaluated on the same
+	// simulated sampling grid as the flight recorder (plus the policy's
+	// instantaneous degrade bridge), so alert streams inherit the
+	// serial-vs-sharded byte identity of every other output.
+	Alerts *obs.Watchdog
 }
 
 // Window is a named measurement sub-span.
@@ -151,6 +156,10 @@ type Result struct {
 	// item, pattern class and management function); nil without a
 	// tracer.
 	Attribution *obs.Attribution
+	// Alerts is the watchdog's end-of-run aggregate and AlertStates the
+	// final per-rule states (zero/nil without Run.Alerts).
+	Alerts      obs.AlertSummary
+	AlertStates []obs.AlertStatus
 }
 
 // StateResidency is the fraction of the run one enclosure spent in each
@@ -214,6 +223,11 @@ func Execute(r Run) (*Result, error) {
 			SetFlightRecorder(*obs.FlightRecorder)
 		}); ok {
 			p.SetFlightRecorder(r.Series)
+		}
+	}
+	if r.Alerts != nil {
+		if p, ok := pol.(interface{ SetWatchdog(*obs.Watchdog) }); ok {
+			p.SetWatchdog(r.Alerts)
 		}
 	}
 	var inj *faults.Injector
@@ -317,16 +331,20 @@ func Execute(r Run) (*Result, error) {
 			j := arr.Meter().EnclosureEnergyJ()
 			res.PowerSeries = append(res.PowerSeries, (j-lastJ)/res.PowerBucket.Seconds())
 			lastJ = j
-			if r.Series != nil {
-				r.Series.Record(snapshot(now))
+			if r.Series != nil || r.Alerts != nil {
+				s := snapshot(now)
+				r.Series.Record(s)
+				r.Alerts.Observe(s)
 			}
 			if next := now + res.PowerBucket; next <= end {
 				evq.Schedule(next, sample)
 			}
 		}
-		if r.Series != nil {
+		if r.Series != nil || r.Alerts != nil {
 			// The t=0 baseline row: zero energy, initial placement.
-			r.Series.Record(snapshot(0))
+			s := snapshot(0)
+			r.Series.Record(s)
+			r.Alerts.Observe(s)
 		}
 		evq.Schedule(res.PowerBucket, sample)
 	}
@@ -417,11 +435,17 @@ func Execute(r Run) (*Result, error) {
 	res.AvgTotalW = arr.Meter().AverageTotalW(end)
 	res.EnergyJ = arr.Meter().TotalEnergyJ(end)
 	res.Monitor = stMon
-	if r.Series != nil {
+	if r.Series != nil || r.Alerts != nil {
 		// The forced closing sample: its totals equal the Result fields
 		// computed just above, from the same settled meter and counters.
-		r.Series.Final(snapshot(end))
+		s := snapshot(end)
+		r.Series.Final(s)
+		r.Alerts.Final(s)
 		res.Series = r.Series.Series()
+	}
+	if r.Alerts != nil {
+		res.Alerts = r.Alerts.Summary()
+		res.AlertStates = r.Alerts.States()
 	}
 	if r.Tracer != nil {
 		res.Latency = r.Tracer.LatencySummary()

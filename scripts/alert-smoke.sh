@@ -1,0 +1,110 @@
+#!/bin/sh
+# alert-smoke: gate the SLO watchdog end to end. Boot the single-array
+# esmd with a deliberately tight energy budget, stream a tracegen
+# workload into it over stdin, and require `esmstat alerts <url>` to
+# exit 1 once the rule fires; then rerun with a budget far above the
+# workload's total energy and require exit 0 (with the rule visibly
+# evaluated, not absent).
+set -eu
+
+GO=${GO:-go}
+DIR=${ALERT_SMOKE_DIR:-/tmp/esm-alert-smoke}
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+cleanup() {
+    exec 3>&- 2>/dev/null || true
+    if [ -n "${ESMD_PID:-}" ] && kill -0 "$ESMD_PID" 2>/dev/null; then
+        kill "$ESMD_PID" 2>/dev/null || true
+        wait "$ESMD_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT INT TERM
+
+echo "== generating workload"
+$GO run ./cmd/tracegen -workload fileserver -scale 0.05 -format csv \
+    -out "$DIR/fs.csv" -catalog "$DIR/fs.items" -placement "$DIR/fs.layout"
+$GO build -o "$DIR/esmd" ./cmd/esmd
+$GO build -o "$DIR/esmstat" ./cmd/esmstat
+
+# boot_esmd RULES LOG: start the daemon with the given -alerts rules,
+# stdin held open on fd 3 so it keeps serving after the trace is
+# consumed, and set BASE to the bound address.
+boot_esmd() {
+    rm -f "$DIR/stdin"
+    mkfifo "$DIR/stdin"
+    "$DIR/esmd" -catalog "$DIR/fs.items" -placement "$DIR/fs.layout" \
+        -listen 127.0.0.1:0 -quiet -alerts "$1" \
+        < "$DIR/stdin" > "$2" 2>&1 &
+    ESMD_PID=$!
+    exec 3> "$DIR/stdin"
+    cat "$DIR/fs.csv" >&3
+
+    ADDR=
+    for _ in $(seq 1 50); do
+        ADDR=$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$2" | head -n1)
+        [ -n "$ADDR" ] && break
+        kill -0 "$ESMD_PID" 2>/dev/null || { cat "$2"; echo "esmd died"; exit 1; }
+        sleep 0.2
+    done
+    [ -n "$ADDR" ] || { cat "$2"; echo "esmd never reported its address"; exit 1; }
+    BASE="http://$ADDR"
+}
+
+# wait_ingested: poll /healthz until ingest_records is nonzero and
+# stable across three samples — the daemon has drained the stdin
+# buffer and the simulated clock has advanced over the workload. (The
+# counter updates per ingest batch, so an exact line-count match would
+# race the final partial batch.)
+wait_ingested() {
+    prev=-1
+    stable=0
+    for _ in $(seq 1 150); do
+        cur=$(curl -sfS "$BASE/healthz" |
+            sed -n 's/.*"ingest_records": *\([0-9]*\).*/\1/p' | head -n1)
+        if [ -n "$cur" ] && [ "$cur" -gt 0 ] && [ "$cur" = "$prev" ]; then
+            stable=$((stable + 1))
+            [ "$stable" -ge 2 ] && return 0
+        else
+            stable=0
+        fi
+        prev=$cur
+        sleep 0.2
+    done
+    echo "ingest never settled (last ingest_records=$cur)"
+    exit 1
+}
+
+stop_esmd() {
+    exec 3>&-
+    wait "$ESMD_PID"
+    ESMD_PID=
+}
+
+echo "== tight budget (1 J held 30s) must fire"
+boot_esmd 'budget:total_energy_j>1:for=30s' "$DIR/tight.log"
+wait_ingested
+if "$DIR/esmstat" alerts "$BASE" > "$DIR/tight.alerts" 2>&1; then
+    cat "$DIR/tight.alerts"
+    echo "tight budget rule never fired (esmstat alerts exited 0)"
+    exit 1
+fi
+cat "$DIR/tight.alerts"
+stop_esmd
+
+echo "== loose budget (100 GJ) must not fire"
+boot_esmd 'budget:total_energy_j>1e11:for=30s' "$DIR/loose.log"
+wait_ingested
+"$DIR/esmstat" alerts "$BASE" > "$DIR/loose.alerts" 2>&1 || {
+    cat "$DIR/loose.alerts"
+    echo "loose budget rule fired (esmstat alerts exited nonzero)"
+    exit 1
+}
+cat "$DIR/loose.alerts"
+grep -q 'budget' "$DIR/loose.alerts" || {
+    echo "loose run did not evaluate the budget rule at all"
+    exit 1
+}
+stop_esmd
+
+echo "alert-smoke OK"
