@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json trace-smoke bench-smoke shard-smoke cloudblock-smoke fleet-smoke alert-smoke clean
+.PHONY: all build vet test race check lint bench bench-json fault-smoke trace-smoke bench-smoke shard-smoke cloudblock-smoke fleet-smoke alert-smoke explain-smoke smoke clean
 
 all: build
 
@@ -20,6 +20,21 @@ race:
 # detector.
 check: build vet race
 
+# lint runs the static analyzers CI installs on its runner. Locally the
+# tools are optional: each is skipped with a notice when its binary is
+# not on PATH (this repo never installs tools on your machine).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # bench runs the figure-regeneration suite once (see bench_test.go).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -28,6 +43,14 @@ bench:
 # writes the per-figure numbers to a dated JSON file for diffing runs.
 bench-json:
 	$(GO) run ./cmd/esmbench -json BENCH_$$(date +%F).json
+
+# fault-smoke mirrors the CI fault-injection step: the seeded-scenario
+# reproducibility tests under the race detector, then a real faulted
+# figure with the race runtime armed.
+fault-smoke:
+	$(GO) test -race -count=1 -run 'TestFaultedRunIsReproducible|TestDegradedModeFollowsFaultSchedule' ./internal/replay/
+	$(GO) run -race ./cmd/esmbench -workload fileserver -fig 9 \
+		-faults 'seed=42,spinup=0.2,io=0.005,battery=4m:8m'
 
 # trace-smoke runs a small traced replay and validates the emitted
 # Perfetto files through the in-repo validator (the CI contract:
@@ -128,6 +151,17 @@ fleet-smoke:
 # total energy must leave it exiting 0 with the rule still evaluated.
 alert-smoke:
 	sh scripts/alert-smoke.sh
+
+# explain-smoke gates the decision-provenance ledger and the root-cause
+# pipeline: an injected spin-up-fault storm under a tight energy budget
+# must yield an `esmstat explain` report naming the injected cause,
+# byte-identical across a rerun and serial vs -shards 4.
+explain-smoke:
+	sh scripts/explain-smoke.sh
+
+# smoke chains every end-to-end smoke gate in one command — the full
+# CI surface minus the unit/race suite (use `make check` for that).
+smoke: fault-smoke trace-smoke bench-smoke shard-smoke cloudblock-smoke fleet-smoke alert-smoke explain-smoke
 
 clean:
 	$(GO) clean ./...

@@ -293,15 +293,17 @@ func BenchmarkTableIIParameters(b *testing.B) {
 // one nil check — while "sink" adds a JSONL event sink and registry,
 // "trace" a live per-I/O span tracer (histograms and energy ledger, no
 // span sink), "series" a flight recorder sampling the whole system on
-// the power grid, and "alerts" a watchdog evaluating three rules on
-// that grid. Compare the ns/op figures: the off case must not regress
-// against a pre-telemetry baseline.
+// the power grid, "alerts" a watchdog evaluating three rules on that
+// grid, and "provenance" the decision-provenance ledger capturing
+// every determination's inputs and the array's triggering context.
+// Compare the ns/op figures: the off case must not regress against a
+// pre-telemetry baseline.
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	w, err := experiments.Build(experiments.FileServer, 0.1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	replayOnce := func(b *testing.B, rec *obs.Recorder, trc *obs.Tracer, fr *obs.FlightRecorder, wd *obs.Watchdog) {
+	replayOnce := func(b *testing.B, rec *obs.Recorder, trc *obs.Tracer, fr *obs.FlightRecorder, wd *obs.Watchdog, prov *obs.Provenance) {
 		b.Helper()
 		esm, err := core.NewESM(core.DefaultParams())
 		if err != nil {
@@ -319,6 +321,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			Tracer:     trc,
 			Series:     fr,
 			Alerts:     wd,
+			Provenance: prov,
 		}
 		if _, err := replay.Execute(run); err != nil {
 			b.Fatal(err)
@@ -326,7 +329,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			replayOnce(b, nil, nil, nil, nil)
+			replayOnce(b, nil, nil, nil, nil, nil)
 		}
 	})
 	b.Run("sink", func(b *testing.B) {
@@ -335,7 +338,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				Sink:     obs.NewJSONLSink(io.Discard),
 				Registry: obs.NewRegistry(),
 			})
-			replayOnce(b, rec, nil, nil, nil)
+			replayOnce(b, rec, nil, nil, nil, nil)
 			if err := rec.Close(); err != nil {
 				b.Fatal(err)
 			}
@@ -344,7 +347,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("trace", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			trc := obs.NewTracer(obs.TracerOptions{Enclosures: experiments.StorageFor(w).Enclosures})
-			replayOnce(b, nil, trc, nil, nil)
+			replayOnce(b, nil, trc, nil, nil, nil)
 			if err := trc.Close(); err != nil {
 				b.Fatal(err)
 			}
@@ -352,7 +355,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 	b.Run("series", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			replayOnce(b, nil, nil, obs.NewFlightRecorder(obs.FlightOptions{}), nil)
+			replayOnce(b, nil, nil, obs.NewFlightRecorder(obs.FlightOptions{}), nil, nil)
 		}
 	})
 	b.Run("alerts", func(b *testing.B) {
@@ -365,7 +368,12 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 		for i := 0; i < b.N; i++ {
-			replayOnce(b, nil, nil, nil, obs.NewWatchdog(obs.WatchdogOptions{Rules: rules}))
+			replayOnce(b, nil, nil, nil, obs.NewWatchdog(obs.WatchdogOptions{Rules: rules}), nil)
+		}
+	})
+	b.Run("provenance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			replayOnce(b, nil, nil, nil, nil, obs.NewProvenance(obs.ProvenanceOptions{}))
 		}
 	})
 }

@@ -57,11 +57,17 @@ func main() {
 	jsonPath := flag.String("json", "", "also write per-figure results as JSON to this file")
 	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m (see README)")
 	alertSpec := flag.String("alerts", "", "comma-separated watchdog rules evaluated per replay on the flight sampling grid, e.g. budget:total_energy_j>1.5e6:for=30s (see DESIGN.md §16)")
+	provenance := flag.Bool("provenance", false, "record the decision-provenance ledger per replay and write it as <workload>-<policy>.prov.csv into the -series directory (requires -series; attaches a sink-less tracer so the energy ledger's top items are joined in)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(obs.VersionString("esmbench"))
 		return
+	}
+
+	if *provenance && *seriesDir == "" {
+		fmt.Fprintln(os.Stderr, "esmbench: -provenance requires -series DIR (the ledger CSV is written next to the series)")
+		os.Exit(2)
 	}
 
 	var alertRules []obs.Rule
@@ -97,7 +103,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scale, *kind, *fig, *extended, *events, *tracePath, *seriesDir, *jsonPath, fc, alertRules); err != nil {
+	if err := run(*scale, *kind, *fig, *extended, *events, *tracePath, *seriesDir, *jsonPath, fc, alertRules, *provenance); err != nil {
 		fmt.Fprintln(os.Stderr, "esmbench:", err)
 		os.Exit(1)
 	}
@@ -134,9 +140,26 @@ func writeSeriesAndManifests(dir string, scale float64, fc *faults.Config, ev *e
 		} else {
 			seriesFile = ""
 		}
+		provFile := base + ".prov.csv"
+		if s := res.ProvSeries; s != nil {
+			pf, err := os.Create(filepath.Join(dir, provFile))
+			if err != nil {
+				return err
+			}
+			if err := s.WriteCSV(pf); err != nil {
+				pf.Close()
+				return err
+			}
+			if err := pf.Close(); err != nil {
+				return err
+			}
+		} else {
+			provFile = ""
+		}
 		m := experiments.NewManifest(ev.Workload, f.Name, scale, fc, res)
 		m.Date = time.Now().Format("2006-01-02")
 		m.SeriesFile = seriesFile
+		m.ProvFile = provFile
 		if err := m.WriteFile(filepath.Join(dir, "BENCH_"+base+".json")); err != nil {
 			return err
 		}
@@ -183,7 +206,7 @@ func runSweeps(scale float64, kindFlag string) error {
 	return nil
 }
 
-func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tracePath, seriesDir, jsonPath string, fc *faults.Config, alertRules []obs.Rule) error {
+func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tracePath, seriesDir, jsonPath string, fc *faults.Config, alertRules []obs.Rule, provenance bool) error {
 	if seriesDir != "" {
 		if err := os.MkdirAll(seriesDir, 0o755); err != nil {
 			return err
@@ -329,8 +352,25 @@ func run(scale float64, kindFlag string, fig int, extended bool, eventsPath, tra
 				})
 			}
 		}
+		// With -provenance, each replay records the decision ledger. The
+		// energy-attribution join needs a tracer; when -trace did not
+		// already supply one, a sink-less tracer keeps the ledger
+		// without writing Perfetto files.
+		var provFor func(policy string) *obs.Provenance
+		if provenance {
+			provFor = func(string) *obs.Provenance {
+				return obs.NewProvenance(obs.ProvenanceOptions{})
+			}
+			if trcFor == nil {
+				encs := w.Enclosures
+				trcFor = func(string) *obs.Tracer {
+					return obs.NewTracer(obs.TracerOptions{Enclosures: encs})
+				}
+			}
+		}
 		ev, err := experiments.EvaluateOpts(w, pols, experiments.Observers{
-			Recorder: recFor, Tracer: trcFor, Flight: flightFor, Alerts: alertsFor, Faults: fc,
+			Recorder: recFor, Tracer: trcFor, Flight: flightFor, Alerts: alertsFor,
+			Provenance: provFor, Faults: fc,
 		})
 		for _, t := range tracers {
 			if cerr := t.Close(); cerr != nil && err == nil {

@@ -70,6 +70,8 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault-injection scenario, e.g. seed=42,spinup=0.1,io=0.001,battery=10m:25m")
 	shards := flag.Int("shards", 0, "shard count for the sharded deterministic engine (0 or 1 = serial; ignored with -faults)")
 	alertSpec := flag.String("alerts", "", "comma-separated watchdog rules for the single array, e.g. budget:total_energy_j>1.5e6:for=30s (fleet mode: declare rules in the fleet file)")
+	provenance := flag.Bool("provenance", false, "record the decision-provenance ledger, served live at /arrays/<name>/provenance (fleet mode: set \"provenance\" per array in the fleet file)")
+	provPath := flag.String("provenance-out", "", "write the provenance ledger here as CSV on exit (implies -provenance)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -93,6 +95,8 @@ func main() {
 		faults:        *faultSpec,
 		shards:        *shards,
 		alerts:        *alertSpec,
+		provenance:    *provenance || *provPath != "",
+		provPath:      *provPath,
 	}
 	if opts.fleetPath == "" && (opts.catalogPath == "" || opts.placementPath == "") {
 		fmt.Fprintln(os.Stderr, "esmd: -catalog and -placement are required (or -fleet)")
@@ -120,6 +124,8 @@ type daemonOpts struct {
 	faults        string
 	shards        int
 	alerts        string
+	provenance    bool
+	provPath      string
 }
 
 func run(opts daemonOpts, in io.Reader, out io.Writer) error {
@@ -148,13 +154,14 @@ func newDaemon(opts daemonOpts, out io.Writer) (*daemon, error) {
 		alerts = strings.Split(opts.alerts, ",")
 	}
 	spec, err := fleet.LoadArraySpec(config.FleetArrayConfig{
-		Name:      opts.name,
-		Catalog:   opts.catalogPath,
-		Placement: opts.placementPath,
-		Config:    opts.configPath,
-		Faults:    opts.faults,
-		Shards:    opts.shards,
-		Alerts:    alerts,
+		Name:       opts.name,
+		Catalog:    opts.catalogPath,
+		Placement:  opts.placementPath,
+		Config:     opts.configPath,
+		Faults:     opts.faults,
+		Shards:     opts.shards,
+		Alerts:     alerts,
+		Provenance: opts.provenance,
 	})
 	if err != nil {
 		return nil, err
@@ -253,6 +260,25 @@ func runSingle(opts daemonOpts, in io.Reader, out io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(out, "flight series (%d samples) written to %s\n", s.Len(), opts.seriesPath)
+		}
+	}
+	if p := d.arr.ProvenanceSummary(); p != nil {
+		fmt.Fprintf(out, "provenance: %d rows (%d offered, stride %d): %d determinations, %d decisions, %d transitions\n",
+			p.Records, p.Offered, p.Stride, p.Determinations, p.Decisions, p.Transitions)
+		if opts.provPath != "" {
+			s := d.arr.ProvenanceSeries()
+			f, err := os.Create(opts.provPath)
+			if err != nil {
+				return err
+			}
+			if err := s.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "provenance ledger written to %s\n", opts.provPath)
 		}
 	}
 	if err := d.fl.Close(); err != nil {

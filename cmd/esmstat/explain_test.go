@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"esm/internal/obs"
+)
+
+// TestUsageListsEverySubcommand pins the top-level usage output: every
+// dispatched subcommand appears exactly once with a brief.
+func TestUsageListsEverySubcommand(t *testing.T) {
+	want := []string{"alerts", "attrib", "diff", "events", "explain", "fleet", "latency", "series"}
+	if len(subcommandHelp) != len(want) {
+		t.Fatalf("subcommandHelp lists %d subcommands, want %d", len(subcommandHelp), len(want))
+	}
+	for i, name := range want {
+		if subcommandHelp[i].name != name {
+			t.Errorf("subcommandHelp[%d] = %q, want %q (keep the table sorted)", i, subcommandHelp[i].name, name)
+		}
+		if subcommandHelp[i].brief == "" {
+			t.Errorf("subcommand %q has no brief", subcommandHelp[i].name)
+		}
+	}
+	var buf bytes.Buffer
+	usage(&buf)
+	out := buf.String()
+	for _, name := range want {
+		if !strings.Contains(out, "\n  "+name+" ") {
+			t.Errorf("usage output does not list subcommand %q:\n%s", name, out)
+		}
+	}
+}
+
+// explainFixture writes a small provenance ledger to disk: a spin-up
+// storm on enclosure 2 driven by injected faults, one move decision,
+// and attribution rows, all inside the first ten minutes.
+func explainFixture(t *testing.T) string {
+	t.Helper()
+	p := obs.NewProvenance(obs.ProvenanceOptions{})
+	at := func(m int) time.Duration { return time.Duration(m) * time.Minute }
+	p.Determination(at(4), 1, obs.CausePeriodEnd, 2, 1)
+	p.Decision(at(4), obs.ProvDecision{
+		Kind: obs.ProvMove, Det: 1, Cause: obs.CausePeriodEnd, Item: 7, Class: 0,
+		PrevClass: -1, Src: 0, Dst: 2, IntervalS: 300, ReadRatio: 0.9, ToCold: true,
+	})
+	p.Decision(at(4), obs.ProvDecision{
+		Kind: obs.ProvReclass, Det: 1, Cause: obs.CausePeriodEnd, Item: 8, Class: 0, PrevClass: 3, Src: 1, Dst: -1,
+	})
+	for i := 0; i < 3; i++ {
+		p.Fault(at(5)+time.Duration(i)*time.Second, 2, "spinup-fail")
+		p.PowerTransition(at(5)+time.Duration(i)*time.Second, 2, "spinup", obs.CauseDemand)
+	}
+	p.PowerTransition(at(6), 2, "on", obs.CauseDemand)
+	p.MigrationDone(at(7), 7, 0, 2)
+	p.RecordAttribution(at(20), &obs.Attribution{
+		TotalJ: 1000,
+		Enclosures: []obs.EnclosureAttribution{{
+			Enclosure: 2,
+			ByItem: []obs.ItemEnergy{
+				{Item: 7, Class: 0, Joules: 400},
+				{Item: 9, Class: 1, Joules: 100},
+			},
+		}},
+	}, 0)
+	path := filepath.Join(t.TempDir(), "run.prov.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Series().WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExplainReportNamesInjectedCause runs explain over the fixture
+// and checks the report surfaces the injected fault burst as the top
+// root cause, the faulted enclosure, and the attributed item with its
+// decision chain.
+func TestExplainReportNamesInjectedCause(t *testing.T) {
+	path := explainFixture(t)
+	var buf bytes.Buffer
+	if err := runExplain(&buf, []string{"-since", "0s", "-until", "10m", path}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1. fault burst: 3 injected faults (causes: spinup-fail x3) on enclosures 2 x3") {
+		t.Errorf("report does not rank the injected fault burst first:\n%s", out)
+	}
+	if !strings.Contains(out, "spin-up storm: 3 spin-up transitions") {
+		t.Errorf("report misses the spin-up storm:\n%s", out)
+	}
+	if !strings.Contains(out, "item 7") || !strings.Contains(out, "400.0 J") {
+		t.Errorf("report misses the attributed item:\n%s", out)
+	}
+	if !strings.Contains(out, "last 0->2 at 4m0s") {
+		t.Errorf("report misses item 7's move chain:\n%s", out)
+	}
+
+	// The report is a pure function of the file: rerunning yields the
+	// identical bytes.
+	var again bytes.Buffer
+	if err := runExplain(&again, []string{"-since", "0s", "-until", "10m", path}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != again.String() {
+		t.Error("explain report not deterministic across reruns")
+	}
+}
+
+// TestExplainAlertWindow resolves the window from an alert firing in a
+// saved event log.
+func TestExplainAlertWindow(t *testing.T) {
+	path := explainFixture(t)
+	var events bytes.Buffer
+	rec := obs.New(obs.Options{Sink: obs.NewJSONLSink(&events), Registry: obs.NewRegistry(), Label: "x"})
+	rec.Alert(8*time.Minute, obs.AlertEvent{
+		Rule: "budget", State: string(obs.AlertFiring), Prev: "pending",
+		Signal: "total_energy_j", Value: 2000, Threshold: 1500,
+	})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := os.WriteFile(logPath, events.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runExplain(&buf, []string{"-alert", "budget", "-events", logPath, path}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "alert budget first fired at 8m0s") {
+		t.Errorf("report does not state the alert firing:\n%s", out)
+	}
+	if !strings.Contains(out, "fault burst") {
+		t.Errorf("alert-derived window misses the fault burst:\n%s", out)
+	}
+
+	var missing bytes.Buffer
+	if err := runExplain(&missing, []string{"-alert", "nope", "-events", logPath, path}); err == nil {
+		t.Error("unknown alert rule did not error")
+	}
+}
+
+// TestSeriesDiffLocatesDivergence pins diff -series: identical series
+// report no divergence; a perturbed copy reports the first diverged
+// sample and hands explain the window.
+func TestSeriesDiffLocatesDivergence(t *testing.T) {
+	mk := func(perturb bool) string {
+		f := obs.NewFlightRecorder(obs.FlightOptions{Interval: time.Minute})
+		for i := 0; i < 10; i++ {
+			e := 100.0 * float64(i)
+			if perturb && i >= 6 {
+				e *= 1.25
+			}
+			f.Record(obs.FlightSample{T: time.Duration(i) * time.Minute, TotalEnergyJ: e, SpinUps: i})
+		}
+		path := filepath.Join(t.TempDir(), "s.csv")
+		fh, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Series().WriteCSV(fh); err != nil {
+			t.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base, same, pert := mk(false), mk(false), mk(true)
+
+	var buf bytes.Buffer
+	diverged, err := runSeriesDiff(&buf, base, same, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diverged {
+		t.Fatalf("identical series reported diverged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "series identical") {
+		t.Errorf("missing identical verdict:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	diverged, err = runSeriesDiff(&buf, base, pert, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diverged {
+		t.Fatalf("perturbed series not reported:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "earliest divergence: total_energy_j at 6m0s (window 5m0s..6m0s)") {
+		t.Errorf("divergence window wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "esmstat explain -since 5m0s -until 6m0s") {
+		t.Errorf("missing explain hand-off:\n%s", out)
+	}
+	if !strings.Contains(out, "spin_ups") {
+		t.Errorf("undiverged signals should still be listed:\n%s", out)
+	}
+}

@@ -27,14 +27,23 @@
 // transition events of a saved -events log — and exits 1 when any rule
 // is firing at the end: the CI gate for energy/SLO budget rules.
 //
+// The explain subcommand turns a decision-provenance ledger
+// (esmbench/esmreplay -provenance) into a ranked root-cause report for
+// a time window or an alert firing; diff -series time-aligns two
+// flight-series CSVs and locates the first divergence window per
+// signal, the input explain wants.
+//
 // Usage:
 //
 //	esmstat -trace fs.trace -catalog fs.items [-break-even 52s] [-top 5]
 //	esmstat -events events.jsonl [-run fileserver/esm] [-since 10m] [-until 1h]
+//	esmstat events [-run fileserver/esm] [-since 10m] [-until 1h] events.jsonl
 //	esmstat latency run.trace.json
 //	esmstat attrib [-top 3] run.trace.json
 //	esmstat series [-since 10m] [-until 1h] [-csv] fileserver-esm.series.csv
 //	esmstat diff [-energy 0.05] [-resp 0.1] [-alerts 0] baseline.json new.json
+//	esmstat diff -series [-tol 1e-9] baseline.series.csv new.series.csv
+//	esmstat explain [-alert RULE -events LOG | -since D -until D] run.prov.csv
 //	esmstat fleet [-tol 1e-9] http://localhost:9090
 //	esmstat alerts http://localhost:9090
 //	esmstat alerts [-run fileserver/esm] events.jsonl
@@ -43,8 +52,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"esm/internal/core"
@@ -53,8 +64,34 @@ import (
 	"esm/internal/trace"
 )
 
+// subcommandHelp lists every subcommand with a one-line brief, in the
+// order usage prints them. The usage test pins this list — adding a
+// subcommand without documenting it here fails the build.
+var subcommandHelp = []struct{ name, brief string }{
+	{"alerts", "render watchdog alert state (live /alerts or a saved -events log); exits 1 if firing"},
+	{"attrib", "per-class/per-function energy attribution from a span trace (esmbench -trace)"},
+	{"diff", "compare two BENCH manifests; -series locates the first divergence of two series CSVs"},
+	{"events", "render a saved telemetry event log (also reachable as the -events flag)"},
+	{"explain", "ranked root-cause report over a decision-provenance ledger (-provenance .prov.csv)"},
+	{"fleet", "fleet energy/cost/carbon roll-up from a control plane URL or saved payload"},
+	{"latency", "per-phase/per-cause latency breakdown from a span trace"},
+	{"series", "summarize or re-emit a flight-recorder series CSV, optionally windowed"},
+}
+
+// usage prints the top-level synopsis and the subcommand table.
+func usage(out io.Writer) {
+	fmt.Fprintln(out, "usage: esmstat <subcommand> [flags] [args]")
+	fmt.Fprintln(out, "       esmstat -trace T -catalog C [-break-even D] [-top N]   (trace analysis)")
+	fmt.Fprintln(out, "       esmstat -events LOG [-run LABEL] [-since D] [-until D] (event-log rendering)")
+	fmt.Fprintln(out, "subcommands:")
+	for _, sc := range subcommandHelp {
+		fmt.Fprintf(out, "  %-8s %s\n", sc.name, sc.brief)
+	}
+	fmt.Fprintln(out, "run \"esmstat <subcommand> -h\" for each subcommand's flags")
+}
+
 func main() {
-	if len(os.Args) > 1 {
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
 		switch os.Args[1] {
 		case "latency", "attrib":
 			if err := runSpanCommand(os.Args[1], os.Args[2:]); err != nil {
@@ -64,6 +101,18 @@ func main() {
 			return
 		case "series":
 			if err := runSeries(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "esmstat:", err)
+				os.Exit(1)
+			}
+			return
+		case "events":
+			if err := runEventsCommand(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "esmstat:", err)
+				os.Exit(1)
+			}
+			return
+		case "explain":
+			if err := runExplain(os.Stdout, os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "esmstat:", err)
 				os.Exit(1)
 			}
@@ -98,6 +147,13 @@ func main() {
 				os.Exit(1)
 			}
 			return
+		case "help":
+			usage(os.Stdout)
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "esmstat: unknown subcommand %q\n", os.Args[1])
+			usage(os.Stderr)
+			os.Exit(2)
 		}
 	}
 	tracePath := flag.String("trace", "", "binary trace path")
@@ -129,6 +185,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "esmstat:", err)
 		os.Exit(1)
 	}
+}
+
+// runEventsCommand is the subcommand form of event-log rendering, the
+// same renderer the legacy -events flag drives.
+func runEventsCommand(args []string) error {
+	fs := flag.NewFlagSet("esmstat events", flag.ExitOnError)
+	runLabel := fs.String("run", "", "only render the stream with this run label")
+	since, until := addWindowFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: esmstat events [-run LABEL] [-since D] [-until D] <events.jsonl>")
+	}
+	return runEvents(os.Stdout, fs.Arg(0), *runLabel, *since, *until)
 }
 
 // runSpanCommand dispatches the latency/attrib subcommands over a

@@ -65,6 +65,9 @@ type FleetArrayConfig struct {
 	// (total_energy_j, resp_p99_us, spin_ups, degraded, …); fleet_*
 	// signals belong in the top-level alerts list.
 	Alerts []string `json:"alerts,omitempty"`
+	// Provenance enables the decision-provenance ledger, served live at
+	// /arrays/<name>/provenance (as for esmd -provenance).
+	Provenance bool `json:"provenance,omitempty"`
 }
 
 // CostConfig overrides the fleet cost/carbon model. All fields are

@@ -55,7 +55,13 @@ type ESM struct {
 	trc    *obs.Tracer
 	flight *obs.FlightRecorder
 	wd     *obs.Watchdog
+	prov   *obs.Provenance
 	wake   *simclock.Event
+
+	// prevPatterns is the classification of the previous determination,
+	// kept only while a provenance recorder is attached so
+	// reclassification rows (P3 -> P1, …) can be emitted.
+	prevPatterns []Pattern
 }
 
 // NewESM returns the proposed policy with the given parameters.
@@ -82,6 +88,14 @@ func (d *ESM) SetTracer(trc *obs.Tracer) { d.trc = trc }
 // refreshes the recorder's P0–P3 item counts, so every flight sample
 // carries the current pattern distribution.
 func (d *ESM) SetFlightRecorder(fr *obs.FlightRecorder) { d.flight = fr }
+
+// SetProvenance attaches a decision-provenance recorder. Each
+// determination then records its inputs (per-item interval estimates,
+// read ratios, classes, candidate placement costs) and outputs
+// (moves, reclassifications, preload and write-delay picks) with
+// predicted joule/latency deltas. Nil (the default) costs one pointer
+// check per determination.
+func (d *ESM) SetProvenance(p *obs.Provenance) { d.prov = p }
 
 // SetWatchdog attaches an alert watchdog. Degraded-mode transitions
 // then evaluate "degraded" rules at the instant they happen, instead of
@@ -304,6 +318,14 @@ func (d *ESM) runManagement(now time.Duration, cause obs.Cause) {
 	}
 	wd = keepP0(wd, arr.WriteDelayed)
 	pre = keepP0(pre, arr.Preloaded)
+
+	// Provenance: record the determination's inputs and outputs before
+	// the plan executes, so the decision rows precede the runtime rows
+	// (cache loads, destages, power transitions) they provoke.
+	if d.prov.Enabled() {
+		d.emitProvenance(now, cause, stats, &plan, wd, pre)
+	}
+
 	arr.SetWriteDelay(wd)
 	arr.SetPreload(pre)
 
@@ -384,6 +406,92 @@ func (d *ESM) runManagement(now time.Duration, cause obs.Cause) {
 		})
 	}
 	d.scheduleWake(d.period)
+}
+
+// emitProvenance records one determination's decision rows: the
+// summary, every reclassified item, every planned move with its
+// candidate placement costs and predicted deltas, and the preload and
+// write-delay picks — each with the per-item features (interval
+// estimate, read ratio) the decision was computed from. Only called
+// while a provenance recorder is attached.
+func (d *ESM) emitProvenance(now time.Duration, cause obs.Cause, stats []monitor.ItemPeriodStats, plan *Plan, wd, pre []trace.ItemID) {
+	arr := d.ctx.Array
+	det := d.determinations + 1
+
+	nHot := 0
+	for _, h := range plan.Hot {
+		if h {
+			nHot++
+		}
+	}
+	// Planned per-enclosure IOPS load under the new placement — the
+	// candidate cost the planner packs against (§IV-F).
+	load := make([]float64, arr.Enclosures())
+	for i := range stats {
+		if l := plan.Loc[i]; l >= 0 && l < len(load) {
+			load[l] += stats[i].AvgIOPS
+		}
+	}
+	feature := func(i int) (intervalS, readRatio float64) {
+		s := &stats[i]
+		if s.LongIntervals > 0 {
+			intervalS = s.LongIntervalSum.Seconds() / float64(s.LongIntervals)
+		}
+		if s.Count > 0 {
+			readRatio = float64(s.Reads) / float64(s.Count)
+		}
+		return intervalS, readRatio
+	}
+	prevOf := func(i int) int {
+		if len(d.prevPatterns) == len(plan.Patterns) {
+			return int(d.prevPatterns[i])
+		}
+		return -1
+	}
+
+	d.prov.Determination(now, det, cause, nHot, len(plan.Moves))
+	if len(d.prevPatterns) == len(plan.Patterns) {
+		for i, p := range plan.Patterns {
+			if d.prevPatterns[i] == p {
+				continue
+			}
+			iv, rr := feature(i)
+			d.prov.Decision(now, obs.ProvDecision{
+				Kind: obs.ProvReclass, Det: det, Cause: cause,
+				Item: int64(i), Class: int(p), PrevClass: int(d.prevPatterns[i]),
+				Src: arr.ItemEnclosure(trace.ItemID(i)), Dst: -1,
+				IntervalS: iv, ReadRatio: rr,
+			})
+		}
+	}
+	for _, mv := range plan.Moves {
+		i := int(mv.Item)
+		iv, rr := feature(i)
+		src := arr.ItemEnclosure(mv.Item)
+		d.prov.Decision(now, obs.ProvDecision{
+			Kind: obs.ProvMove, Det: det, Cause: cause,
+			Item: int64(mv.Item), Class: int(plan.Patterns[i]), PrevClass: prevOf(i),
+			Src: src, Dst: mv.Dst,
+			IntervalS: iv, ReadRatio: rr,
+			CostSrc: load[src], CostDst: load[mv.Dst],
+			ToCold: !plan.Hot[mv.Dst],
+		})
+	}
+	pick := func(kind int, items []trace.ItemID) {
+		for _, it := range items {
+			iv, rr := feature(int(it))
+			d.prov.Decision(now, obs.ProvDecision{
+				Kind: kind, Det: det, Cause: cause,
+				Item: int64(it), Class: int(plan.Patterns[it]), PrevClass: prevOf(int(it)),
+				Src: arr.ItemEnclosure(it), Dst: -1,
+				IntervalS: iv, ReadRatio: rr,
+			})
+		}
+	}
+	pick(obs.ProvDestage, wd)
+	pick(obs.ProvPreload, pre)
+
+	d.prevPatterns = append(d.prevPatterns[:0], plan.Patterns...)
 }
 
 // Stop cancels the pending period-end wake-up. The fleet control plane

@@ -207,6 +207,10 @@ type Observers struct {
 	// for the same policy, or nil — so alert transitions can share the
 	// run's event stream.
 	Alerts func(policy string, rec *obs.Recorder) *obs.Watchdog
+	// Provenance supplies the decision-provenance recorder per policy;
+	// the roll-up lands in Result.Provenance and the run manifest, the
+	// rows in Result.ProvSeries.
+	Provenance func(policy string) *obs.Provenance
 	// Faults is the fault scenario injected into every run.
 	Faults *faults.Config
 }
@@ -246,6 +250,9 @@ func EvaluateOpts(w *workload.Workload, factories []PolicyFactory, o Observers) 
 		}
 		if o.Alerts != nil {
 			run.Alerts = o.Alerts(f.Name, run.Recorder)
+		}
+		if o.Provenance != nil {
+			run.Provenance = o.Provenance(f.Name)
 		}
 		for _, win := range w.Windows {
 			run.Windows = append(run.Windows, replay.Window{Name: win.Name, Start: win.Start, End: win.End})

@@ -41,6 +41,16 @@ type ManifestTotals struct {
 	AlertsFiring     int   `json:"alerts_firing,omitempty"`
 	AlertsFired      int64 `json:"alerts_fired,omitempty"`
 	AlertTransitions int64 `json:"alert_transitions,omitempty"`
+	// Decision-provenance roll-up (all zero when the run had no
+	// -provenance; absent from older manifests, which decode as zero).
+	// Informational, not diff-gated.
+	ProvRecords        int   `json:"provenance_records,omitempty"`
+	ProvOffered        int64 `json:"provenance_offered,omitempty"`
+	ProvDecisions      int64 `json:"provenance_decisions,omitempty"`
+	ProvTransitions    int64 `json:"provenance_transitions,omitempty"`
+	ProvMigrations     int64 `json:"provenance_migrations,omitempty"`
+	ProvFaults         int64 `json:"provenance_faults,omitempty"`
+	ProvDeterminations int64 `json:"provenance_determinations,omitempty"`
 }
 
 // Manifest describes one replay run well enough to compare it against
@@ -60,8 +70,11 @@ type Manifest struct {
 	Date       string `json:"date,omitempty"`
 	// SeriesFile is the path of the flight-recorder series written
 	// alongside this manifest (empty when none was).
-	SeriesFile string         `json:"series_file,omitempty"`
-	Totals     ManifestTotals `json:"totals"`
+	SeriesFile string `json:"series_file,omitempty"`
+	// ProvFile is the path of the decision-provenance CSV written
+	// alongside this manifest (empty when none was).
+	ProvFile string         `json:"provenance_file,omitempty"`
+	Totals   ManifestTotals `json:"totals"`
 }
 
 // NewManifest builds the manifest of one replay result.
@@ -93,6 +106,15 @@ func NewManifest(w *workload.Workload, policyName string, scale float64, fc *fau
 	}
 	if fc != nil {
 		m.Seed = fc.Seed
+	}
+	if p := res.Provenance; p != nil {
+		m.Totals.ProvRecords = p.Records
+		m.Totals.ProvOffered = p.Offered
+		m.Totals.ProvDecisions = p.Decisions
+		m.Totals.ProvTransitions = p.Transitions
+		m.Totals.ProvMigrations = p.Migrations
+		m.Totals.ProvFaults = p.Faults
+		m.Totals.ProvDeterminations = p.Determinations
 	}
 	return m
 }

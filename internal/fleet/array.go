@@ -81,6 +81,13 @@ type ArraySpec struct {
 	// array's samples. Fleet-wide fleet_* rules belong in
 	// Options.Alerts, not here.
 	Alerts []obs.Rule
+	// Provenance enables the decision-provenance ledger: determination
+	// inputs/outputs plus power/migration/preload/destage context,
+	// served live at /arrays/<name>/provenance.
+	Provenance bool
+	// ProvenanceMaxRecords bounds the ledger's stored rows
+	// (0 = the obs default).
+	ProvenanceMaxRecords int
 }
 
 // Status is the JSON liveness snapshot of one array — the fleet form
@@ -108,6 +115,7 @@ type Status struct {
 	Latency        *obs.LatencySummary    `json:"latency,omitempty"`
 	Attribution    *obs.Attribution       `json:"attribution,omitempty"`
 	Alerts         *obs.AlertSummary      `json:"alerts,omitempty"`
+	Provenance     *obs.ProvenanceSummary `json:"provenance,omitempty"`
 
 	// Liveness: how much has arrived over the ingest surfaces, and how
 	// far the flight recorder has sampled.
@@ -149,6 +157,7 @@ type Array struct {
 	trc    *obs.Tracer
 	flight *obs.FlightRecorder
 	wd     *obs.Watchdog
+	prov   *obs.Provenance
 
 	// feeder, when non-nil, routes fault-free feeds through the sharded
 	// deterministic engine; shards is its effective lane count (for
@@ -256,6 +265,16 @@ func newArray(spec ArraySpec, reg *obs.Registry) (*Array, error) {
 		Instance: spec.Name,
 	})
 	esm.SetWatchdog(wd)
+	var prov *obs.Provenance
+	if spec.Provenance {
+		prov = obs.NewProvenance(obs.ProvenanceOptions{
+			MaxRecords: spec.ProvenanceMaxRecords,
+			IdleW:      arr.Config().Power.IdleW,
+			SpinUpTime: arr.Config().Power.SpinUpTime,
+		})
+		arr.SetProvenance(prov)
+		esm.SetProvenance(prov)
+	}
 	var inj *faults.Injector
 	if spec.Faults != nil {
 		inj, err = faults.NewInjector(*spec.Faults)
@@ -279,6 +298,7 @@ func newArray(spec ArraySpec, reg *obs.Registry) (*Array, error) {
 		trc:        trc,
 		flight:     flight,
 		wd:         wd,
+		prov:       prov,
 	}
 	// The array's observers dispatch through the Array so a hot-swapped
 	// policy starts seeing events without rewiring; they only fire
@@ -498,6 +518,7 @@ func (a *Array) SwapPolicy(cfg *config.File) error {
 	}
 	esm.SetFlightRecorder(a.flight)
 	esm.SetWatchdog(a.wd)
+	esm.SetProvenance(a.prov)
 	a.esm = esm
 	a.lastDet = 0
 	esm.Init(&policy.Context{Array: a.arr, Catalog: a.cat, Clock: a.clk, Queue: a.evq, End: planningHorizon})
@@ -598,6 +619,15 @@ func (a *Array) Series() *obs.Series {
 	return a.flight.Series()
 }
 
+// ProvenanceSeries returns the decision-provenance ledger's rows as a
+// columnar series (nil when the array runs without provenance). The
+// recorder has its own lock, so scrapes never contend with the
+// simulation.
+func (a *Array) ProvenanceSeries() *obs.Series { return a.prov.Series() }
+
+// ProvenanceSummary returns the ledger roll-up (nil when off).
+func (a *Array) ProvenanceSummary() *obs.ProvenanceSummary { return a.prov.Summary() }
+
 // Alerts returns the watchdog's per-rule states (nil without rules).
 // The watchdog has its own lock, so scrapes never contend with the
 // simulation.
@@ -669,6 +699,7 @@ func (a *Array) updateSnapshotLocked(now time.Duration) {
 		sum := a.wd.Summary()
 		snap.Alerts = &sum
 	}
+	snap.Provenance = a.prov.Summary()
 	if a.trc != nil {
 		// Settle the power-state accumulators so the attribution
 		// reflects energy actually drawn.

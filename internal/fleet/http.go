@@ -89,6 +89,12 @@ func (f *Fleet) serveArray(w http.ResponseWriter, r *http.Request) {
 		}{a.Name(), a.AlertSummary(), a.Alerts()})
 	case "series":
 		obs.ServeSeries(w, r, a.Series())
+	case "provenance":
+		if s := a.ProvenanceSeries(); s != nil {
+			obs.ServeSeries(w, r, s)
+		} else {
+			http.Error(w, "no provenance ledger attached (run with -provenance)", http.StatusNotFound)
+		}
 	case "ingest":
 		f.serveIngest(w, r, a)
 	case "config":

@@ -90,6 +90,14 @@ type Run struct {
 	// instantaneous degrade bridge), so alert streams inherit the
 	// serial-vs-sharded byte identity of every other output.
 	Alerts *obs.Watchdog
+	// Provenance, when non-nil, records the decision-provenance ledger:
+	// the policy's determination inputs/outputs and the array's
+	// triggering context for power transitions, migrations, preloads
+	// and destages. Fed only from deterministic simulated-clock call
+	// sites, so the stream is byte-identical serial vs -shards N. When
+	// a tracer runs too, the energy ledger's top attributed items are
+	// joined into the stream at end of run.
+	Provenance *obs.Provenance
 }
 
 // Window is a named measurement sub-span.
@@ -160,6 +168,10 @@ type Result struct {
 	// final per-rule states (zero/nil without Run.Alerts).
 	Alerts      obs.AlertSummary
 	AlertStates []obs.AlertStatus
+	// Provenance is the decision-provenance roll-up and ProvSeries the
+	// recorded ledger rows (nil without Run.Provenance).
+	Provenance *obs.ProvenanceSummary
+	ProvSeries *obs.Series
 }
 
 // StateResidency is the fraction of the run one enclosure spent in each
@@ -228,6 +240,14 @@ func Execute(r Run) (*Result, error) {
 	if r.Alerts != nil {
 		if p, ok := pol.(interface{ SetWatchdog(*obs.Watchdog) }); ok {
 			p.SetWatchdog(r.Alerts)
+		}
+	}
+	if r.Provenance != nil {
+		// Predicted deltas use the run's actual electrical constants.
+		r.Provenance.ConfigurePower(r.Storage.Power.IdleW, r.Storage.Power.SpinUpTime)
+		arr.SetProvenance(r.Provenance)
+		if p, ok := pol.(interface{ SetProvenance(*obs.Provenance) }); ok {
+			p.SetProvenance(r.Provenance)
 		}
 	}
 	var inj *faults.Injector
@@ -450,6 +470,15 @@ func Execute(r Run) (*Result, error) {
 	if r.Tracer != nil {
 		res.Latency = r.Tracer.LatencySummary()
 		res.Attribution = r.Tracer.Attribute(end, arr.EnclosureEnergy)
+	}
+	if r.Provenance != nil {
+		// Join the energy ledger's top attributed items into the ledger
+		// stream so `esmstat explain` can rank root causes by joules.
+		if res.Attribution != nil {
+			r.Provenance.RecordAttribution(end, res.Attribution, 0)
+		}
+		res.Provenance = r.Provenance.Summary()
+		res.ProvSeries = r.Provenance.Series()
 	}
 	for e := 0; e < r.Storage.Enclosures; e++ {
 		acc := arr.Meter().Enclosure(e)

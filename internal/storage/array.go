@@ -122,6 +122,9 @@ type Array struct {
 	// trc is the span tracer; nil (the default) disables span recording
 	// and energy attribution at the cost of one nil check per call site.
 	trc *obs.Tracer
+	// prov is the decision-provenance ledger; nil (the default)
+	// disables the context rows at the cost of one nil check per site.
+	prov *obs.Provenance
 
 	// inj injects faults; nil (the default) injects nothing. faultObs,
 	// when non-nil, observes every injected fault (policies hook it to
@@ -186,6 +189,14 @@ func (a *Array) onPowerEvent(enc int, at time.Duration, on bool, cause obs.Cause
 			a.rec.PowerTransition(at, enc, "off", cause)
 		}
 	}
+	if a.prov != nil {
+		if on {
+			a.prov.PowerTransition(at, enc, "spinup", cause)
+			a.prov.PowerTransition(at+a.cfg.Power.SpinUpTime, enc, "on", cause)
+		} else {
+			a.prov.PowerTransition(at, enc, "off", cause)
+		}
+	}
 }
 
 // SetPhysicalObserver installs a callback invoked for every physical I/O
@@ -212,6 +223,15 @@ func (a *Array) SetTracer(trc *obs.Tracer) { a.trc = trc }
 
 // Tracer returns the attached span tracer (nil when off).
 func (a *Array) Tracer() *obs.Tracer { return a.trc }
+
+// SetProvenance attaches the decision-provenance recorder, which
+// captures the triggering context of power transitions, migrations,
+// preload loads and write-delay destages. Nil (the default) keeps the
+// hot path at one pointer check.
+func (a *Array) SetProvenance(p *obs.Provenance) { a.prov = p }
+
+// Provenance returns the attached provenance recorder (nil when off).
+func (a *Array) Provenance() *obs.Provenance { return a.prov }
 
 // EnclosureEnergy reads enclosure e's integrated joules by power
 // state, the attribution ledger's input. Call Finish (or otherwise
@@ -246,6 +266,7 @@ func (a *Array) SetFaultInjector(inj *faults.Injector) {
 			Enclosure: ev.Enclosure,
 			Attempt:   ev.Attempt,
 		})
+		a.prov.Fault(ev.T, ev.Enclosure, string(ev.Kind))
 		if a.faultObs != nil {
 			a.faultObs(ev)
 		}
@@ -280,13 +301,14 @@ func (a *Array) batteryFail(now time.Duration) {
 	a.inj.BatteryFailed(now)
 	a.flushWriteDelay(now)
 	if len(a.wdelay.selected) > 0 {
-		if a.rec.Enabled() {
+		if a.rec.Enabled() || a.prov.Enabled() {
 			ids := make([]int64, 0, len(a.wdelay.selected))
 			for it := range a.wdelay.selected {
 				ids = append(ids, int64(it))
 			}
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			a.rec.CacheEvict(now, "write-delay", ids)
+			a.prov.CacheOp(now, "write-delay", ids)
 		}
 		a.wdelay.selected = make(map[trace.ItemID]bool)
 	}
@@ -699,16 +721,17 @@ func (a *Array) SetWriteDelay(items []trace.ItemID) {
 	for _, it := range items {
 		next[it] = true
 	}
+	observed := a.rec.Enabled() || a.prov.Enabled()
 	var evicted, added []int64
 	for it := range a.wdelay.selected {
 		if !next[it] {
 			a.flushItem(now, it)
-			if a.rec.Enabled() {
+			if observed {
 				evicted = append(evicted, int64(it))
 			}
 		}
 	}
-	if a.rec.Enabled() {
+	if observed {
 		for it := range next {
 			if !a.wdelay.selected[it] {
 				added = append(added, int64(it))
@@ -718,6 +741,7 @@ func (a *Array) SetWriteDelay(items []trace.ItemID) {
 		sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
 		a.rec.CacheEvict(now, "write-delay", evicted)
 		a.rec.CacheSelect(now, "write-delay", added)
+		a.prov.CacheOp(now, "write-delay", evicted)
 	}
 	a.wdelay.selected = next
 }
@@ -789,11 +813,12 @@ func (a *Array) SetPreload(items []trace.ItemID) {
 				Item: int64(it), Enclosure: st.enc, Dst: -1, Bytes: st.size,
 			})
 		}
-		if a.rec.Enabled() {
+		if a.rec.Enabled() || a.prov.Enabled() {
 			loaded = append(loaded, int64(it))
 		}
 	}
 	a.rec.CacheSelect(now, "preload", loaded)
+	a.prov.CacheOp(now, "preload", loaded)
 }
 
 // Preloaded reports whether item is pinned in the preload partition.
@@ -964,6 +989,7 @@ func (a *Array) finishMigration(m *migration) {
 	a.migActive = false
 	a.stats.Migrations++
 	a.rec.MigrationDone(a.clk.Now(), int64(m.item), src, m.dst, st.size)
+	a.prov.MigrationDone(a.clk.Now(), int64(m.item), src, m.dst)
 	if a.trc != nil {
 		now := a.clk.Now()
 		a.trc.Management(obs.ManagementSpan{
